@@ -1,0 +1,21 @@
+"""Benchmark-suite pytest glue.
+
+Per-test stdout is captured (and discarded for passing tests), so the
+paper-vs-measured tables the benchmarks emit are buffered by
+``repro.experiments.report`` and replayed here in the terminal
+summary, which pytest never captures.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import report
+
+
+def pytest_terminal_summary(terminalreporter):
+    lines = report.drain_buffer()
+    if not lines:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "paper-vs-measured report")
+    for line in lines:
+        terminalreporter.write_line(line)

@@ -1,0 +1,135 @@
+"""Ablations of PANDAS's design choices (beyond the paper's figures).
+
+The paper motivates three mechanisms qualitatively; these benches
+quantify each in isolation:
+
+- **consolidation boost** (Section 6.2): with cb_boost = 0, queries no
+  longer prefer peers that were actually seeded the cells, so early
+  rounds hit peers that must consolidate first;
+- **seeding redundancy r** (Section 6.1): sweep r to see the diminishing
+  returns that justify r=8;
+- **round-1 timeout** (Section 7): t1 = 400 ms was chosen to cover the
+  builder's send-out; shrinking it makes round 1 race the seed stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.common import bench_nodes, bench_seed, run_once
+from repro.core.seeding import RedundantSeeding
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.experiments.report import format_distribution_row, print_header, print_row, shape_checks
+from repro.params import FetchSchedule, PandasParams
+
+
+def _run(params: PandasParams, policy=None, seed=None):
+    config = ScenarioConfig(
+        num_nodes=bench_nodes(),
+        params=params,
+        policy=policy if policy is not None else RedundantSeeding(8),
+        seed=seed if seed is not None else bench_seed(),
+        slots=1,
+    )
+    return Scenario(config).run()
+
+
+def test_ablation_consolidation_boost(benchmark):
+    def sweep():
+        with_boost = _run(PandasParams.full())
+        without_boost = _run(replace(PandasParams.full(), cb_boost=0.0))
+        return with_boost, without_boost
+
+    with_boost, without_boost = run_once(benchmark, sweep)
+    print_header(f"Ablation — consolidation boost map ({bench_nodes()} nodes)")
+    print_row(
+        format_distribution_row(
+            "cb_boost=10,000 (paper)", with_boost.phase_distributions().consolidation, 4.0
+        )
+    )
+    print_row(
+        format_distribution_row(
+            "cb_boost=0 (ablated)", without_boost.phase_distributions().consolidation, 4.0
+        )
+    )
+    boosted = with_boost.phase_distributions().consolidation
+    unboosted = without_boost.phase_distributions().consolidation
+    shape_checks(
+        [
+            (
+                "boost does not slow consolidation down",
+                boosted.median <= unboosted.median * 1.05,
+            ),
+            (
+                "both variants still meet the deadline for most nodes",
+                boosted.fraction_within(4.0) > 0.9
+                and unboosted.fraction_within(4.0) > 0.8,
+            ),
+        ]
+    )
+
+
+def test_ablation_seeding_redundancy(benchmark):
+    def sweep():
+        return {
+            r: _run(PandasParams.full(), policy=RedundantSeeding(r))
+            for r in (1, 2, 4, 8)
+        }
+
+    results = run_once(benchmark, sweep)
+    print_header(f"Ablation — seeding redundancy r ({bench_nodes()} nodes)")
+    print_row(f"{'r':>4} {'egress MB':>10} {'sampling median':>16} {'within 4s':>10}")
+    for r, scenario in results.items():
+        sampling = scenario.sampling_distribution()
+        median = f"{sampling.median * 1e3:.0f}ms" if sampling.values else "miss"
+        print_row(
+            f"{r:>4} {scenario.builder_egress_bytes(0) / 1e6:>10.0f} "
+            f"{median:>16} {100 * sampling.fraction_within(4.0):>9.1f}%"
+        )
+    shape_checks(
+        [
+            (
+                "egress scales linearly with r",
+                results[8].builder_egress_bytes(0)
+                > 3 * results[2].builder_egress_bytes(0),
+            ),
+            (
+                "higher redundancy never hurts deadline completion",
+                results[8].sampling_distribution().fraction_within(4.0)
+                >= results[1].sampling_distribution().fraction_within(4.0) - 0.02,
+            ),
+        ]
+    )
+
+
+def test_ablation_round1_timeout(benchmark):
+    def sweep():
+        results = {}
+        for t1 in (0.1, 0.4, 0.8):
+            schedule = FetchSchedule(timeouts=(t1, 0.2, 0.1), redundancy=(1, 2, 4, 6, 8, 10))
+            results[t1] = _run(PandasParams.full().with_schedule(schedule))
+        return results
+
+    results = run_once(benchmark, sweep)
+    print_header(f"Ablation — round-1 timeout t1 ({bench_nodes()} nodes)")
+    print_row(f"{'t1':>6} {'sampling median':>16} {'fetch msgs med':>15}")
+    for t1, scenario in results.items():
+        sampling = scenario.sampling_distribution()
+        median = f"{sampling.median * 1e3:.0f}ms" if sampling.values else "miss"
+        print_row(
+            f"{t1 * 1e3:>4.0f}ms {median:>16} "
+            f"{scenario.fetch_message_distribution().median:>15.0f}"
+        )
+    shape_checks(
+        [
+            (
+                "an early (100 ms) round 1 costs extra messages",
+                results[0.1].fetch_message_distribution().median
+                >= results[0.4].fetch_message_distribution().median,
+            ),
+            (
+                "the default 400 ms still meets the deadline",
+                results[0.4].sampling_distribution().fraction_within(4.0) > 0.95,
+            ),
+        ]
+    )

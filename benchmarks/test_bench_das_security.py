@@ -1,0 +1,54 @@
+"""Section 3 math: sampling security bound and Figure 3's geometry.
+
+Regenerates the paper's headline derivation: 73 samples on the
+512x512 grid bound the availability false-positive probability below
+1e-9, and the minimal/maximal reconstruction sets of Figure 3.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import run_once
+from repro.das import (
+    false_positive_probability,
+    max_unreconstructable_cells,
+    min_reconstructable_cells,
+    required_samples,
+)
+from repro.experiments.report import print_header, print_row, shape_checks
+
+
+def test_sampling_security_bound(benchmark):
+    def compute():
+        return {
+            s: false_positive_probability(s, 512, 512)
+            for s in (10, 30, 50, 73, 100)
+        }
+
+    curve = run_once(benchmark, compute)
+
+    print_header("Section 3 — DAS false-positive bound (512x512 grid)")
+    print_row(f"{'samples':>8} {'FP bound':>12}   paper: s=73 -> < 1e-9")
+    for s, fp in curve.items():
+        print_row(f"{s:>8} {fp:>12.3e}")
+    inverted = required_samples(512, 512, 1e-9)
+    print_row(f"exact inversion of the 1e-9 target: s = {inverted}")
+    print_row(
+        f"Fig. 3 geometry: min reconstructable = {min_reconstructable_cells():,} cells, "
+        f"max withholdable = {max_unreconstructable_cells():,} cells"
+    )
+    shape_checks(
+        [
+            ("FP(73) < 1e-9 (paper's headline)", curve[73] < 1e-9),
+            ("bound monotone in samples", curve[10] > curve[30] > curve[73]),
+            ("inversion within 2 of the community's 73", abs(inverted - 73) <= 2),
+            (
+                "Fig. 3: quadrant is minimal",
+                min_reconstructable_cells() == 256 * 256,
+            ),
+            (
+                "Fig. 3: 257x257 withheld blocks recovery",
+                max_unreconstructable_cells() == 512 * 512 - 257 * 257,
+            ),
+        ]
+    )
+    assert curve[73] < 1e-9

@@ -1,0 +1,61 @@
+"""Figure 10: fetch messages and traffic volume per node.
+
+Distributions of the number of messages and bytes (both directions)
+each node spends on consolidation + sampling, per seeding policy.
+Paper reference: max traffic 2.26 / 2.0 / 1.99 MB for minimal /
+single / redundant — well under EIP-7870's bandwidth guidance (C2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_nodes, bench_seed, bench_slots, run_once
+from repro.experiments.figures import run_policy_comparison
+from repro.experiments.report import PAPER, print_header, print_row, shape_checks
+
+POLICIES = ("minimal", "single", "redundant")
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return run_policy_comparison(
+        num_nodes=bench_nodes(),
+        slots=bench_slots(),
+        seed=bench_seed(),
+        include_block_gossip=False,
+    )
+
+
+def test_fig10_messages_and_traffic(benchmark, policy_results):
+    results = run_once(benchmark, lambda: policy_results)
+    print_header(f"Figure 10 — fetch messages & traffic per node ({bench_nodes()} nodes)")
+    print_row(f"{'policy':<12} {'msgs median':>12} {'msgs max':>10} {'MB median':>10} {'MB max':>8} | paper max MB")
+    for name in POLICIES:
+        messages = results[name].fetch_messages
+        volume = results[name].fetch_bytes
+        paper_max = PAPER[f"fig10.{name}"]["max_bytes"] / 1e6
+        print_row(
+            f"{name:<12} {messages.median:>12.0f} {messages.max:>10.0f} "
+            f"{volume.median / 1e6:>10.2f} {volume.max / 1e6:>8.2f} | {paper_max:.2f}"
+        )
+
+    # EIP-7870 feasibility: the slot budget at 50/15 Mbps over 12 s
+    downlink_budget = 50e6 / 8 * 12
+    checks = [
+        (
+            "C2: max per-node fetch traffic is a few MB (paper: ~2 MB)",
+            all(results[p].fetch_bytes.max < 8e6 for p in POLICIES),
+        ),
+        (
+            "traffic fits EIP-7870's per-slot downlink budget",
+            all(results[p].fetch_bytes.max < downlink_budget for p in POLICIES),
+        ),
+        (
+            "redundant seeding needs the least fetch traffic",
+            results["redundant"].fetch_bytes.median
+            <= results["minimal"].fetch_bytes.median * 1.1,
+        ),
+    ]
+    shape_checks(checks)
+    assert all(results[p].fetch_bytes.max < downlink_budget for p in POLICIES)

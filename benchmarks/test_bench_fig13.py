@@ -1,0 +1,66 @@
+"""Figure 13: PANDAS scaling across network sizes.
+
+Paper: with the redundant policy, every node samples within 4 s up to
+10,000 nodes; at 20,000 nodes 10% miss (poorly-connected stragglers).
+Messages per node grow slowly (1,956 -> 2,443 from 1k to 20k) and
+peak traffic stays ~2 MB — claim C4.
+
+The sweep here defaults to laptop scales (REPRO_BENCH_SCALES to grow);
+the shape checks assert what must remain true at any scale: deadline
+hit-rates stay high and per-node cost grows sub-linearly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_scales, bench_seed, bench_slots, run_once
+from repro.experiments.figures import run_scaling
+from repro.experiments.report import format_distribution_row, print_header, print_row, shape_checks
+
+
+def test_fig13_pandas_scaling(benchmark):
+    scales = bench_scales()
+    results = run_once(
+        benchmark,
+        lambda: run_scaling(
+            node_counts=scales, slots=bench_slots(), seed=bench_seed(), system="pandas"
+        ),
+    )
+
+    print_header(f"Figure 13 — PANDAS scaling ({scales} nodes)")
+    print_row("time to sampling:")
+    for count in scales:
+        print_row(format_distribution_row(f"{count} nodes", results[count].sampling, 4.0))
+    print_row("")
+    print_row(f"{'nodes':>8} {'msgs/node med':>14} {'MB/node med':>12} {'MB/node max':>12}")
+    for count in scales:
+        messages = results[count].fetch_messages
+        volume = results[count].fetch_bytes
+        print_row(
+            f"{count:>8} {messages.median:>14.0f} {volume.median / 1e6:>12.2f} "
+            f"{volume.max / 1e6:>12.2f}"
+        )
+    print_row("(paper @1k-20k: 1,956-2,443 msgs sent, 1.9-2.4 MB peak)")
+
+    largest, smallest = max(scales), min(scales)
+    growth = largest / smallest
+    message_growth = (
+        results[largest].fetch_messages.median
+        / max(1.0, results[smallest].fetch_messages.median)
+    )
+    shape_checks(
+        [
+            (
+                "C4: >=90% of nodes sample within 4 s at every scale",
+                all(results[c].sampling.fraction_within(4.0) >= 0.90 for c in scales),
+            ),
+            (
+                "per-node messages grow sub-linearly with network size",
+                message_growth < growth,
+            ),
+            (
+                "per-node peak traffic stays bounded (< 8 MB)",
+                all(results[c].fetch_bytes.max < 8e6 for c in scales),
+            ),
+        ]
+    )
+    assert results[largest].sampling.fraction_within(4.0) >= 0.90

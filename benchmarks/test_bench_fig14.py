@@ -1,0 +1,77 @@
+"""Figure 14: baseline scaling across network sizes.
+
+Paper: the GossipSub baseline misses the deadline for most nodes from
+5,000 nodes on (then plateaus); the DHT baseline misses at every scale
+with time-to-sampling growing with size. The gap to PANDAS widens as
+the system grows. Both baselines send significantly more messages.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import baseline_params, bench_scales, bench_seed, bench_slots, run_once
+from repro.experiments.figures import run_scaling
+from repro.experiments.report import format_distribution_row, print_header, print_row, shape_checks
+
+SYSTEMS = ("pandas", "gossipsub", "dht")
+
+
+def test_fig14_baseline_scaling(benchmark):
+    scales = bench_scales()
+
+    def sweep():
+        return {
+            system: run_scaling(
+                node_counts=scales,
+                slots=bench_slots(),
+                seed=bench_seed(),
+                system=system,
+                params=baseline_params(),
+            )
+            for system in SYSTEMS
+        }
+
+    results = run_once(benchmark, sweep)
+
+    print_header(f"Figure 14 — baselines vs PANDAS across scales ({scales})")
+    for system in SYSTEMS:
+        print_row(f"{system}:")
+        for count in scales:
+            print_row(
+                "  "
+                + format_distribution_row(f"{count} nodes", results[system][count].sampling, 4.0)
+            )
+
+    largest = max(scales)
+    pandas_large = results["pandas"][largest].sampling
+    gossip_large = results["gossipsub"][largest].sampling
+    dht_large = results["dht"][largest].sampling
+
+    def median_or_inf(dist):
+        import math
+
+        return dist.median if dist.values else math.inf
+
+    shape_checks(
+        [
+            (
+                "PANDAS stays ahead of both baselines at the largest scale",
+                pandas_large.fraction_within(4.0) >= gossip_large.fraction_within(4.0)
+                and pandas_large.fraction_within(4.0) >= dht_large.fraction_within(4.0),
+            ),
+            (
+                "DHT is the slowest system at the largest scale (median)",
+                median_or_inf(dht_large) >= median_or_inf(pandas_large),
+            ),
+            (
+                "the PANDAS-to-DHT gap does not shrink with scale",
+                median_or_inf(results["dht"][largest].sampling)
+                - median_or_inf(results["pandas"][largest].sampling)
+                >= (
+                    median_or_inf(results["dht"][min(scales)].sampling)
+                    - median_or_inf(results["pandas"][min(scales)].sampling)
+                )
+                * 0.5,
+            ),
+        ]
+    )
+    assert pandas_large.fraction_within(4.0) >= dht_large.fraction_within(4.0) - 0.02

@@ -1,0 +1,154 @@
+"""Figure 9: phase-time distributions for the three seeding policies.
+
+One network, three runs (minimal / single / redundant r=8), full
+Danksharding parameters; reports the distributions behind all four
+panels:
+
+- 9a time-to-seeding (plus the block-gossip comparison curve),
+- 9b time-to-consolidation from seed reception,
+- 9c time-to-consolidation from the slot start,
+- 9d time-to-sampling (the primary metric: everything within 4 s).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_nodes, bench_seed, bench_slots, run_once
+from repro.experiments.figures import run_policy_comparison
+from repro.analysis.plotting import ascii_cdf
+from repro.experiments.report import (
+    format_distribution_row,
+    print_block,
+    print_header,
+    print_row,
+    shape_checks,
+)
+
+POLICIES = ("minimal", "single", "redundant")
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return run_policy_comparison(
+        num_nodes=bench_nodes(), slots=bench_slots(), seed=bench_seed()
+    )
+
+
+def test_fig9a_seeding(benchmark, policy_results):
+    results = run_once(benchmark, lambda: policy_results)
+    print_header(f"Figure 9a — time to seeding ({bench_nodes()} nodes)")
+    for name in POLICIES:
+        print_row(
+            format_distribution_row(name, results[name].seeding, 4.0, f"fig9a.{name}")
+        )
+    block = results["redundant"].block
+    if block is not None:
+        print_row(format_distribution_row("block gossip (compare)", block, 4.0))
+    shape_checks(
+        [
+            (
+                "all policies seed everyone within 1.5 s",
+                all(results[p].seeding.fraction_within(1.5) == 1.0 for p in POLICIES),
+            ),
+            (
+                "heavier policies have equal-or-later seeding tails",
+                results["minimal"].seeding.max <= results["redundant"].seeding.max * 1.35,
+            ),
+        ]
+    )
+    for name in POLICIES:
+        assert results[name].seeding.misses == 0
+
+
+def test_fig9b_consolidation_from_seeding(benchmark, policy_results):
+    results = run_once(benchmark, lambda: policy_results)
+    print_header("Figure 9b — time to consolidation, from seed reception")
+    for name in POLICIES:
+        dist = results[f"{name}:from_seeding"].consolidation
+        print_row(format_distribution_row(name, dist, None, f"fig9b.{name}"))
+    shape_checks(
+        [
+            (
+                "redundant consolidates no slower than minimal (median)",
+                results["redundant:from_seeding"].consolidation.median
+                <= results["minimal:from_seeding"].consolidation.median * 1.15,
+            )
+        ]
+    )
+
+
+def test_fig9c_consolidation_from_start(benchmark, policy_results):
+    results = run_once(benchmark, lambda: policy_results)
+    print_header("Figure 9c — time to consolidation, from slot start")
+    for name in POLICIES:
+        print_row(
+            format_distribution_row(
+                name, results[name].consolidation, 4.0, f"fig9c.{name}"
+            )
+        )
+    shape_checks(
+        [
+            (
+                "every policy consolidates a large majority within 4 s",
+                all(
+                    results[p].consolidation.fraction_within(4.0) > 0.9
+                    for p in POLICIES
+                ),
+            ),
+            (
+                "redundant has the fastest median (paper: 869 < 1072 < 1178 ms)",
+                results["redundant"].consolidation.median
+                <= results["single"].consolidation.median * 1.1
+                and results["redundant"].consolidation.median
+                <= results["minimal"].consolidation.median * 1.1,
+            ),
+        ]
+    )
+
+
+def test_fig9d_sampling(benchmark, policy_results):
+    results = run_once(benchmark, lambda: policy_results)
+    print_header("Figure 9d — time to sampling (primary metric)")
+    for name in POLICIES:
+        print_row(
+            format_distribution_row(name, results[name].sampling, 4.0, f"fig9d.{name}")
+        )
+    print_row("")
+    print_block(
+        ascii_cdf(
+            {name: results[name].sampling for name in POLICIES},
+            deadline=4.0,
+            height=12,
+        )
+    )
+    print_row("")
+    print_row("builder egress (paper: 36.6 / 149 / 1,208 MB):")
+    for name in POLICIES:
+        print_row(f"  {name:<10} {results[name].builder_egress_bytes / 1e6:8.1f} MB")
+    shape_checks(
+        [
+            (
+                "C1: sampling meets the 4 s deadline for nearly all nodes",
+                all(
+                    results[p].sampling.fraction_within(4.0) > 0.95 for p in POLICIES
+                ),
+            ),
+            (
+                "redundant's median sampling is the fastest",
+                results["redundant"].sampling.median
+                <= min(
+                    results["minimal"].sampling.median,
+                    results["single"].sampling.median,
+                )
+                * 1.1,
+            ),
+            (
+                "egress ordering minimal < single < redundant",
+                results["minimal"].builder_egress_bytes
+                < results["single"].builder_egress_bytes
+                < results["redundant"].builder_egress_bytes,
+            ),
+        ]
+    )
+    assert results["redundant"].sampling.fraction_within(4.0) > 0.93

@@ -1,0 +1,68 @@
+"""Table 1: per-round telemetry of the adaptive fetching algorithm.
+
+Regenerates the table's rows — messages sent, cells requested,
+replies received in/after each round, duplicates, reconstructions —
+averaged over all nodes, under the redundant seeding strategy.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_nodes, bench_seed, bench_slots, run_once
+from repro.experiments.figures import run_table1
+from repro.experiments.report import print_header, print_row, shape_checks
+
+# (our stat key, paper row label, paper round-1 value)
+ROWS = (
+    ("messages_sent", "Messages sent", 341),
+    ("cells_requested", "Cells requested", 4174),
+    ("replies_in_round", "Replies received in round", 228),
+    ("replies_after_round", "Replies received after round", 107),
+    ("cells_in_round", "Cells received in round", 2420),
+    ("cells_after_round", "Cells received after round", 1128),
+    ("duplicates", "Received cells duplicates", 0),
+    ("reconstructed", "Cells reconstructed", 615),
+)
+
+
+def test_table1_fetching_rounds(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: run_table1(
+            num_nodes=bench_nodes(), slots=bench_slots(), seed=bench_seed()
+        ),
+    )
+
+    print_header(f"Table 1 — fetching rounds, redundant policy ({bench_nodes()} nodes)")
+    rounds = sorted(table)
+    header = f"{'row':<30}" + "".join(f"  round {r}" for r in rounds)
+    print_row(header + "   (paper round-1 value @1k nodes)")
+    for key, label, paper_value in ROWS:
+        cells = "".join(
+            f"{table[r].get(key, (0.0, 0.0))[0]:>9.0f}" for r in rounds
+        )
+        print_row(f"{label:<30}{cells}   ({paper_value})")
+
+    def mean(r, key):
+        return table.get(r, {}).get(key, (0.0, 0.0))[0]
+
+    shape_checks(
+        [
+            (
+                "requested cells shrink round over round (coverage grows)",
+                mean(1, "cells_requested") > mean(2, "cells_requested") > mean(3, "cells_requested"),
+            ),
+            (
+                "most replies arrive within their round",
+                mean(1, "replies_in_round") >= mean(1, "replies_after_round"),
+            ),
+            (
+                "round-1 requests are on the order of the line deficits",
+                mean(1, "cells_requested") > 0,
+            ),
+            (
+                "reconstruction contributes cells (erasure code at work)",
+                sum(mean(r, "reconstructed") for r in rounds) > 0,
+            ),
+        ]
+    )
+    assert mean(1, "cells_requested") > 0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Self-tuning builder redundancy (the paper's future-work direction).
+
+Section 11 suggests builders could "select or update parameters based
+on observed networking and fault ratio conditions" instead of a fixed
+redundancy. This example closes that loop over consecutive slots:
+
+- the network starts calm, then 35% of nodes crash mid-experiment;
+- after every slot the builder observes the fraction of nodes whose
+  sampling met the 4 s deadline and lets the controller adjust r;
+- redundancy climbs under faults (protecting the deadline at higher
+  egress) and decays once conditions recover.
+
+Run:  python examples/adaptive_builder.py
+"""
+
+from repro.core.adaptive_policy import AdaptiveRedundancyController
+from repro.experiments import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+def run_one_slot(r: int, dead_fraction: float, seed: int) -> float:
+    """One slot at redundancy ``r``; returns deadline completion."""
+    params = PandasParams(
+        base_rows=8, base_cols=8, custody_rows=2, custody_cols=2, samples=10
+    )
+    config = ScenarioConfig(
+        num_nodes=120,
+        params=params,
+        seed=seed,
+        slots=1,
+        num_vertices=500,
+        dead_fraction=dead_fraction,
+        loss_rate=0.08,
+    )
+    from repro.core.seeding import RedundantSeeding
+
+    config.policy = RedundantSeeding(r)
+    scenario = Scenario(config).run()
+    return scenario.sampling_distribution().fraction_within(4.0)
+
+
+def main() -> None:
+    controller = AdaptiveRedundancyController(r=2, calm_slots_before_decay=2)
+    # slots 0-2 calm, slots 3-6 with 35% dead nodes, then recovery
+    phases = [0.0, 0.0, 0.0, 0.35, 0.35, 0.35, 0.35, 0.0, 0.0, 0.0]
+
+    print("slot  dead%   r   sampled<=4s   controller action")
+    for slot, dead_fraction in enumerate(phases):
+        r_used = controller.r
+        completion = run_one_slot(r_used, dead_fraction, seed=slot)
+        r_next = controller.observe(completion)
+        if r_next > r_used:
+            action = f"escalate -> r={r_next}"
+        elif r_next < r_used:
+            action = f"trim -> r={r_next}"
+        else:
+            action = "hold"
+        print(
+            f"{slot:>4} {dead_fraction:>6.0%} {r_used:>3} {100 * completion:>12.1f}%   {action}"
+        )
+
+    print()
+    print("The fixed-parameter paper protocol uses r=8 always; the controller")
+    print("reaches comparable protection under faults while spending less")
+    print("builder egress in calm slots. Note the oscillation when it trims")
+    print("during a fault phase: the naive decay probes the floor and pays a")
+    print("bad slot to learn it — the price of feedback without forecasting,")
+    print("and exactly the design space the paper's conclusion points at.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""PANDAS vs the GossipSub and Kademlia-DHT baselines (Figure 12).
+
+All three systems get the same builder egress budget (8x the extended
+blob) and the same sampling obligation (every node fetches random
+cells). What differs is the dissemination/lookup machinery:
+
+- PANDAS: direct one-hop UDP seeding + adaptive fetching;
+- GossipSub: per-unit-of-custody channels, mesh flooding;
+- DHT: parcels stored at the 8 closest peers, iterative get() lookups.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro.analysis import summarize
+from repro.baselines import DhtDasScenario, GossipDasScenario
+from repro.core.seeding import RedundantSeeding
+from repro.experiments import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+def main() -> None:
+    params = PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+    )
+    config = ScenarioConfig(
+        num_nodes=60,
+        params=params,
+        policy=RedundantSeeding(8),
+        seed=4,
+        slots=1,
+        num_vertices=500,
+        slot_window=12.0,
+    )
+
+    systems = (
+        ("PANDAS", Scenario),
+        ("GossipSub", GossipDasScenario),
+        ("DHT", DhtDasScenario),
+    )
+
+    print("Running one slot per system on identical 60-node networks...\n")
+    results = []
+    for name, scenario_class in systems:
+        started = time.time()
+        scenario = scenario_class(config).run()
+        sampling = scenario.sampling_distribution()
+        messages = scenario.fetch_message_distribution()
+        results.append((name, sampling, messages))
+        print(f"  {name:<10} {summarize(sampling, 4.0)}   (wall {time.time() - started:.1f}s)")
+
+    print()
+    print(f"  {'system':<10} {'median':>9} {'within 4s':>10} {'msgs/node':>10}")
+    for name, sampling, messages in results:
+        median = f"{sampling.median * 1e3:.0f}ms" if sampling.values else "miss"
+        msgs = f"{messages.median:.0f}" if messages.values else "-"
+        print(f"  {name:<10} {median:>9} {100 * sampling.fraction_within(4.0):>9.1f}% {msgs:>10}")
+
+    print()
+    print("Expected shape (paper, 1,000 nodes): PANDAS completes fastest and")
+    print("within the deadline everywhere; GossipSub and the DHT miss the 4 s")
+    print("deadline for a substantial fraction of nodes and send more messages")
+    print("(multi-hop routing for the DHT, mesh duplication for GossipSub).")
+
+
+if __name__ == "__main__":
+    main()

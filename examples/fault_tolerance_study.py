@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Robustness study: dead nodes and inconsistent views (Figure 15).
+
+Sweeps the fraction of faulty participants and reports how many of the
+remaining correct nodes still finish sampling inside the 4-second
+window:
+
+- **dead nodes** — fail-silent crashes / free-riders that answer
+  nothing; the builder doesn't know and wastes seed cells and boost
+  entries on them;
+- **out-of-view nodes** — everyone is honest, but each node's view is
+  a random subset of the network (stale ENR crawls), so requests can
+  only target the peers a node happens to know.
+
+Run:  python examples/fault_tolerance_study.py
+"""
+
+from repro.core.seeding import RedundantSeeding
+from repro.experiments import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+def sweep(fault: str, fractions, num_nodes=80):
+    params = PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+    )
+    rows = []
+    for fraction in fractions:
+        config = ScenarioConfig(
+            num_nodes=num_nodes,
+            params=params,
+            policy=RedundantSeeding(8),
+            seed=9,
+            slots=1,
+            num_vertices=500,
+            dead_fraction=fraction if fault == "dead" else 0.0,
+            out_of_view_fraction=fraction if fault == "oov" else 0.0,
+        )
+        scenario = Scenario(config).run()
+        sampling = scenario.sampling_distribution()
+        rows.append((fraction, sampling.fraction_within(4.0), sampling.median))
+    return rows
+
+
+def print_table(title, rows):
+    print(f"\n{title}")
+    print(f"  {'faulty':>8} {'sampled<=4s':>12} {'median':>10}")
+    for fraction, within, median in rows:
+        median_text = f"{median * 1e3:7.0f}ms" if median == median else "    miss"
+        print(f"  {fraction:>7.0%} {100 * within:>11.1f}% {median_text:>10}")
+
+
+def main() -> None:
+    fractions = (0.0, 0.2, 0.4, 0.6, 0.8)
+    print("Sweeping fault fractions over an 80-node network")
+    print("(the paper's Figure 15 runs the same sweep at 10,000 nodes)")
+
+    dead = sweep("dead", fractions)
+    print_table("Dead / free-riding nodes (correct nodes only):", dead)
+
+    oov = sweep("oov", fractions)
+    print_table("Out-of-view nodes (inconsistent views):", oov)
+
+    print()
+    print("Expected shape (paper, 10k nodes): graceful degradation, a knee")
+    print("near 50% faults, and a majority still sampling on time at 20-40%.")
+
+
+if __name__ == "__main__":
+    main()

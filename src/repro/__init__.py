@@ -1,0 +1,27 @@
+"""PANDAS reproduction: peer-to-peer data availability sampling within
+Ethereum consensus timebounds (Middleware 2025).
+
+Public API tour:
+
+- :mod:`repro.params` — Danksharding/PANDAS parameter presets;
+- :mod:`repro.core` — the protocol: assignment, seeding policies,
+  adaptive fetching, node and builder processes;
+- :mod:`repro.experiments` — scenario drivers and per-figure runners;
+- :mod:`repro.baselines` — GossipSub and Kademlia DAS baselines;
+- :mod:`repro.das` — sampling security math;
+- :mod:`repro.erasure`, :mod:`repro.crypto`, :mod:`repro.net`,
+  :mod:`repro.gossip`, :mod:`repro.dht`, :mod:`repro.consensus`,
+  :mod:`repro.sim` — the substrates everything runs on.
+"""
+
+from repro.params import DEADLINE_SECONDS, SLOT_SECONDS, FetchSchedule, PandasParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEADLINE_SECONDS",
+    "SLOT_SECONDS",
+    "FetchSchedule",
+    "PandasParams",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Distribution helpers and terminal rendering for experiment reports."""
+
+from repro.analysis.plotting import ascii_bars, ascii_cdf
+from repro.analysis.stats import Distribution, percentile, summarize
+
+__all__ = ["ascii_bars", "ascii_cdf", "Distribution", "percentile", "summarize"]

@@ -1,0 +1,111 @@
+"""Terminal rendering of distributions (the paper's CDF figures).
+
+The evaluation figures are CDFs of per-node completion times; the
+benchmark harness renders the same curves as ASCII so the shape —
+steps, tails, crossovers between series — is visible directly in
+``bench_output.txt`` without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import Distribution
+
+__all__ = ["ascii_cdf", "ascii_bars"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_cdf(
+    series: Dict[str, Distribution],
+    width: int = 64,
+    height: int = 16,
+    x_max: Optional[float] = None,
+    deadline: Optional[float] = None,
+    x_label: str = "seconds",
+) -> str:
+    """Render one or more CDFs on a shared text canvas.
+
+    The y-axis is the fraction of the *population* (misses keep a
+    curve below 1.0 — exactly how the paper plots deadline failures).
+    An optional vertical line marks the deadline.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+
+    populated = {name: dist for name, dist in series.items() if dist.count > 0}
+    if not populated:
+        return "(all series empty)"
+    if x_max is None:
+        finite_maxima = [
+            dist.values[-1] for dist in populated.values() if dist.values
+        ]
+        x_max = max(finite_maxima) if finite_maxima else 1.0
+        if deadline is not None:
+            x_max = max(x_max, deadline * 1.05)
+    if x_max <= 0:
+        x_max = 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    # deadline marker
+    if deadline is not None and deadline <= x_max:
+        col = min(width - 1, int(deadline / x_max * (width - 1)))
+        for row in range(height):
+            canvas[row][col] = "|"
+
+    for index, (name, dist) in enumerate(populated.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        if not dist.values:
+            continue
+        for col in range(width):
+            # evaluate at the column's right edge so the final column
+            # reaches x_max and completed series touch 1.0
+            x = (col + 1) / width * x_max
+            fraction = dist.fraction_within(x)
+            if fraction <= 0:
+                continue
+            row = height - 1 - min(height - 1, int(fraction * (height - 1) + 1e-9))
+            canvas[row][col] = marker
+
+    lines: List[str] = []
+    for row in range(height):
+        fraction = 1.0 - row / (height - 1)
+        prefix = f"{fraction:4.2f} " if row % 3 == 0 or row == height - 1 else "     "
+        lines.append(prefix + "".join(canvas[row]))
+    axis = "     " + "-" * width
+    ticks = (
+        f"     0{'':{width - 12}}{x_max:.2f} {x_label}"
+        if width > 20
+        else f"     0..{x_max:.2f}"
+    )
+    legend = "     " + "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(populated)
+    )
+    if deadline is not None:
+        legend += f"   | deadline {deadline:g}s"
+    return "\n".join(lines + [axis, ticks, legend])
+
+
+def ascii_bars(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart for scalar comparisons (egress, messages)."""
+    if not rows:
+        raise ValueError("nothing to plot")
+    peak = max(value for _name, value in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name, _ in rows)
+    lines = []
+    for name, value in rows:
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{name:<{label_width}} {bar} {value:g}{unit}")
+    return "\n".join(lines)

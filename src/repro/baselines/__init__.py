@@ -1,0 +1,14 @@
+"""DAS baselines: GossipSub channels and Kademlia DHT put/get."""
+
+from repro.baselines.dht_das import DhtDasScenario, PARCEL_CELLS, parcel_key, parcel_of_cell
+from repro.baselines.gossipsub_das import GossipDasNode, GossipDasScenario, UnitAssignment
+
+__all__ = [
+    "DhtDasScenario",
+    "PARCEL_CELLS",
+    "parcel_key",
+    "parcel_of_cell",
+    "GossipDasNode",
+    "GossipDasScenario",
+    "UnitAssignment",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the experiment layer a shell entry point, mirroring how the
+original system's reproducibility material drives its simulator:
+
+- ``slot``       run PANDAS slots and print phase distributions;
+- ``figure``     regenerate one of the paper's figures/tables;
+- ``baselines``  the three-system comparison at one scale;
+- ``faults``     dead-node / out-of-view sweeps;
+- ``security``   the Section 3 sampling math for a given grid.
+
+Examples::
+
+    python -m repro slot --nodes 350 --policy redundant --slots 2
+    python -m repro figure fig9 --nodes 300
+    python -m repro faults --fault dead --nodes 300
+    python -m repro security --grid 512 --target 1e-9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.plotting import ascii_cdf
+from repro.analysis.stats import summarize
+from repro.core.seeding import policy_by_name
+from repro.params import PandasParams
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PANDAS reproduction: run slots, figures and sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    slot = sub.add_parser("slot", help="run PANDAS slots and print phase stats")
+    _common_scale_args(slot)
+    slot.add_argument("--policy", default="redundant", help="minimal|single|redundant")
+    slot.add_argument("--redundancy", type=int, default=8, help="r for the redundant policy")
+    slot.add_argument("--slots", type=int, default=1)
+    slot.add_argument("--dead", type=float, default=0.0, help="fraction of dead nodes")
+    slot.add_argument("--out-of-view", type=float, default=0.0, help="fraction out of view")
+    slot.add_argument("--block-gossip", action="store_true", help="also gossip the block")
+    slot.add_argument("--plot", action="store_true", help="render the sampling CDF")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument(
+        "which",
+        choices=["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1"],
+    )
+    _common_scale_args(figure)
+    figure.add_argument("--scales", default="250,350,500", help="node counts for fig13/14")
+
+    baselines = sub.add_parser("baselines", help="PANDAS vs GossipSub vs DHT")
+    _common_scale_args(baselines)
+
+    faults = sub.add_parser("faults", help="fault sweeps (Figure 15)")
+    _common_scale_args(faults)
+    faults.add_argument("--fault", choices=["dead", "out_of_view"], default="dead")
+    faults.add_argument("--fractions", default="0,0.2,0.4,0.6,0.8")
+
+    security = sub.add_parser("security", help="Section 3 sampling math")
+    security.add_argument("--grid", type=int, default=512, help="extended grid dimension")
+    security.add_argument("--samples", type=int, default=None)
+    security.add_argument("--target", type=float, default=1e-9)
+    return parser
+
+
+def _common_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=350)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--reduced", type=int, default=0,
+        help="grid reduction factor (0 = full Danksharding parameters)",
+    )
+
+
+def _params(args) -> PandasParams:
+    if getattr(args, "reduced", 0):
+        return PandasParams.reduced(args.reduced)
+    return PandasParams.full()
+
+
+def _cmd_slot(args) -> int:
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+
+    config = ScenarioConfig(
+        num_nodes=args.nodes,
+        params=_params(args),
+        policy=policy_by_name(args.policy, args.redundancy),
+        seed=args.seed,
+        slots=args.slots,
+        dead_fraction=args.dead,
+        out_of_view_fraction=args.out_of_view,
+        include_block_gossip=args.block_gossip,
+    )
+    print(f"running {args.slots} slot(s) over {args.nodes} nodes ({config.policy.name})")
+    scenario = Scenario(config).run()
+    phases = scenario.phase_distributions()
+    print(f"  seeding        {summarize(phases.seeding, 4.0)}")
+    print(f"  consolidation  {summarize(phases.consolidation, 4.0)}")
+    print(f"  sampling       {summarize(phases.sampling, 4.0)}")
+    print(f"  builder egress {scenario.builder_egress_bytes(0) / 1e6:.1f} MB")
+    fetch = scenario.fetch_bytes_distribution()
+    if fetch.values:
+        print(f"  fetch traffic  median {fetch.median / 1e6:.2f} MB, max {fetch.max / 1e6:.2f} MB")
+    if args.plot:
+        print(ascii_cdf({"sampling": phases.sampling}, deadline=4.0))
+    return 0 if phases.sampling.fraction_within(4.0) > 0 else 1
+
+
+def _cmd_figure(args) -> int:
+    # benchmark modules contain the printing logic; reuse the figure
+    # runners directly and keep the CLI output compact
+    from repro.experiments import figures
+
+    params = _params(args)
+    if args.which == "fig9" or args.which == "fig10":
+        results = figures.run_policy_comparison(num_nodes=args.nodes, seed=args.seed, params=params)
+        for name in ("minimal", "single", "redundant"):
+            print(f"{name:<10} sampling {summarize(results[name].sampling, 4.0)}")
+            print(f"{'':<10} egress {results[name].builder_egress_bytes / 1e6:.1f} MB, "
+                  f"fetch max {results[name].fetch_bytes.max / 1e6:.2f} MB")
+    elif args.which == "table1":
+        table = figures.run_table1(num_nodes=args.nodes, seed=args.seed, params=params)
+        for rnd in sorted(table):
+            stats = {k: round(v[0], 1) for k, v in sorted(table[rnd].items())}
+            print(f"round {rnd}: {stats}")
+    elif args.which == "fig11":
+        results = figures.run_adaptive_vs_constant(num_nodes=args.nodes, seed=args.seed, params=params)
+        for name, result in results.items():
+            print(f"{name:<10} {summarize(result.sampling, 4.0)}")
+    elif args.which == "fig12":
+        results = figures.run_baseline_comparison(num_nodes=args.nodes, seed=args.seed, params=params)
+        for name, result in results.items():
+            print(f"{name:<10} {summarize(result.sampling, 4.0)}")
+    elif args.which in ("fig13", "fig14"):
+        scales = [int(s) for s in args.scales.split(",")]
+        systems = ["pandas"] if args.which == "fig13" else ["pandas", "gossipsub", "dht"]
+        for system in systems:
+            results = figures.run_scaling(
+                node_counts=scales, seed=args.seed, system=system, params=params
+            )
+            for count, result in results.items():
+                print(f"{system:<10} {count:>6} nodes  {summarize(result.sampling, 4.0)}")
+    elif args.which == "fig15":
+        for fault in ("dead", "out_of_view"):
+            results = figures.run_fault_sweep(
+                fault=fault, num_nodes=args.nodes, seed=args.seed, params=params
+            )
+            for fraction, result in results.items():
+                print(f"{fault:<12} {fraction:>4.0%}  {summarize(result.sampling, 4.0)}")
+    return 0
+
+
+def _cmd_baselines(args) -> int:
+    from repro.experiments import figures
+
+    results = figures.run_baseline_comparison(
+        num_nodes=args.nodes, seed=args.seed, params=_params(args)
+    )
+    for name, result in results.items():
+        print(f"{name:<10} {summarize(result.sampling, 4.0)}")
+    print(ascii_cdf({n: r.sampling for n, r in results.items()}, deadline=4.0))
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.experiments import figures
+
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    results = figures.run_fault_sweep(
+        fractions=fractions,
+        fault=args.fault,
+        num_nodes=args.nodes,
+        seed=args.seed,
+        params=_params(args),
+    )
+    for fraction, result in results.items():
+        print(f"{args.fault:<12} {fraction:>4.0%}  {summarize(result.sampling, 4.0)}")
+    return 0
+
+
+def _cmd_security(args) -> int:
+    from repro.das.security import false_positive_probability, required_samples
+
+    grid = args.grid
+    needed = required_samples(grid, grid, args.target)
+    print(f"grid {grid}x{grid}: {needed} samples reach FP < {args.target:g}")
+    samples = args.samples if args.samples is not None else needed
+    fp = false_positive_probability(samples, grid, grid)
+    print(f"FP bound at s={samples}: {fp:.3e}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "slot": _cmd_slot,
+        "figure": _cmd_figure,
+        "baselines": _cmd_baselines,
+        "faults": _cmd_faults,
+        "security": _cmd_security,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Ethereum consensus substrate: clock, sortition, chain, fork-choice."""
+
+from repro.consensus.chain import (
+    DEFAULT_BLOCK_BYTES,
+    AggregateDecision,
+    Attestation,
+    BlobTransaction,
+    Block,
+)
+from repro.consensus.clock import SlotClock, SlotPhase
+from repro.consensus.forkchoice import AttestationOutcome, ForkChoiceRule, ForkChoiceSimulator
+from repro.consensus.validators import SlotCommittee, ValidatorRegistry
+
+__all__ = [
+    "DEFAULT_BLOCK_BYTES",
+    "AggregateDecision",
+    "Attestation",
+    "BlobTransaction",
+    "Block",
+    "SlotClock",
+    "SlotPhase",
+    "AttestationOutcome",
+    "ForkChoiceRule",
+    "ForkChoiceSimulator",
+    "SlotCommittee",
+    "ValidatorRegistry",
+]

@@ -1,0 +1,92 @@
+"""Blocks, blob-carrying transactions and attestations (Sections 2-3).
+
+Minimal but structurally faithful chain objects: a block carries
+regular transactions plus blob-carrying transactions whose KZG
+commitments bind the extended blob the builder seeds through PANDAS.
+Sizes are modelled for gossip accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.keys import Signature
+from repro.crypto.kzg import KzgCommitment
+
+__all__ = ["BlobTransaction", "Block", "Attestation", "AggregateDecision", "DEFAULT_BLOCK_BYTES"]
+
+# typical mainnet block (transactions + header) for gossip sizing
+DEFAULT_BLOCK_BYTES = 120_000
+
+
+@dataclass(frozen=True)
+class BlobTransaction:
+    """A blob-carrying transaction: references blob data by commitment."""
+
+    sender: int
+    commitment: KzgCommitment
+    blob_bytes: int
+
+    @property
+    def size(self) -> int:
+        return 200 + self.commitment.size
+
+
+@dataclass(frozen=True)
+class Block:
+    """One layer-1 block as gossiped to all nodes."""
+
+    slot: int
+    proposer: int
+    builder_id: int
+    parent_root: bytes
+    blob_transactions: Tuple[BlobTransaction, ...] = ()
+    body_bytes: int = DEFAULT_BLOCK_BYTES
+    proposer_signature: Optional[Signature] = None
+
+    @property
+    def size(self) -> int:
+        return self.body_bytes + sum(tx.size for tx in self.blob_transactions)
+
+
+@dataclass(frozen=True)
+class Attestation:
+    """A committee member's vote on (block validity AND data availability).
+
+    Under the tight fork-choice rule a block whose blob data could not
+    be sampled by the deadline is attested *invalid* even if its
+    transactions verify — that is the crux of PANDAS's integration.
+    """
+
+    slot: int
+    validator: int
+    block_valid: bool
+    data_available: bool
+
+    @property
+    def vote(self) -> bool:
+        return self.block_valid and self.data_available
+
+    @property
+    def size(self) -> int:
+        return 150
+
+
+@dataclass(frozen=True)
+class AggregateDecision:
+    """The aggregated committee outcome for a slot."""
+
+    slot: int
+    votes_for: int
+    votes_against: int
+    missing: int
+
+    @property
+    def accepted(self) -> bool:
+        total = self.votes_for + self.votes_against + self.missing
+        return total > 0 and self.votes_for * 3 >= total * 2  # 2/3 supermajority
+
+    @property
+    def size(self) -> int:
+        return 300

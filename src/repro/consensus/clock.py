@@ -1,0 +1,58 @@
+"""Slot/epoch timekeeping (Section 2).
+
+Ethereum divides time into 12-second slots and 32-slot epochs; each
+slot splits into three 4-second phases: block broadcast + committee
+verification, attestation propagation, and aggregation. The clock
+converts between simulated seconds and (epoch, slot, phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlotClock", "SlotPhase"]
+
+
+class SlotPhase:
+    """The three 4-second thirds of a slot."""
+
+    BLOCK = 0  # proposal, verification, DAS — must finish by +4 s
+    ATTESTATION = 1  # attestations propagate
+    AGGREGATION = 2  # aggregators publish decisions
+
+
+@dataclass(frozen=True)
+class SlotClock:
+    """Maps simulated time to slots, epochs and intra-slot phases."""
+
+    slot_duration: float = 12.0
+    slots_per_epoch: int = 32
+    genesis_time: float = 0.0
+
+    def slot_at(self, time: float) -> int:
+        if time < self.genesis_time:
+            raise ValueError(f"time {time} precedes genesis {self.genesis_time}")
+        return int((time - self.genesis_time) // self.slot_duration)
+
+    def epoch_of_slot(self, slot: int) -> int:
+        return slot // self.slots_per_epoch
+
+    def slot_start(self, slot: int) -> float:
+        return self.genesis_time + slot * self.slot_duration
+
+    def attestation_deadline(self, slot: int) -> float:
+        """The 4-second mark: committee members must decide by here."""
+        return self.slot_start(slot) + self.slot_duration / 3.0
+
+    def phase_at(self, time: float) -> int:
+        slot = self.slot_at(time)
+        offset = time - self.slot_start(slot)
+        third = self.slot_duration / 3.0
+        if offset < third:
+            return SlotPhase.BLOCK
+        if offset < 2 * third:
+            return SlotPhase.ATTESTATION
+        return SlotPhase.AGGREGATION
+
+    def epoch_at(self, time: float) -> int:
+        return self.epoch_of_slot(self.slot_at(time))

@@ -1,0 +1,115 @@
+"""Fork-choice integration of DAS (Sections 1, 4.2 and [16]).
+
+Two rules are modelled:
+
+- **tight** (PANDAS's target): a committee member attests at the
+  4-second mark, voting valid only if the block verified AND its 73
+  samples all arrived. No consensus change is needed; blocks with
+  unavailable data are simply voted down.
+- **trailing**: the member attests on block validity alone at +4 s and
+  availability is verified later; if sampling subsequently fails, the
+  block must be *reverted* — the consensus-modifying behaviour (and
+  ex-ante reorg attack surface) PANDAS exists to avoid.
+
+``ForkChoiceSimulator`` turns per-node phase-completion times from a
+scenario run into per-slot attestation outcomes for either rule, which
+is how the examples demonstrate the end-to-end claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.consensus.chain import AggregateDecision, Attestation
+
+__all__ = ["ForkChoiceRule", "AttestationOutcome", "ForkChoiceSimulator"]
+
+
+class ForkChoiceRule:
+    TIGHT = "tight"
+    TRAILING = "trailing"
+
+
+@dataclass(frozen=True)
+class AttestationOutcome:
+    """What one committee member's node decided for a slot."""
+
+    slot: int
+    node: int
+    rule: str
+    block_time: Optional[float]
+    sampling_time: Optional[float]
+    deadline: float
+
+    @property
+    def block_on_time(self) -> bool:
+        return self.block_time is not None and self.block_time <= self.deadline
+
+    @property
+    def sampled_on_time(self) -> bool:
+        return self.sampling_time is not None and self.sampling_time <= self.deadline
+
+    @property
+    def attests_valid(self) -> bool:
+        """The vote cast at the deadline."""
+        if self.rule == ForkChoiceRule.TIGHT:
+            return self.block_on_time and self.sampled_on_time
+        return self.block_on_time  # trailing: availability deferred
+
+    @property
+    def later_reverted(self) -> bool:
+        """Trailing rule only: attested valid but data never sampled."""
+        return (
+            self.rule == ForkChoiceRule.TRAILING
+            and self.attests_valid
+            and self.sampling_time is None
+        )
+
+
+class ForkChoiceSimulator:
+    """Aggregates committee decisions from measured phase times."""
+
+    def __init__(self, rule: str = ForkChoiceRule.TIGHT, deadline: float = 4.0) -> None:
+        if rule not in (ForkChoiceRule.TIGHT, ForkChoiceRule.TRAILING):
+            raise ValueError(f"unknown fork-choice rule {rule!r}")
+        self.rule = rule
+        self.deadline = deadline
+
+    def outcome_for(
+        self,
+        slot: int,
+        node: int,
+        block_time: Optional[float],
+        sampling_time: Optional[float],
+    ) -> AttestationOutcome:
+        return AttestationOutcome(
+            slot=slot,
+            node=node,
+            rule=self.rule,
+            block_time=block_time,
+            sampling_time=sampling_time,
+            deadline=self.deadline,
+        )
+
+    def attestation(self, outcome: AttestationOutcome, validator: int) -> Attestation:
+        return Attestation(
+            slot=outcome.slot,
+            validator=validator,
+            block_valid=outcome.block_on_time,
+            data_available=outcome.sampled_on_time,
+        )
+
+    def aggregate(self, outcomes: List[AttestationOutcome]) -> AggregateDecision:
+        """The committee's 2/3-supermajority decision for one slot."""
+        if not outcomes:
+            raise ValueError("cannot aggregate an empty committee")
+        slot = outcomes[0].slot
+        votes_for = sum(1 for o in outcomes if o.attests_valid)
+        votes_against = sum(
+            1 for o in outcomes if not o.attests_valid and o.block_time is not None
+        )
+        missing = len(outcomes) - votes_for - votes_against
+        return AggregateDecision(
+            slot=slot, votes_for=votes_for, votes_against=votes_against, missing=missing
+        )

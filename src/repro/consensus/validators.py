@@ -1,0 +1,93 @@
+"""Validator registry and pseudo-random sortition (Section 2).
+
+Validators stake 32 ETH and are selected per slot — one proposer plus
+an attestation committee — by a globally verifiable sortition seeded
+by the RANDAO epoch seed. Nodes may host zero or more validators, and
+the node<->validator association must remain private (Section 4.1):
+the registry exposes sortition over *validator* indices, and only the
+hosting map (held by the experiment driver, never gossiped) can
+resolve a validator to its node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.randao import RandaoBeacon
+from repro.sim.rng import derive_seed
+
+__all__ = ["ValidatorRegistry", "SlotCommittee"]
+
+
+@dataclass(frozen=True)
+class SlotCommittee:
+    """The validators drawn for one slot."""
+
+    slot: int
+    proposer: int
+    members: tuple
+
+
+class ValidatorRegistry:
+    """Validator indices, their hosting nodes, and per-slot sortition."""
+
+    def __init__(
+        self,
+        beacon: RandaoBeacon,
+        slots_per_epoch: int = 32,
+        committee_size: int = 64,
+    ) -> None:
+        self.beacon = beacon
+        self.slots_per_epoch = slots_per_epoch
+        self.committee_size = committee_size
+        self._host_of: Dict[int, int] = {}  # validator index -> node id
+        self._validators: List[int] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, validator_index: int, host_node: int) -> None:
+        if validator_index in self._host_of:
+            raise ValueError(f"validator {validator_index} already registered")
+        self._host_of[validator_index] = host_node
+        self._validators.append(validator_index)
+
+    def register_many(self, count: int, host_nodes: Sequence[int], rng: random.Random) -> None:
+        """Spread ``count`` validators over hosts, at most revealing the
+        mapping to the caller (the experiment driver)."""
+        start = len(self._validators)
+        for i in range(count):
+            self.register(start + i, rng.choice(list(host_nodes)))
+
+    @property
+    def validator_count(self) -> int:
+        return len(self._validators)
+
+    def host_of(self, validator_index: int) -> int:
+        """Experiment-driver-only lookup (never exposed to peers)."""
+        return self._host_of[validator_index]
+
+    # ------------------------------------------------------------------
+    # sortition
+    # ------------------------------------------------------------------
+    def committee_for_slot(self, slot: int) -> SlotCommittee:
+        """Deterministic proposer + committee draw for a slot.
+
+        Seeded from the epoch seed, so any participant computes the
+        same result (the seed is public one epoch in advance).
+        """
+        if not self._validators:
+            raise ValueError("no validators registered")
+        epoch = slot // self.slots_per_epoch
+        seed = derive_seed(self.beacon.epoch_seed(epoch), "committee", slot)
+        rng = random.Random(seed)
+        proposer = rng.choice(self._validators)
+        size = min(self.committee_size, len(self._validators))
+        members = tuple(rng.sample(self._validators, size))
+        return SlotCommittee(slot=slot, proposer=proposer, members=members)
+
+    def proposer_node(self, slot: int) -> int:
+        """The node hosting the slot's proposer (driver-side helper)."""
+        return self.host_of(self.committee_for_slot(slot).proposer)

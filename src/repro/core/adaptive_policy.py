@@ -1,0 +1,64 @@
+"""Feedback-adaptive builder seeding (the paper's future-work note).
+
+Section 11: "the design could support automatic adaptation mechanisms
+that select or update parameters based on, for example, observed
+networking and fault ratio conditions." This module implements that
+loop for the builder's redundancy parameter ``r``:
+
+- after each slot the builder observes the fraction of nodes that
+  completed sampling by the deadline (in practice it would read
+  attestations; the experiment layer feeds it the measured value);
+- if completion dips below a low-water mark, ``r`` doubles (bounded);
+  if it stays above a high-water mark for several slots, ``r`` decays
+  by one, trimming egress.
+
+This preserves the 4-second guarantee under deteriorating conditions
+while not paying 8x egress in calm ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.seeding import RedundantSeeding, SeedingPolicy
+
+__all__ = ["AdaptiveRedundancyController"]
+
+
+@dataclass
+class AdaptiveRedundancyController:
+    """Chooses the builder's redundancy ``r`` from observed outcomes."""
+
+    r: int = 4
+    min_r: int = 1
+    max_r: int = 16
+    low_water: float = 0.97
+    high_water: float = 0.995
+    calm_slots_before_decay: int = 3
+    _calm_streak: int = 0
+    history: List[tuple] = field(default_factory=list)
+
+    def policy(self) -> SeedingPolicy:
+        """The seeding policy to use for the next slot."""
+        return RedundantSeeding(self.r)
+
+    def observe(self, completion_fraction: float) -> int:
+        """Feed back one slot's deadline-completion fraction.
+
+        Returns the redundancy chosen for the next slot.
+        """
+        if not 0.0 <= completion_fraction <= 1.0:
+            raise ValueError("completion fraction must be in [0, 1]")
+        self.history.append((self.r, completion_fraction))
+        if completion_fraction < self.low_water:
+            self.r = min(self.max_r, self.r * 2)
+            self._calm_streak = 0
+        elif completion_fraction >= self.high_water:
+            self._calm_streak += 1
+            if self._calm_streak >= self.calm_slots_before_decay and self.r > self.min_r:
+                self.r -= 1
+                self._calm_streak = 0
+        else:
+            self._calm_streak = 0
+        return self.r

@@ -1,0 +1,48 @@
+"""Shared per-run protocol context.
+
+Bundles the simulation engine, network, parameters, assignment
+function, metrics sink and RNG registry that every PANDAS participant
+needs, plus slot bookkeeping (start times, epoch mapping) maintained
+by the experiment driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.core.assignment import AssignmentIndex, CellAssignment
+from repro.net.transport import Network
+from repro.params import PandasParams
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ProtocolContext"]
+
+
+@dataclass
+class ProtocolContext:
+    """Everything shared by nodes and builders in one run."""
+
+    sim: Simulator
+    network: Network
+    params: PandasParams
+    assignment: CellAssignment
+    metrics: MetricsRecorder
+    rngs: RngRegistry
+    index_for_epoch: Callable[[int], AssignmentIndex]
+    slot_starts: Dict[int, float] = field(default_factory=dict)
+
+    def epoch_of(self, slot: int) -> int:
+        return slot // self.params.slots_per_epoch
+
+    def begin_slot(self, slot: int) -> None:
+        """Record the slot's start time (call at proposer selection)."""
+        self.slot_starts.setdefault(slot, self.sim.now)
+
+    def slot_start(self, slot: int) -> float:
+        return self.slot_starts.get(slot, 0.0)
+
+    def since_slot_start(self, slot: int) -> float:
+        return self.sim.now - self.slot_start(slot)

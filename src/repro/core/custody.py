@@ -1,0 +1,167 @@
+"""Per-slot cell state at a node: custody lines, samples, reconstruction.
+
+Tracks which cells of the node's assigned rows/columns (and of its 73
+random samples) are currently held, and applies Reed-Solomon
+reconstruction at the line level: as soon as a custody line holds at
+least half of its cells, the remaining half is recovered locally
+(Algorithm 1, lines 25-27). The simulation tracks cell *identity*,
+not bytes — the byte-level codec in :mod:`repro.erasure.blob` is
+validated separately, so here reconstruction is a bitmask fill.
+
+Consolidation is *deficit-driven*: a line needs only ``len/2 - held``
+more cells to be reconstructable, so that is what the fetcher requests
+(fetching all 512 cells of every line would cost ~4.5 MB per node per
+slot instead of the ~1-2 MB the paper reports in Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+from repro.core.assignment import Custody, cells_of_line, lines_of_cell
+from repro.params import PandasParams
+
+__all__ = ["SlotCellState"]
+
+
+class SlotCellState:
+    """Cells held by one node for one slot."""
+
+    def __init__(
+        self,
+        params: PandasParams,
+        custody: Custody,
+        samples: Iterable[int],
+        on_store: "Callable[[int], None] | None" = None,
+    ) -> None:
+        self.params = params
+        self.custody = custody
+        # invoked once per newly stored cell (received OR reconstructed);
+        # lets the node serve buffered queries in O(1) per cell instead
+        # of rescanning its pending-request list on every arrival
+        self.on_store = on_store
+        self.custody_lines: Tuple[int, ...] = custody.lines(params.ext_rows)
+        self._line_set = set(self.custody_lines)
+        # bitmask per custody line over positions within the line
+        self._masks: Dict[int, int] = {line: 0 for line in self.custody_lines}
+        self._line_len: Dict[int, int] = {
+            line: params.ext_cols if line < params.ext_rows else params.ext_rows
+            for line in self.custody_lines
+        }
+        self.samples: Set[int] = set(samples)
+        self.have: Set[int] = set()
+        self.cells_reconstructed = 0
+        self.duplicates_received = 0
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def _position(self, line: int, cid: int) -> int:
+        """Index of ``cid`` within ``line`` (column for rows, row for cols)."""
+        row, col = divmod(cid, self.params.ext_cols)
+        return col if line < self.params.ext_rows else row
+
+    def _cell_at(self, line: int, position: int) -> int:
+        if line < self.params.ext_rows:
+            return line * self.params.ext_cols + position
+        return position * self.params.ext_cols + (line - self.params.ext_rows)
+
+    def lines_of(self, cid: int) -> Tuple[int, int]:
+        return lines_of_cell(cid, self.params.ext_rows, self.params.ext_cols)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_cells(self, cells: Iterable[int]) -> Tuple[int, int]:
+        """Ingest received cells; returns (new_count, reconstructed_count).
+
+        Applies the reconstruction closure: a custody line reaching
+        half occupancy is completed in full. Completed cells may close
+        further custody lines at their intersections, so the closure
+        loops to fixpoint (cheap: at most 16 lines).
+        """
+        new_count = 0
+        for cid in cells:
+            if cid in self.have:
+                self.duplicates_received += 1
+                continue
+            self._store(cid)
+            new_count += 1
+        reconstructed = self._reconstruct_closure()
+        return new_count, reconstructed
+
+    def _store(self, cid: int) -> None:
+        self.have.add(cid)
+        row_line, col_line = self.lines_of(cid)
+        for line in (row_line, col_line):
+            if line in self._line_set:
+                self._masks[line] |= 1 << self._position(line, cid)
+        if self.on_store is not None:
+            self.on_store(cid)
+
+    def _reconstruct_closure(self) -> int:
+        reconstructed = 0
+        progress = True
+        while progress:
+            progress = False
+            for line in self.custody_lines:
+                length = self._line_len[line]
+                mask = self._masks[line]
+                full = (1 << length) - 1
+                if mask != full and mask.bit_count() >= length // 2:
+                    for cid in cells_of_line(line, self.params.ext_rows, self.params.ext_cols):
+                        if cid not in self.have:
+                            self._store(cid)
+                            reconstructed += 1
+                    progress = True
+        self.cells_reconstructed += reconstructed
+        return reconstructed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_cell(self, cid: int) -> bool:
+        return cid in self.have
+
+    def has_all(self, cells: Iterable[int]) -> bool:
+        return all(cid in self.have for cid in cells)
+
+    def line_count(self, line: int) -> int:
+        return self._masks[line].bit_count()
+
+    def line_complete(self, line: int) -> bool:
+        return self._masks[line].bit_count() == self._line_len[line]
+
+    def line_deficit(self, line: int) -> int:
+        """Cells still needed before the line is reconstructable."""
+        return max(0, self._line_len[line] // 2 - self._masks[line].bit_count())
+
+    def missing_in_line(self, line: int) -> List[int]:
+        """Missing cell ids of a custody line, in position order."""
+        mask = self._masks[line]
+        length = self._line_len[line]
+        return [
+            self._cell_at(line, position)
+            for position in range(length)
+            if not (mask >> position) & 1
+        ]
+
+    @property
+    def consolidation_complete(self) -> bool:
+        """All assigned rows and columns fully held (or reconstructed)."""
+        return all(
+            self._masks[line].bit_count() == self._line_len[line]
+            for line in self.custody_lines
+        )
+
+    @property
+    def sampling_complete(self) -> bool:
+        """All random sample cells held."""
+        return all(cid in self.have for cid in self.samples)
+
+    @property
+    def complete(self) -> bool:
+        return self.consolidation_complete and self.sampling_complete
+
+    def missing_samples(self) -> Set[int]:
+        return {cid for cid in self.samples if cid not in self.have}

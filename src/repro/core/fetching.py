@@ -1,0 +1,416 @@
+"""Adaptive fetching (Section 7, Algorithm 1, Figure 8).
+
+One fetcher per node per slot drives both consolidation and sampling.
+It proceeds in rounds; round ``i`` has timeout ``t_i`` (400, 200, then
+100 ms) and redundancy ``k_i`` (1, 2, 4, 6, 8, then 10):
+
+1. **Targeting** — the round's cell set F holds every missing sample
+   plus, per incomplete custody line, the *deficit*: just enough
+   missing cells to reach the Reed-Solomon reconstruction threshold
+   (half of the line), net of cells the builder declared as already
+   in flight to this node, preferring cells the consolidation-boost
+   map locates at a peer. Fetching whole lines instead would cost
+   ~4.5 MB per node; deficit targeting reproduces both the paper's
+   ~2 MB traffic ceiling (Figure 10) and Table 1's requested-cell
+   profile with zero round-1 duplicates.
+2. **Scoring** — every queryable peer gets the number of its custody
+   cells in F; peers in the boost map get ``cb_boost`` extra per
+   still-missing seeded cell, an overwhelming advantage that steers
+   early queries to peers that already *hold* cells rather than peers
+   that must consolidate first.
+3. **Planning** — peers are scanned in decreasing score order; each is
+   planned a query for its cells of interest still lacking ``k_i``
+   planned requests, until every cell in F reaches redundancy ``k_i``
+   or peers run out.
+4. **Execution** — queries go out as one-way UDP datagrams; the peer
+   set shrinks (a node is queried at most once per slot); the fetcher
+   sleeps ``t_i`` and starts the next round.
+
+Responses can arrive in *any* later round (queried nodes buffer what
+they cannot serve yet and never NACK); per-round telemetry (Table 1)
+distinguishes replies received before and after their round's timeout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.custody import SlotCellState
+from repro.params import FetchSchedule
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["AdaptiveFetcher", "RoundStats", "FetchPlan", "plan_queries", "score_peers"]
+
+
+@dataclass
+class RoundStats:
+    """Telemetry for one fetching round (the columns of Table 1)."""
+
+    index: int
+    started_at: float = 0.0
+    deadline: float = 0.0
+    messages_sent: int = 0
+    cells_requested: int = 0
+    replies_in_round: int = 0
+    replies_after_round: int = 0
+    cells_in_round: int = 0
+    cells_after_round: int = 0
+    duplicates: int = 0
+    reconstructed: int = 0
+    targets: int = 0
+
+
+@dataclass(frozen=True)
+class FetchPlan:
+    """The query plan of one round: (peer, cells) pairs."""
+
+    queries: Tuple[Tuple[int, FrozenSet[int]], ...]
+
+    @property
+    def cells_requested(self) -> int:
+        return sum(len(cells) for _peer, cells in self.queries)
+
+
+def score_peers(
+    targets: Set[int],
+    candidate_cells: Dict[int, Set[int]],
+    boost: Dict[int, Set[int]],
+    cb_boost: float,
+) -> Dict[int, float]:
+    """Algorithm 1 lines 4-9: cells-of-interest count plus boost."""
+    scores: Dict[int, float] = {}
+    for peer, cells in candidate_cells.items():
+        score = float(len(cells))
+        boosted = boost.get(peer)
+        if boosted:
+            score += len(boosted & targets) * cb_boost
+        scores[peer] = score
+    return scores
+
+
+def plan_queries(
+    targets: Set[int],
+    ordered_peers: List[int],
+    candidate_cells: Dict[int, Set[int]],
+    redundancy: int,
+    max_cells_per_query: Optional[int] = None,
+) -> FetchPlan:
+    """Algorithm 1 lines 11-17: greedy plan until every cell has k queries.
+
+    ``max_cells_per_query`` caps each query at roughly one seeding
+    parcel. Without it the top-scored (boosted) peers would be asked
+    for entire line deficits by every co-custodian simultaneously,
+    saturating their uplinks; parcel-sized queries spread the load
+    across all holders — Table 1's ~12 cells per round-1 message.
+    """
+    under: Set[int] = set(targets)
+    planned_count: Dict[int, int] = {}
+    queries: List[Tuple[int, FrozenSet[int]]] = []
+    for peer in ordered_peers:
+        if not under:
+            break
+        interesting = candidate_cells[peer] & under
+        if not interesting:
+            continue
+        if max_cells_per_query is not None and len(interesting) > max_cells_per_query:
+            interesting = set(sorted(interesting)[:max_cells_per_query])
+        queries.append((peer, frozenset(interesting)))
+        for cid in interesting:
+            count = planned_count.get(cid, 0) + 1
+            planned_count[cid] = count
+            if count >= redundancy:
+                under.discard(cid)
+    return FetchPlan(tuple(queries))
+
+
+class AdaptiveFetcher:
+    """Executes Algorithm 1 for one node and one slot.
+
+    Decoupled from the node/transport through callables so the same
+    machinery serves PANDAS nodes, baselines and unit tests:
+
+    - ``line_custodians(line)``: view-filtered custodians of a line;
+    - ``send_query(peer, cells)``: emit one QUERYCELLS datagram;
+    - ``on_round(stats)`` / ``on_done(success)``: telemetry sinks.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        state: SlotCellState,
+        schedule: FetchSchedule,
+        line_custodians: Callable[[int], Iterable[int]],
+        send_query: Callable[[int, FrozenSet[int]], None],
+        rng: random.Random,
+        cb_boost: float,
+        self_id: int,
+        on_round: Optional[Callable[[RoundStats], None]] = None,
+        on_done: Optional[Callable[[bool], None]] = None,
+        fetch_custody: bool = True,
+        is_complete: Optional[Callable[[], bool]] = None,
+        max_cells_per_query: Optional[int] = 16,
+    ) -> None:
+        self.sim = sim
+        self.state = state
+        self.schedule = schedule
+        self.line_custodians = line_custodians
+        self.send_query = send_query
+        self.rng = rng
+        self.cb_boost = cb_boost
+        self.self_id = self_id
+        self.on_round = on_round
+        self.on_done = on_done
+        # baselines disable consolidation: fetch samples only and
+        # consider the slot done once sampling completes
+        self.fetch_custody = fetch_custody
+        self._is_complete = is_complete
+
+        self.boost: Dict[int, Set[int]] = {}
+        self._boost_cells: Set[int] = set()
+        self.inbound: Set[int] = set()
+        self.max_cells_per_query = max_cells_per_query
+        self.queried: Set[int] = set()
+        self.query_round: Dict[int, int] = {}
+        self.rounds: List[RoundStats] = []
+        self.started = False
+        self.finished = False
+        self.succeeded = False
+        self._timer: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # boost map
+    # ------------------------------------------------------------------
+    def add_boost(self, peer: int, cells: Iterable[int]) -> None:
+        """Merge consolidation-boost info arriving with seed parcels."""
+        cells = set(cells)
+        self.boost.setdefault(peer, set()).update(cells)
+        self._boost_cells.update(cells)
+
+    def add_inbound(self, cells: Iterable[int]) -> None:
+        """Cells the builder declared (or delivered) as seeded to us.
+
+        Excluded from fetch targets: re-requesting data already in
+        flight from the builder would only manufacture duplicates
+        (Table 1 reports zero round-1 duplicates).
+        """
+        self.inbound.update(cells)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin round 1 (idempotent)."""
+        if self.started:
+            return
+        self.started = True
+        if self.complete:
+            self._complete()
+            return
+        self._run_round(1)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.finished = True
+
+    # ------------------------------------------------------------------
+    # round targeting (F of Algorithm 1, deficit-driven)
+    # ------------------------------------------------------------------
+    def round_targets(self, round_index: int = 1) -> Set[int]:
+        """Missing samples plus per-line reconstruction deficits.
+
+        Deficits are *net of declared inbound*: cells the builder said
+        it is sending us count toward the reconstruction threshold, so
+        fetching them from peers would only duplicate the seed stream
+        (when the per-node seed share already exceeds half a line, the
+        correct fetch volume is zero). From round 3 on (~600 ms after
+        the burst began) undelivered inbound cells are treated as lost
+        — the 3% UDP loss escape hatch — and become fetchable again.
+
+        Within a line, prefer boost-located cells (retrievable *now*),
+        then other non-inbound cells, then stale inbound.
+        """
+        targets = set(self.state.missing_samples())
+        if not self.fetch_custody:
+            return targets
+        trust_inbound = round_index <= 2
+        inbound = self.inbound
+        for line in self.state.custody_lines:
+            deficit = self.state.line_deficit(line)
+            if deficit <= 0:
+                continue
+            missing = self.state.missing_in_line(line)
+            boosted_out = []
+            plain_out = []
+            inbound_cells = []
+            for cid in missing:
+                if cid in inbound:
+                    inbound_cells.append(cid)
+                elif cid in self._boost_cells:
+                    boosted_out.append(cid)
+                else:
+                    plain_out.append(cid)
+            if trust_inbound:
+                deficit = max(0, deficit - len(inbound_cells))
+                picked = (boosted_out + plain_out)[:deficit]
+            else:
+                picked = (boosted_out + plain_out + inbound_cells)[:deficit]
+            targets.update(picked)
+        return targets
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+    def _run_round(self, index: int) -> None:
+        self._timer = None
+        if self.finished:
+            return
+        if self.complete:
+            self._complete()
+            return
+        if index >= self.schedule.max_rounds:
+            self._give_up()
+            return
+
+        stats = RoundStats(index=index, started_at=self.sim.now)
+        stats.deadline = self.sim.now + self.schedule.timeout(index)
+        self.rounds.append(stats)
+
+        targets = self.round_targets(index)
+        stats.targets = len(targets)
+        candidate_cells = self._candidate_cells(targets)
+        if not candidate_cells:
+            if self.on_round is not None:
+                self.on_round(stats)
+            if index >= 3:
+                # Inbound cells are no longer trusted from round 3, so
+                # the target set is maximal and custodian lists are
+                # static within a slot: no future round can plan
+                # anything. Stop scheduling; buffered replies already
+                # in flight may still complete the state.
+                return
+            # rounds 1-2 may have empty plans only because lost inbound
+            # cells are still trusted; keep ticking so round 3 retries
+            self._timer = self.sim.call_after(
+                self.schedule.timeout(index), lambda: self._run_round(index + 1)
+            )
+            return
+
+        scores = score_peers(targets, candidate_cells, self.boost, self.cb_boost)
+        peers = list(candidate_cells)
+        self.rng.shuffle(peers)  # unbiased tie-break among equal scores
+        peers.sort(key=lambda p: scores[p], reverse=True)
+        plan = plan_queries(
+            targets,
+            peers,
+            candidate_cells,
+            self.schedule.redundancy_for(index),
+            max_cells_per_query=self.max_cells_per_query,
+        )
+        for peer, cells in plan.queries:
+            self.send_query(peer, cells)
+            self.queried.add(peer)
+            self.query_round[peer] = index
+        stats.messages_sent = len(plan.queries)
+        stats.cells_requested = plan.cells_requested
+
+        if self.on_round is not None:
+            self.on_round(stats)
+        self._timer = self.sim.call_after(
+            self.schedule.timeout(index), lambda: self._run_round(index + 1)
+        )
+
+    def _candidate_cells(self, targets: Set[int]) -> Dict[int, Set[int]]:
+        """Queryable peers mapped to the cells to ask them for.
+
+        Peers in the consolidation-boost map are offered only the
+        cells the builder actually seeded to them — those are
+        servable *immediately*; their other custody cells would only
+        arrive after the peer's own consolidation. Unboosted peers
+        are fallback holders for anything on their lines.
+        """
+        missing_by_line: Dict[int, Set[int]] = {}
+        params = self.state.params
+        for cid in targets:
+            row, col = divmod(cid, params.ext_cols)
+            missing_by_line.setdefault(row, set()).add(cid)
+            missing_by_line.setdefault(params.ext_rows + col, set()).add(cid)
+        candidates: Dict[int, Set[int]] = {}
+        for line, cells in missing_by_line.items():
+            for peer in self.line_custodians(line):
+                if peer == self.self_id or peer in self.queried:
+                    continue
+                bucket = candidates.get(peer)
+                if bucket is None:
+                    candidates[peer] = set(cells)
+                else:
+                    bucket.update(cells)
+        for peer, boosted in self.boost.items():
+            if peer in candidates:
+                seeded_targets = boosted & targets
+                if seeded_targets:
+                    candidates[peer] = seeded_targets
+        return candidates
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def on_response(self, peer: int, cells: Tuple[int, ...]) -> Tuple[int, int]:
+        """Account a CellResponse; returns (new_cells, reconstructed).
+
+        Updates the custody state so duplicate accounting and round
+        attribution stay consistent.
+        """
+        new_count, reconstructed = self.state.add_cells(cells)
+        round_index = self.query_round.get(peer)
+        if round_index is not None and round_index <= len(self.rounds):
+            stats = self.rounds[round_index - 1]
+            if self.sim.now <= stats.deadline:
+                stats.replies_in_round += 1
+                stats.cells_in_round += new_count
+            else:
+                stats.replies_after_round += 1
+                stats.cells_after_round += new_count
+            stats.duplicates += len(cells) - new_count
+            stats.reconstructed += reconstructed
+        if self.complete:
+            self._complete()
+        return new_count, reconstructed
+
+    def note_external_cells(self, reconstructed: int) -> None:
+        """Seed arrivals reconstruct lines too; attribute to current round."""
+        if self.rounds and reconstructed:
+            self.rounds[-1].reconstructed += reconstructed
+        if self.started and self.complete:
+            self._complete()
+
+    @property
+    def complete(self) -> bool:
+        """Has the fetcher achieved its goal for this slot?"""
+        if self._is_complete is not None:
+            return self._is_complete()
+        if self.fetch_custody:
+            return self.state.complete
+        return self.state.sampling_complete
+
+    # ------------------------------------------------------------------
+    def _complete(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.succeeded = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.on_done is not None:
+            self.on_done(True)
+
+    def _give_up(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        if self.on_done is not None:
+            self.on_done(False)

@@ -1,0 +1,83 @@
+"""PANDAS wire messages and their size accounting.
+
+All traffic is one-way UDP datagrams (Section 4.3): no connections, no
+keep-alives, no negative acknowledgments. Blob data is public and sent
+unencrypted; seed messages carry the proposer's signature binding the
+builder identity so nodes accept blob data before the block arrives.
+
+Sizes are computed from the protocol parameters so that bandwidth
+results (Figures 10, 13c, 14c and claim C2) reflect the paper's
+numbers: each cell costs 512 + 48 bytes; identifiers and map entries
+cost a few bytes each; every datagram pays a fixed overhead for
+headers plus the signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.params import PandasParams
+
+__all__ = ["SeedMessage", "CellRequest", "CellResponse", "BoostMap"]
+
+CELL_ID_BYTES = 4
+NODE_REF_BYTES = 8
+BOOST_ENTRY_BYTES = NODE_REF_BYTES + 2 * CELL_ID_BYTES  # node + cell range
+
+# A boost map entry: cells seeded to one peer, encoded as a range.
+BoostMap = Dict[int, Tuple[int, ...]]  # peer node id -> seeded cell ids
+
+
+@dataclass(frozen=True)
+class SeedMessage:
+    """One parcel of seed cells for one line, builder -> node.
+
+    ``boost`` carries the consolidation-boost entries for the same
+    line: which cells of this line were seeded to which other peers
+    (Section 6.2, Figure 7).
+    """
+
+    slot: int
+    epoch: int
+    line: int
+    cells: Tuple[int, ...]
+    boost: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    builder_id: int = 0
+    # how many seed datagrams the builder addresses to this node in
+    # this slot; lets the node detect seed completion (consolidation
+    # then starts on real deficits instead of racing in-flight parcels;
+    # the 400 ms timer covers the case where some of them are lost)
+    total_messages: int = 1
+
+    def wire_size(self, params: PandasParams) -> int:
+        # Boost entries are (peer, contiguous-parcel range): 16 B each.
+        return (
+            params.message_overhead_bytes
+            + len(self.cells) * params.cell_bytes
+            + len(self.boost) * BOOST_ENTRY_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """QUERYCELLS: ask a peer for specific cells (consolidation/sampling)."""
+
+    slot: int
+    epoch: int
+    cells: FrozenSet[int]
+
+    def wire_size(self, params: PandasParams) -> int:
+        return params.message_overhead_bytes + len(self.cells) * CELL_ID_BYTES
+
+
+@dataclass(frozen=True)
+class CellResponse:
+    """Reply carrying the requested cells (sent only when all are held)."""
+
+    slot: int
+    epoch: int
+    cells: Tuple[int, ...]
+
+    def wire_size(self, params: PandasParams) -> int:
+        return params.message_overhead_bytes + len(self.cells) * params.cell_bytes

@@ -1,0 +1,290 @@
+"""The PANDAS node process (Sections 6.2-6.3).
+
+A node custodies its assigned rows/columns, consolidates the cells it
+was not directly seeded, samples 73 random cells, and serves incoming
+queries. All behaviour is reactive:
+
+- a **seed parcel** from the builder stores cells, merges the
+  consolidation-boost entries, and starts fetching (consolidation +
+  sampling share one adaptive fetcher);
+- a **cell request** is answered immediately with the requested cells
+  already held; the remainder is buffered and answered in one deferred
+  reply once all of it is available (no NACK; if the cells never
+  arrive, the requester silently times out and retries elsewhere).
+  A request for a slot whose seed has not arrived arms the 400 ms
+  fallback timer, after which fetching starts without seed data;
+- a **cell response** feeds the fetcher and may complete
+  consolidation/sampling, which is recorded in the metrics relative
+  to the slot start.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.context import ProtocolContext
+from repro.core.custody import SlotCellState
+from repro.core.fetching import AdaptiveFetcher
+from repro.core.messages import CellRequest, CellResponse, SeedMessage
+from repro.net.transport import Datagram
+from repro.sim.engine import Event
+
+__all__ = ["PandasNode"]
+
+
+@dataclass
+class _PendingRequest:
+    """A buffered query remainder, answered once fully servable."""
+
+    src: int
+    cells: FrozenSet[int]
+    missing: int
+
+
+@dataclass
+class _SlotState:
+    """Everything a node keeps for one slot."""
+
+    cells: SlotCellState
+    fetcher: AdaptiveFetcher
+    # cell id -> buffered requests still waiting on it; each stored
+    # cell resolves its waiters in O(waiters), never a full rescan
+    waiting_by_cell: Dict[int, List[_PendingRequest]] = field(default_factory=dict)
+    seed_received: bool = False
+    seed_messages_seen: int = 0
+    seed_messages_expected: Optional[int] = None
+    fallback_timer: Optional[Event] = None
+    consolidation_marked: bool = False
+    sampling_marked: bool = False
+
+
+
+class PandasNode:
+    """One full node participating in custody, consolidation, sampling."""
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        node_id: int,
+        view: Optional[Set[int]] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.node_id = node_id
+        self.view = view  # None means a complete, consistent view
+        self._slots: Dict[int, _SlotState] = {}
+
+    # ------------------------------------------------------------------
+    # slot state
+    # ------------------------------------------------------------------
+    def _slot_state(self, slot: int) -> _SlotState:
+        state = self._slots.get(slot)
+        if state is None:
+            state = self._create_slot_state(slot)
+            self._slots[slot] = state
+        return state
+
+    def _create_slot_state(self, slot: int) -> _SlotState:
+        ctx = self.ctx
+        params = ctx.params
+        epoch = ctx.epoch_of(slot)
+        custody = ctx.assignment.custody(self.node_id, epoch)
+        sample_rng = ctx.rngs.stream("samples", self.node_id, slot)
+        samples = sample_rng.sample(range(params.total_cells), params.samples)
+        cells = SlotCellState(
+            params,
+            custody,
+            samples,
+            on_store=lambda cid: self._on_cell_stored(slot, cid),
+        )
+
+        index = ctx.index_for_epoch(epoch)
+        view = self.view
+
+        def line_custodians(line: int):
+            return index.custodians(line, view)
+
+        fetcher = AdaptiveFetcher(
+            sim=ctx.sim,
+            state=cells,
+            schedule=params.fetch_schedule,
+            line_custodians=line_custodians,
+            send_query=lambda peer, cids: self._send_query(slot, epoch, peer, cids),
+            rng=ctx.rngs.stream("fetch", self.node_id, slot),
+            cb_boost=params.cb_boost,
+            self_id=self.node_id,
+        )
+        return _SlotState(cells=cells, fetcher=fetcher)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_datagram(self, dgram: Datagram) -> None:
+        payload = dgram.payload
+        if isinstance(payload, SeedMessage):
+            self._on_seed(dgram.src, payload)
+        elif isinstance(payload, CellRequest):
+            self._on_request(dgram.src, payload)
+        elif isinstance(payload, CellResponse):
+            self._on_response(dgram.src, payload)
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+    def _on_seed(self, _src: int, msg: SeedMessage) -> None:
+        slot = msg.slot
+        state = self._slot_state(slot)
+        if msg.cells and not state.seed_received:
+            state.seed_received = True
+            self.ctx.metrics.mark_seeding(slot, self.node_id, self.ctx.since_slot_start(slot))
+        state.seed_messages_seen += 1
+        state.seed_messages_expected = msg.total_messages
+        for peer, cells in msg.boost:
+            if peer == self.node_id:
+                # the builder's own-parcel declarations: these cells are
+                # already inbound through this burst, so the fetcher
+                # must never request them from peers
+                state.fetcher.add_inbound(cells)
+            else:
+                state.fetcher.add_boost(peer, cells)
+        if msg.cells:
+            state.fetcher.add_inbound(msg.cells)
+            _new, reconstructed = state.cells.add_cells(msg.cells)
+            state.fetcher.note_external_cells(reconstructed)
+        if state.seed_messages_seen >= msg.total_messages:
+            # full seed set received: start consolidation + sampling on
+            # the real deficits (Figure 5's trigger)
+            if state.fallback_timer is not None:
+                state.fallback_timer.cancel()
+                state.fallback_timer = None
+            state.fetcher.start()
+        elif not state.fetcher.started:
+            # cover loss of the remaining seed datagrams: re-arm the
+            # consolidation timer on every arrival so it fires only
+            # after the seed stream has gone quiet
+            if state.fallback_timer is not None:
+                state.fallback_timer.cancel()
+            state.fallback_timer = self.ctx.sim.call_after(
+                self.ctx.params.consolidation_timer,
+                lambda: self._fallback_start(slot),
+            )
+        self._after_cells_changed(slot, state)
+
+    # ------------------------------------------------------------------
+    # serving queries
+    # ------------------------------------------------------------------
+    def _on_request(self, src: int, msg: CellRequest) -> None:
+        slot = msg.slot
+        state = self._slot_state(slot)
+        if not state.seed_received and not state.fetcher.started and state.fallback_timer is None:
+            # a request for a slot we have no seed for: arm the 400 ms
+            # fallback, then consolidate/sample without seed data
+            state.fallback_timer = self.ctx.sim.call_after(
+                self.ctx.params.consolidation_timer,
+                lambda: self._fallback_start(slot),
+            )
+        held = frozenset(cid for cid in msg.cells if state.cells.has_cell(cid))
+        if held:
+            self._respond(slot, msg.epoch, src, tuple(sorted(held)))
+        remainder = msg.cells - held
+        if remainder:
+            record = _PendingRequest(src, remainder, len(remainder))
+            for cid in remainder:
+                state.waiting_by_cell.setdefault(cid, []).append(record)
+
+    def _fallback_start(self, slot: int) -> None:
+        state = self._slot_state(slot)
+        state.fallback_timer = None
+        state.fetcher.start()
+
+    def _respond(self, slot: int, epoch: int, dst: int, cells: Tuple[int, ...]) -> None:
+        response = CellResponse(slot=slot, epoch=epoch, cells=cells)
+        self.ctx.network.send(
+            self.node_id, dst, response, response.wire_size(self.ctx.params)
+        )
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    def _on_response(self, src: int, msg: CellResponse) -> None:
+        slot = msg.slot
+        state = self._slot_state(slot)
+        state.fetcher.on_response(src, msg.cells)
+        self._after_cells_changed(slot, state)
+
+    # ------------------------------------------------------------------
+    # outgoing queries
+    # ------------------------------------------------------------------
+    def _send_query(self, slot: int, epoch: int, peer: int, cells: FrozenSet[int]) -> None:
+        request = CellRequest(slot=slot, epoch=epoch, cells=cells)
+        self.ctx.network.send(
+            self.node_id, peer, request, request.wire_size(self.ctx.params)
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping after any cell arrival
+    # ------------------------------------------------------------------
+    def _on_cell_stored(self, slot: int, cid: int) -> None:
+        """Resolve buffered queries waiting on ``cid`` (deferred replies)."""
+        state = self._slots.get(slot)
+        if state is None:
+            return
+        waiters = state.waiting_by_cell.pop(cid, None)
+        if not waiters:
+            return
+        epoch = self._epoch(slot)
+        for record in waiters:
+            record.missing -= 1
+            if record.missing == 0:
+                self._respond(slot, epoch, record.src, tuple(sorted(record.cells)))
+
+    def _after_cells_changed(self, slot: int, state: _SlotState) -> None:
+        now_rel = self.ctx.since_slot_start(slot)
+        if not state.consolidation_marked and state.cells.consolidation_complete:
+            state.consolidation_marked = True
+            self.ctx.metrics.mark_consolidation(slot, self.node_id, now_rel)
+        if not state.sampling_marked and state.cells.sampling_complete:
+            state.sampling_marked = True
+            self.ctx.metrics.mark_sampling(slot, self.node_id, now_rel)
+
+    def _epoch(self, slot: int) -> int:
+        return self.ctx.epoch_of(slot)
+
+    # ------------------------------------------------------------------
+    # introspection for tests and experiments
+    # ------------------------------------------------------------------
+    def slot_cells(self, slot: int) -> Optional[SlotCellState]:
+        state = self._slots.get(slot)
+        return state.cells if state is not None else None
+
+    def slot_fetcher(self, slot: int) -> Optional[AdaptiveFetcher]:
+        state = self._slots.get(slot)
+        return state.fetcher if state is not None else None
+
+    def drop_slot(self, slot: int) -> None:
+        """Free per-slot state (old blob data is discarded after expiry).
+
+        Flushes the fetcher's per-round telemetry into the metrics
+        recorder first — reply/duplicate counters keep accumulating
+        until the end of the slot (Table 1's in/after-round split).
+        """
+        state = self._slots.pop(slot, None)
+        if state is not None:
+            for stats in state.fetcher.rounds:
+                self.ctx.metrics.record_round(
+                    slot,
+                    self.node_id,
+                    stats.index,
+                    messages_sent=stats.messages_sent,
+                    cells_requested=stats.cells_requested,
+                    replies_in_round=stats.replies_in_round,
+                    replies_after_round=stats.replies_after_round,
+                    cells_in_round=stats.cells_in_round,
+                    cells_after_round=stats.cells_after_round,
+                    duplicates=stats.duplicates,
+                    reconstructed=stats.reconstructed,
+                )
+            state.fetcher.stop()
+            if state.fallback_timer is not None:
+                state.fallback_timer.cancel()

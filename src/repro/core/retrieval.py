@@ -1,0 +1,136 @@
+"""Layer-2 client retrieval of blob data (Section 4.2's third goal).
+
+PANDAS's primary objective includes that "layer-2 clients can easily
+retrieve blob data": a rollup participant who wants the actual bytes —
+to recompute state or build a fraud proof — asks the custodians of
+the rows (or columns) that carry its batch. ``RetrievalClient`` reuses
+the adaptive fetcher with the requested lines as synthetic custody, so
+retrieval inherits the same redundancy-escalation and reconstruction
+behaviour as consolidation, without the client being a custodian of
+anything itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.assignment import Custody
+from repro.core.context import ProtocolContext
+from repro.core.custody import SlotCellState
+from repro.core.fetching import AdaptiveFetcher
+from repro.core.messages import CellRequest, CellResponse
+from repro.net.transport import Datagram
+
+__all__ = ["RetrievalClient", "RetrievalResult"]
+
+
+@dataclass
+class RetrievalResult:
+    """Outcome of one retrieval request."""
+
+    slot: int
+    rows: Tuple[int, ...]
+    cols: Tuple[int, ...]
+    cells: Set[int] = field(default_factory=set)
+    complete: bool = False
+    elapsed: float = 0.0
+
+
+@dataclass
+class _Retrieval:
+    result: RetrievalResult
+    state: SlotCellState
+    fetcher: AdaptiveFetcher
+    callback: Callable[[RetrievalResult], None]
+    started_at: float = 0.0
+
+
+class RetrievalClient:
+    """A layer-2 participant fetching specific rows/columns of a blob.
+
+    The client must be registered on the network (it sends requests
+    and receives responses) but holds no custody and answers nothing.
+    """
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        client_id: int,
+        view: Optional[Set[int]] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.client_id = client_id
+        self.view = view
+        self._active: Dict[int, List[_Retrieval]] = {}
+
+    # ------------------------------------------------------------------
+    def fetch_lines(
+        self,
+        slot: int,
+        rows: Sequence[int] = (),
+        cols: Sequence[int] = (),
+        callback: Callable[[RetrievalResult], None] = lambda result: None,
+    ) -> RetrievalResult:
+        """Retrieve complete rows/columns of the slot's extended blob.
+
+        The callback fires once every requested line is complete
+        (received or erasure-reconstructed). The returned result object
+        is updated in place as cells arrive.
+        """
+        if not rows and not cols:
+            raise ValueError("nothing to retrieve")
+        ctx = self.ctx
+        params = ctx.params
+        epoch = ctx.epoch_of(slot)
+        custody = Custody(rows=tuple(sorted(rows)), cols=tuple(sorted(cols)))
+        result = RetrievalResult(slot=slot, rows=custody.rows, cols=custody.cols)
+
+        state = SlotCellState(params, custody, samples=(), on_store=result.cells.add)
+        index = ctx.index_for_epoch(epoch)
+        view = self.view
+
+        retrieval = _Retrieval(
+            result=result,
+            state=state,
+            fetcher=None,  # type: ignore[arg-type]
+            callback=callback,
+            started_at=ctx.sim.now,
+        )
+
+        def on_done(success: bool) -> None:
+            result.complete = success and state.consolidation_complete
+            result.elapsed = ctx.sim.now - retrieval.started_at
+            callback(result)
+
+        retrieval.fetcher = AdaptiveFetcher(
+            sim=ctx.sim,
+            state=state,
+            schedule=params.fetch_schedule,
+            line_custodians=lambda line: index.custodians(line, view),
+            send_query=lambda peer, cells: self._send_query(slot, epoch, peer, cells),
+            rng=ctx.rngs.stream("retrieval", self.client_id, slot, len(self._active.get(slot, ()))),
+            cb_boost=params.cb_boost,
+            self_id=self.client_id,
+            on_done=on_done,
+            is_complete=lambda: state.consolidation_complete,
+        )
+        self._active.setdefault(slot, []).append(retrieval)
+        retrieval.fetcher.start()
+        return result
+
+    # ------------------------------------------------------------------
+    def on_datagram(self, dgram: Datagram) -> None:
+        payload = dgram.payload
+        if not isinstance(payload, CellResponse):
+            return
+        for retrieval in self._active.get(payload.slot, ()):
+            if dgram.src in retrieval.fetcher.queried and not retrieval.fetcher.finished:
+                retrieval.fetcher.on_response(dgram.src, payload.cells)
+
+    def _send_query(self, slot: int, epoch: int, peer: int, cells: FrozenSet[int]) -> None:
+        request = CellRequest(slot=slot, epoch=epoch, cells=cells)
+        self.ctx.network.send(
+            self.client_id, peer, request, request.wire_size(self.ctx.params)
+        )

@@ -1,0 +1,195 @@
+"""Builder seeding policies (Section 6.1, Figure 6).
+
+For every line (row or column) ``f`` the builder decides which cells
+to push into the network and with what redundancy, splitting them into
+parcels of *adjacent* cells dispatched to the nodes assigned to ``f``
+in its view (``V_b(f)``).
+
+Every cell belongs to one row and one column; to match the paper's
+egress totals (one copy of the quadrant / extended blob per
+redundancy unit: 35, 140, and 1,120 MB before overheads), each cell is
+*owned* by exactly one of its two lines for seeding purposes — row if
+``(r + c)`` is even, column otherwise — and distributed only through
+that line's custodians. Consolidation stitches lines back together
+from both populations.
+
+- **minimal** — one copy of the original quadrant (rows < R and
+  columns < C), the minimal globally reconstructable set (Figure 3
+  left); a single lost message breaks availability. 35 MB full-scale.
+- **single** — one copy of every extended cell; the 2D code tolerates
+  losing up to half of each line. 140 MB.
+- **redundant(r)** — the single policy with every parcel sent to
+  ``r - 1`` extra custodians of the owning line (default r=8).
+  1,120 MB.
+
+The policy also yields the per-line consolidation-boost map CB: which
+cells of ``f`` were seeded to which custodians of ``f``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.params import PandasParams
+
+__all__ = [
+    "SeedParcel",
+    "SeedingPolicy",
+    "MinimalSeeding",
+    "SingleSeeding",
+    "RedundantSeeding",
+    "policy_by_name",
+    "boost_map_for_line",
+    "owned_cells_of_line",
+]
+
+
+@dataclass(frozen=True)
+class SeedParcel:
+    """A contiguous run of one line's cells destined for one node."""
+
+    node_id: int
+    line: int
+    cells: Tuple[int, ...]
+
+
+def owned_cells_of_line(line: int, params: PandasParams) -> List[int]:
+    """Cells distributed through ``line``'s custodians (parity rule)."""
+    ext_rows, ext_cols = params.ext_rows, params.ext_cols
+    if line < ext_rows:
+        row = line
+        base = row * ext_cols
+        start = 0 if row % 2 == 0 else 1
+        return [base + col for col in range(start, ext_cols, 2)]
+    col = line - ext_rows
+    start = 1 if col % 2 == 0 else 0  # complement of the row rule
+    return [row * ext_cols + col for row in range(start, ext_rows, 2)]
+
+
+def _split_adjacent(cells: Sequence[int], parts: int) -> List[Tuple[int, ...]]:
+    """Split ``cells`` into ``parts`` contiguous runs of near-equal size."""
+    if parts < 1:
+        raise ValueError("parts must be positive")
+    parts = min(parts, len(cells))
+    base, extra = divmod(len(cells), parts)
+    runs: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        runs.append(tuple(cells[start : start + size]))
+        start += size
+    return runs
+
+
+class SeedingPolicy:
+    """Base class: selects and scatters one line's owned cells."""
+
+    name = "abstract"
+    copies = 1
+
+    def cells_for_line(self, line: int, params: PandasParams) -> List[int]:
+        """Which of the line's owned cells this policy seeds."""
+        return owned_cells_of_line(line, params)
+
+    def line_parcels(
+        self,
+        line: int,
+        params: PandasParams,
+        custodians: Sequence[int],
+        rng: random.Random,
+    ) -> List[SeedParcel]:
+        """Parcel the selected cells over ``custodians`` with redundancy."""
+        if not custodians:
+            return []
+        cells = self.cells_for_line(line, params)
+        if not cells:
+            return []
+        runs = _split_adjacent(cells, len(custodians))
+        primaries = rng.sample(custodians, len(runs))
+        parcels: List[SeedParcel] = []
+        for run, primary in zip(runs, primaries):
+            parcels.append(SeedParcel(primary, line, run))
+            if self.copies > 1 and len(custodians) > 1:
+                others = [n for n in custodians if n != primary]
+                for replica in rng.sample(others, min(self.copies - 1, len(others))):
+                    parcels.append(SeedParcel(replica, line, run))
+        return parcels
+
+
+class MinimalSeeding(SeedingPolicy):
+    """Single copy of the original quadrant (35 MB full-scale)."""
+
+    name = "minimal"
+    copies = 1
+
+    def cells_for_line(self, line: int, params: PandasParams) -> List[int]:
+        ext_cols = params.ext_cols
+        base_rows, base_cols = params.base_rows, params.base_cols
+        quadrant = []
+        for cid in owned_cells_of_line(line, params):
+            row, col = divmod(cid, ext_cols)
+            if row < base_rows and col < base_cols:
+                quadrant.append(cid)
+        return quadrant
+
+
+class SingleSeeding(SeedingPolicy):
+    """Single copy of every extended cell (140 MB full-scale)."""
+
+    name = "single"
+    copies = 1
+
+
+class RedundantSeeding(SeedingPolicy):
+    """Every parcel sent to ``r`` custodians in total (1,120 MB at r=8)."""
+
+    def __init__(self, r: int = 8) -> None:
+        if r < 1:
+            raise ValueError("redundancy must be at least 1")
+        self.r = r
+        self.copies = r
+        self.name = f"redundant(r={r})"
+
+
+class WithholdingSeeding(SeedingPolicy):
+    """A data-withholding attacker (Section 3, Figure 3 right).
+
+    Wraps another policy but releases only the first ``release``
+    fraction of each line's owned cells. Below 0.5 the grid cannot be
+    reconstructed from seeded data, and sampling must systematically
+    detect unavailability: with 73 samples the probability that every
+    committee member misses every withheld cell is < 1e-9.
+    """
+
+    def __init__(self, inner: SeedingPolicy, release: float) -> None:
+        if not 0.0 <= release <= 1.0:
+            raise ValueError(f"release fraction must be in [0, 1], got {release}")
+        self.inner = inner
+        self.release = release
+        self.copies = inner.copies
+        self.name = f"withholding({inner.name}, release={release:.2f})"
+
+    def cells_for_line(self, line: int, params: PandasParams) -> List[int]:
+        cells = self.inner.cells_for_line(line, params)
+        return cells[: int(len(cells) * self.release)]
+
+
+def policy_by_name(name: str, r: int = 8) -> SeedingPolicy:
+    """Factory used by experiment configs and CLI examples."""
+    if name == "minimal":
+        return MinimalSeeding()
+    if name == "single":
+        return SingleSeeding()
+    if name.startswith("redundant"):
+        return RedundantSeeding(r)
+    raise ValueError(f"unknown seeding policy {name!r}")
+
+
+def boost_map_for_line(parcels: Sequence[SeedParcel]) -> Dict[int, Tuple[int, ...]]:
+    """CB(f): node -> cells of this line seeded to it (merged parcels)."""
+    merged: Dict[int, List[int]] = {}
+    for parcel in parcels:
+        merged.setdefault(parcel.node_id, []).extend(parcel.cells)
+    return {node: tuple(sorted(set(cells))) for node, cells in merged.items()}

@@ -1,0 +1,27 @@
+"""Data-availability-sampling security math (Section 3)."""
+
+from repro.das.sybil import (
+    cell_censorship_probability,
+    expected_censorable_cells,
+    line_assignment_probability,
+    line_without_honest_custodian_probability,
+    rotation_safety_factor,
+)
+from repro.das.security import (
+    false_positive_probability,
+    max_unreconstructable_cells,
+    min_reconstructable_cells,
+    required_samples,
+)
+
+__all__ = [
+    "cell_censorship_probability",
+    "expected_censorable_cells",
+    "line_assignment_probability",
+    "line_without_honest_custodian_probability",
+    "rotation_safety_factor",
+    "false_positive_probability",
+    "max_unreconstructable_cells",
+    "min_reconstructable_cells",
+    "required_samples",
+]

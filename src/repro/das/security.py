@@ -1,0 +1,87 @@
+"""Data-availability-sampling security math (Section 3 of the paper).
+
+The adversary's best data-withholding strategy against a 2D
+Reed-Solomon-extended blob of ``2R x 2C`` cells is to withhold exactly
+an ``(R+1) x (C+1)`` sub-matrix: one fewer withheld row or column would
+let honest nodes erasure-reconstruct everything (Figure 3). Sampling
+``s`` random distinct cells misses that sub-matrix — i.e., returns a
+false "available" verdict — with probability
+
+    FP(s) = prod_{i=0}^{s-1} (1 - (R+1)(C+1) / (2R*2C - i))
+
+For the Danksharding grid (R=C=256) the community-discussed s=73 gives
+FP < 1e-9; ``required_samples`` inverts the bound for arbitrary grids,
+which is how the ``reduced()`` preset keeps the same security level at
+laptop scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "false_positive_probability",
+    "required_samples",
+    "min_reconstructable_cells",
+    "max_unreconstructable_cells",
+]
+
+
+def false_positive_probability(samples: int, ext_rows: int = 512, ext_cols: int = 512) -> float:
+    """Upper bound on P[all samples hit, data not reconstructable].
+
+    ``ext_rows``/``ext_cols`` are the *extended* grid dimensions
+    (2R x 2C). Sampling is without replacement, matching the paper's
+    product bound.
+    """
+    if samples < 0:
+        raise ValueError("samples must be non-negative")
+    if ext_rows < 2 or ext_cols < 2 or ext_rows % 2 or ext_cols % 2:
+        raise ValueError("extended grid dimensions must be even and >= 2")
+    total = ext_rows * ext_cols
+    if samples > total:
+        raise ValueError("cannot sample more cells than exist")
+    withheld = (ext_rows // 2 + 1) * (ext_cols // 2 + 1)
+    # log-space product for numerical stability at large s
+    log_p = 0.0
+    for i in range(samples):
+        available_fraction = 1.0 - withheld / (total - i)
+        if available_fraction <= 0.0:
+            return 0.0
+        log_p += math.log(available_fraction)
+    return math.exp(log_p)
+
+
+def required_samples(ext_rows: int = 512, ext_cols: int = 512, target: float = 1e-9) -> int:
+    """Smallest sample count whose false-positive bound is below ``target``."""
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    total = ext_rows * ext_cols
+    withheld = (ext_rows // 2 + 1) * (ext_cols // 2 + 1)
+    log_p = 0.0
+    log_target = math.log(target)
+    for s in range(total):
+        available_fraction = 1.0 - withheld / (total - s)
+        if available_fraction <= 0.0:
+            return s + 1
+        log_p += math.log(available_fraction)
+        if log_p < log_target:
+            return s + 1
+    raise ValueError("target unreachable even sampling every cell")
+
+
+def min_reconstructable_cells(ext_rows: int = 512, ext_cols: int = 512) -> int:
+    """Fewest cells that *can* guarantee full reconstruction (Fig. 3 left).
+
+    Half of the cells of R distinct rows (or C distinct columns): each
+    such row reconstructs fully, yielding R complete rows = half of
+    every column, after which every column (hence the grid)
+    reconstructs.
+    """
+    return (ext_rows // 2) * (ext_cols // 2)
+
+
+def max_unreconstructable_cells(ext_rows: int = 512, ext_cols: int = 512) -> int:
+    """Most cells an adversary can release while blocking reconstruction
+    (Fig. 3 right): everything except an (R+1) x (C+1) sub-matrix."""
+    return ext_rows * ext_cols - (ext_rows // 2 + 1) * (ext_cols // 2 + 1)

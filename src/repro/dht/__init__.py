@@ -1,0 +1,35 @@
+"""Kademlia DHT substrate: XOR routing, iterative lookups, ENR crawls."""
+
+from repro.dht.enr import Enr, EnrDirectory, node_id_for_address
+from repro.dht.kademlia import (
+    ALPHA,
+    RPC_TIMEOUT,
+    FindNode,
+    FindValue,
+    KademliaNode,
+    LookupResult,
+    Nodes,
+    Store,
+    Value,
+)
+from repro.dht.routing import DEFAULT_K, ID_BITS, RoutingTable, bucket_index, xor_distance
+
+__all__ = [
+    "Enr",
+    "EnrDirectory",
+    "node_id_for_address",
+    "ALPHA",
+    "RPC_TIMEOUT",
+    "FindNode",
+    "FindValue",
+    "KademliaNode",
+    "LookupResult",
+    "Nodes",
+    "Store",
+    "Value",
+    "DEFAULT_K",
+    "ID_BITS",
+    "RoutingTable",
+    "bucket_index",
+    "xor_distance",
+]

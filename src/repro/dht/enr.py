@@ -1,0 +1,90 @@
+"""Ethereum Node Records and the view-crawl model (Section 4.1).
+
+Every node advertises an ENR — its 256-bit ID, public key and contact
+information — in the discovery DHT; participants build their *views*
+by periodically crawling it, which takes about a minute. Views
+converge toward the actual node set but may be incomplete or contain
+departed nodes.
+
+``EnrDirectory`` is the simulation's stand-in for the crawlable DHT
+content: a registry mapping ids to addresses from which views are
+drawn (complete, random-subset, or stale), used both by PANDAS nodes
+and the Kademlia overlay bootstrap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Enr", "EnrDirectory", "node_id_for_address"]
+
+
+def node_id_for_address(address: int, namespace: int = 0) -> int:
+    """Deterministic 256-bit DHT id for a simulation address."""
+    digest = hashlib.sha256(f"enr|{namespace}|{address}".encode()).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Enr:
+    """One node record: DHT id plus network contact (the address)."""
+
+    node_id: int
+    address: int
+
+    # typical serialized ENR size on the wire
+    WIRE_BYTES = 300
+
+
+class EnrDirectory:
+    """The global registry of ENRs, crawlable for views."""
+
+    def __init__(self, namespace: int = 0) -> None:
+        self.namespace = namespace
+        self._by_id: Dict[int, Enr] = {}
+        self._by_address: Dict[int, Enr] = {}
+
+    def register(self, address: int) -> Enr:
+        record = Enr(node_id_for_address(address, self.namespace), address)
+        self._by_id[record.node_id] = record
+        self._by_address[address] = record
+        return record
+
+    def unregister(self, address: int) -> None:
+        record = self._by_address.pop(address, None)
+        if record is not None:
+            del self._by_id[record.node_id]
+
+    def record_for(self, address: int) -> Enr:
+        return self._by_address[address]
+
+    def by_id(self, node_id: int) -> Optional[Enr]:
+        return self._by_id.get(node_id)
+
+    def address_of(self, node_id: int) -> Optional[int]:
+        record = self._by_id.get(node_id)
+        return record.address if record is not None else None
+
+    @property
+    def all_ids(self) -> List[int]:
+        return list(self._by_id)
+
+    @property
+    def all_addresses(self) -> List[int]:
+        return list(self._by_address)
+
+    def crawl(self, rng: random.Random, completeness: float = 1.0) -> Set[int]:
+        """A crawl result: a random ``completeness`` fraction of addresses."""
+        if not 0.0 < completeness <= 1.0:
+            raise ValueError("completeness must be in (0, 1]")
+        addresses = self.all_addresses
+        if completeness >= 1.0:
+            return set(addresses)
+        keep = max(1, int(round(completeness * len(addresses))))
+        return set(rng.sample(addresses, keep))
+
+    def __len__(self) -> int:
+        return len(self._by_id)

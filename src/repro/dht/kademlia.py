@@ -1,0 +1,321 @@
+"""Kademlia protocol over the simulated lossy transport.
+
+Implements the RPCs and iterative lookup procedure the DHT DAS
+baseline needs (Section 8.1 "Comparison to baselines" and [12]):
+
+- ``FIND_NODE`` / ``NODES``: routing-table walks toward a target id;
+- ``STORE``: place a value (a parcel of cells) at a node;
+- ``FIND_VALUE`` / ``VALUE``: like FIND_NODE but short-circuits when a
+  node on the path holds the value.
+
+Lookups are iterative with ``alpha`` parallelism and per-RPC timeouts
+(UDP may drop queries or replies silently — discv5-style). The
+simulation's routing tables are pre-populated from the ENR directory,
+modelling nodes that have already crawled the network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dht.enr import EnrDirectory
+from repro.dht.routing import DEFAULT_K, RoutingTable
+from repro.net.transport import Datagram, Network
+from repro.sim.engine import Event, Simulator
+
+__all__ = [
+    "FindNode",
+    "FindValue",
+    "Nodes",
+    "Store",
+    "Value",
+    "KademliaNode",
+    "LookupResult",
+    "ALPHA",
+    "RPC_TIMEOUT",
+]
+
+ALPHA = 3  # parallel in-flight RPCs per lookup
+RPC_TIMEOUT = 0.5  # seconds before a silent RPC is written off
+RPC_HEADER_BYTES = 100
+CONTACT_BYTES = 40  # id + endpoint in a NODES reply
+
+
+@dataclass(frozen=True)
+class FindNode:
+    target: int
+    lookup_id: int
+    slot: int = -1
+
+    @property
+    def size(self) -> int:
+        return RPC_HEADER_BYTES + 32
+
+
+@dataclass(frozen=True)
+class FindValue:
+    key: int
+    lookup_id: int
+    slot: int = -1
+
+    @property
+    def size(self) -> int:
+        return RPC_HEADER_BYTES + 32
+
+
+@dataclass(frozen=True)
+class Nodes:
+    target: int
+    lookup_id: int
+    contacts: Tuple[int, ...]  # node ids
+    slot: int = -1
+
+    @property
+    def size(self) -> int:
+        return RPC_HEADER_BYTES + CONTACT_BYTES * len(self.contacts)
+
+
+@dataclass(frozen=True)
+class Store:
+    key: int
+    value_size: int
+    slot: int = -1
+
+    @property
+    def size(self) -> int:
+        return RPC_HEADER_BYTES + 32 + self.value_size
+
+
+@dataclass(frozen=True)
+class Value:
+    key: int
+    lookup_id: int
+    value_size: int
+    slot: int = -1
+
+    @property
+    def size(self) -> int:
+        return RPC_HEADER_BYTES + 32 + self.value_size
+
+
+@dataclass
+class LookupResult:
+    """Outcome of an iterative lookup."""
+
+    target: int
+    closest: List[int] = field(default_factory=list)  # node ids
+    value_size: Optional[int] = None
+    value_holder: Optional[int] = None
+    rpcs_sent: int = 0
+
+    @property
+    def found_value(self) -> bool:
+        return self.value_size is not None
+
+
+@dataclass
+class _Lookup:
+    """State of one in-flight iterative lookup."""
+
+    lookup_id: int
+    target: int
+    find_value: bool
+    slot: int
+    callback: Callable[[LookupResult], None]
+    shortlist: Dict[int, int] = field(default_factory=dict)  # id -> distance
+    queried: Set[int] = field(default_factory=set)
+    in_flight: Dict[int, Event] = field(default_factory=dict)  # id -> timeout
+    responded: Set[int] = field(default_factory=set)
+    result: LookupResult = None  # type: ignore[assignment]
+    done: bool = False
+
+
+class KademliaNode:
+    """One DHT participant bound to a network address."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        directory: EnrDirectory,
+        address: int,
+        k: int = DEFAULT_K,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.directory = directory
+        self.address = address
+        self.node_id = directory.record_for(address).node_id
+        self.table = RoutingTable(self.node_id, k)
+        self.k = k
+        self.rng = rng if rng is not None else random.Random(address)
+        self.storage: Dict[int, int] = {}  # key -> value size
+        self._lookups: Dict[int, _Lookup] = {}
+        self._next_lookup_id = 0
+        self.on_store: Optional[Callable[[int, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap_from_directory(self) -> None:
+        """Fill k-buckets from the crawled ENR set (randomized order)."""
+        ids = [i for i in self.directory.all_ids if i != self.node_id]
+        self.rng.shuffle(ids)
+        self.table.populate(ids)
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        target: int,
+        callback: Callable[[LookupResult], None],
+        find_value: bool = False,
+        slot: int = -1,
+    ) -> None:
+        """Iteratively locate the k closest nodes to ``target`` (or a value)."""
+        lookup_id = self._next_lookup_id
+        self._next_lookup_id += 1
+        state = _Lookup(lookup_id, target, find_value, slot, callback)
+        state.result = LookupResult(target)
+        for node_id in self.table.closest(target, self.k):
+            state.shortlist[node_id] = node_id ^ target
+        self._lookups[lookup_id] = state
+        if not state.shortlist:
+            self._finish(state)
+            return
+        self._advance(state)
+
+    def store(self, key: int, value_size: int, replicas: int, slot: int = -1,
+              callback: Optional[Callable[[LookupResult], None]] = None) -> None:
+        """put(key): locate the closest nodes, then STORE at ``replicas``."""
+
+        def after_lookup(result: LookupResult) -> None:
+            for node_id in result.closest[:replicas]:
+                address = self.directory.address_of(node_id)
+                if address is None:
+                    continue
+                msg = Store(key, value_size, slot)
+                self.network.send(self.address, address, msg, msg.size)
+            if callback is not None:
+                callback(result)
+
+        self.lookup(key, after_lookup, find_value=False, slot=slot)
+
+    def get(self, key: int, callback: Callable[[LookupResult], None], slot: int = -1) -> None:
+        """get(key): iterative FIND_VALUE."""
+        self.lookup(key, callback, find_value=True, slot=slot)
+
+    # ------------------------------------------------------------------
+    # lookup engine
+    # ------------------------------------------------------------------
+    def _advance(self, state: _Lookup) -> None:
+        if state.done:
+            return
+        # candidates not yet queried, closest first
+        candidates = sorted(
+            (node_id for node_id in state.shortlist if node_id not in state.queried),
+            key=lambda node_id: node_id ^ state.target,
+        )
+        # termination: the k closest known have all been queried/answered
+        best = sorted(state.shortlist, key=lambda node_id: node_id ^ state.target)[: self.k]
+        if not candidates or all(node_id in state.responded for node_id in best):
+            if not state.in_flight:
+                self._finish(state)
+            return
+        slots_free = ALPHA - len(state.in_flight)
+        for node_id in candidates[:max(0, slots_free)]:
+            self._query(state, node_id)
+
+    def _query(self, state: _Lookup, node_id: int) -> None:
+        state.queried.add(node_id)
+        address = self.directory.address_of(node_id)
+        if address is None:
+            return
+        if state.find_value:
+            msg: object = FindValue(state.target, state.lookup_id, state.slot)
+        else:
+            msg = FindNode(state.target, state.lookup_id, state.slot)
+        self.network.send(self.address, address, msg, msg.size)
+        state.result.rpcs_sent += 1
+        timer = self.sim.call_after(RPC_TIMEOUT, lambda: self._on_timeout(state, node_id))
+        state.in_flight[node_id] = timer
+
+    def _on_timeout(self, state: _Lookup, node_id: int) -> None:
+        if state.done:
+            return
+        state.in_flight.pop(node_id, None)
+        self._advance(state)
+
+    def _finish(self, state: _Lookup) -> None:
+        if state.done:
+            return
+        state.done = True
+        for timer in state.in_flight.values():
+            timer.cancel()
+        state.in_flight.clear()
+        self._lookups.pop(state.lookup_id, None)
+        state.result.closest = sorted(
+            (node_id for node_id in state.shortlist if node_id in state.responded),
+            key=lambda node_id: node_id ^ state.target,
+        )[: self.k]
+        if not state.result.closest:
+            # nobody answered; fall back to routing-table knowledge
+            state.result.closest = self.table.closest(state.target, self.k)
+        state.callback(state.result)
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def on_datagram(self, dgram: Datagram) -> None:
+        payload = dgram.payload
+        if isinstance(payload, FindNode):
+            contacts = tuple(self.table.closest(payload.target, self.k))
+            reply = Nodes(payload.target, payload.lookup_id, contacts, payload.slot)
+            self.network.send(self.address, dgram.src, reply, reply.size)
+        elif isinstance(payload, FindValue):
+            if payload.key in self.storage:
+                value = Value(payload.key, payload.lookup_id, self.storage[payload.key], payload.slot)
+                self.network.send(self.address, dgram.src, value, value.size)
+            else:
+                contacts = tuple(self.table.closest(payload.key, self.k))
+                reply = Nodes(payload.key, payload.lookup_id, contacts, payload.slot)
+                self.network.send(self.address, dgram.src, reply, reply.size)
+        elif isinstance(payload, Store):
+            self.storage[payload.key] = payload.value_size
+            if self.on_store is not None:
+                self.on_store(payload.key, payload.value_size)
+        elif isinstance(payload, Nodes):
+            self._on_nodes(dgram.src, payload)
+        elif isinstance(payload, Value):
+            self._on_value(dgram.src, payload)
+
+    def _on_nodes(self, src_address: int, msg: Nodes) -> None:
+        state = self._lookups.get(msg.lookup_id)
+        if state is None or state.done:
+            return
+        src_id = self.directory.record_for(src_address).node_id
+        self._mark_responded(state, src_id)
+        for node_id in msg.contacts:
+            if node_id != self.node_id:
+                state.shortlist.setdefault(node_id, node_id ^ state.target)
+        self._advance(state)
+
+    def _on_value(self, src_address: int, msg: Value) -> None:
+        state = self._lookups.get(msg.lookup_id)
+        if state is None or state.done:
+            return
+        src_id = self.directory.record_for(src_address).node_id
+        self._mark_responded(state, src_id)
+        state.result.value_size = msg.value_size
+        state.result.value_holder = src_id
+        self._finish(state)
+
+    def _mark_responded(self, state: _Lookup, node_id: int) -> None:
+        state.responded.add(node_id)
+        timer = state.in_flight.pop(node_id, None)
+        if timer is not None:
+            timer.cancel()

@@ -1,0 +1,19 @@
+"""Erasure-coding substrate: GF(2^m), Reed-Solomon, 2D blob extension."""
+
+from repro.erasure.blob import Blob, BlobReconstructionError, ExtendedBlob
+from repro.erasure.gf import GF256, GF65536, GaloisField
+from repro.erasure.matrix import RowColumnAvailability, cell_coords, cell_id
+from repro.erasure.reed_solomon import ReedSolomon
+
+__all__ = [
+    "Blob",
+    "BlobReconstructionError",
+    "ExtendedBlob",
+    "GF256",
+    "GF65536",
+    "GaloisField",
+    "RowColumnAvailability",
+    "cell_coords",
+    "cell_id",
+    "ReedSolomon",
+]

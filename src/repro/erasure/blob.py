@@ -1,0 +1,255 @@
+"""Blob construction and 2D Reed-Solomon extension over real bytes.
+
+Reproduces Figure 2: layer-2 data is aggregated into a base matrix of
+``base_rows x base_cols`` cells of ``cell_bytes`` bytes, then extended
+with a two-dimensional Reed-Solomon code to ``2R x 2C`` so every row
+and column reconstructs from any half of its cells.
+
+Symbol layout: for grids with extended dimension <= 255 each byte
+position of a cell is an independent GF(2^8) codeword across the
+row/column; larger grids (the full 512x512 Danksharding grid) use
+GF(2^16) over 2-byte words, which requires an even cell size (512 B
+satisfies this).
+
+The product-code property — extending rows first and then columns
+yields parity-of-parity cells consistent with the column-then-row
+order — holds because the code is linear; a regression test pins it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.erasure.gf import GF256, GF65536
+from repro.erasure.matrix import RowColumnAvailability
+from repro.erasure.reed_solomon import ReedSolomon
+
+__all__ = ["Blob", "ExtendedBlob", "BlobReconstructionError"]
+
+
+class BlobReconstructionError(ValueError):
+    """Raised when the supplied cells cannot recover the blob."""
+
+
+class Blob:
+    """The base (unextended) ``R x C`` matrix of data cells."""
+
+    def __init__(self, cells: np.ndarray) -> None:
+        if cells.ndim != 3:
+            raise ValueError("cells must have shape (rows, cols, cell_bytes)")
+        self.cells = np.ascontiguousarray(cells, dtype=np.uint8)
+
+    @property
+    def base_rows(self) -> int:
+        return self.cells.shape[0]
+
+    @property
+    def base_cols(self) -> int:
+        return self.cells.shape[1]
+
+    @property
+    def cell_bytes(self) -> int:
+        return self.cells.shape[2]
+
+    @staticmethod
+    def from_bytes(data: bytes, base_rows: int, base_cols: int, cell_bytes: int) -> "Blob":
+        """Pack layer-2 payload bytes into the base matrix, zero-padded."""
+        capacity = base_rows * base_cols * cell_bytes
+        if len(data) > capacity:
+            raise ValueError(f"payload of {len(data)} B exceeds blob capacity {capacity} B")
+        buf = np.zeros(capacity, dtype=np.uint8)
+        buf[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return Blob(buf.reshape(base_rows, base_cols, cell_bytes))
+
+    def to_bytes(self) -> bytes:
+        return self.cells.tobytes()
+
+    def extend(self) -> "ExtendedBlob":
+        """Apply the 2D code: rows first, then columns of the widened matrix."""
+        return ExtendedBlob.from_blob(self)
+
+
+class _SymbolCodec:
+    """Maps cell bytes <-> field symbols and runs RS per symbol lane.
+
+    ``wide`` forces 2-byte GF(2^16) symbols. The row and column codecs
+    of one grid must use the SAME field: the product-code property
+    (column-parity rows are themselves valid row codewords) requires
+    both directions to be linear over a common field, so the choice is
+    made grid-wide from the larger dimension.
+    """
+
+    def __init__(self, k: int, n: int, cell_bytes: int, wide: Optional[bool] = None) -> None:
+        if wide is None:
+            wide = n > 255
+        if not wide and n > 255:
+            raise ValueError(f"codeword length {n} needs wide (GF(2^16)) symbols")
+        if not wide:
+            self.field = GF256()
+            self.symbol_bytes = 1
+        else:
+            self.field = GF65536()
+            self.symbol_bytes = 2
+            if cell_bytes % 2:
+                raise ValueError("cell size must be even to use GF(2^16) symbols")
+        self.rs = ReedSolomon(k, n, self.field)
+        self.cell_bytes = cell_bytes
+        self.lanes = cell_bytes // self.symbol_bytes
+
+    def cells_to_symbols(self, cells: np.ndarray) -> np.ndarray:
+        """(count, cell_bytes) uint8 -> (count, lanes) int64 symbols."""
+        if self.symbol_bytes == 1:
+            return cells.astype(np.int64)
+        wide = cells.reshape(cells.shape[0], self.lanes, 2).astype(np.int64)
+        return (wide[:, :, 0] << 8) | wide[:, :, 1]
+
+    def symbols_to_cells(self, symbols: np.ndarray) -> np.ndarray:
+        if self.symbol_bytes == 1:
+            return symbols.astype(np.uint8)
+        out = np.zeros((symbols.shape[0], self.lanes, 2), dtype=np.uint8)
+        out[:, :, 0] = (symbols >> 8) & 0xFF
+        out[:, :, 1] = symbols & 0xFF
+        return out.reshape(symbols.shape[0], self.cell_bytes)
+
+    def encode_line(self, data_cells: np.ndarray) -> np.ndarray:
+        """Extend k cells to n cells (returns only the n-k parity cells)."""
+        symbols = self.cells_to_symbols(data_cells)
+        parity = np.zeros((self.rs.n - self.rs.k, self.lanes), dtype=np.int64)
+        for lane in range(self.lanes):
+            codeword = self.rs.encode(symbols[:, lane].tolist())
+            parity[:, lane] = codeword[self.rs.k :]
+        return self.symbols_to_cells(parity)
+
+    def decode_line(self, known: Dict[int, np.ndarray]) -> np.ndarray:
+        """Recover all n cells of a line from >= k known (pos -> cell)."""
+        positions = list(known.keys())
+        stacked = np.stack([known[p] for p in positions]).astype(np.uint8)
+        symbols = self.cells_to_symbols(stacked)
+        full = np.zeros((self.rs.n, self.lanes), dtype=np.int64)
+        for lane in range(self.lanes):
+            lane_known = {p: int(symbols[i, lane]) for i, p in enumerate(positions)}
+            full[:, lane] = self.rs.decode(lane_known)
+        return self.symbols_to_cells(full)
+
+
+class ExtendedBlob:
+    """The ``2R x 2C`` erasure-extended matrix (Figure 2's 140 MB object)."""
+
+    def __init__(self, cells: np.ndarray, base_rows: int, base_cols: int) -> None:
+        self.cells = np.ascontiguousarray(cells, dtype=np.uint8)
+        self.base_rows = base_rows
+        self.base_cols = base_cols
+        if self.cells.shape[0] != 2 * base_rows or self.cells.shape[1] != 2 * base_cols:
+            raise ValueError("extended matrix shape must be (2R, 2C, cell_bytes)")
+
+    @property
+    def ext_rows(self) -> int:
+        return 2 * self.base_rows
+
+    @property
+    def ext_cols(self) -> int:
+        return 2 * self.base_cols
+
+    @property
+    def cell_bytes(self) -> int:
+        return self.cells.shape[2]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_blob(blob: Blob) -> "ExtendedBlob":
+        rows, cols, cell_bytes = blob.base_rows, blob.base_cols, blob.cell_bytes
+        wide = max(2 * rows, 2 * cols) > 255
+        row_codec = _SymbolCodec(cols, 2 * cols, cell_bytes, wide=wide)
+        col_codec = _SymbolCodec(rows, 2 * rows, cell_bytes, wide=wide)
+        ext = np.zeros((2 * rows, 2 * cols, cell_bytes), dtype=np.uint8)
+        ext[:rows, :cols] = blob.cells
+        # 1) extend every original row to 2C cells
+        for r in range(rows):
+            ext[r, cols:] = row_codec.encode_line(ext[r, :cols])
+        # 2) extend every (now 2C-wide) column to 2R cells
+        for c in range(2 * cols):
+            ext[rows:, c] = col_codec.encode_line(ext[:rows, c])
+        return ExtendedBlob(ext, rows, cols)
+
+    def cell(self, row: int, col: int) -> bytes:
+        return self.cells[row, col].tobytes()
+
+    def cell_by_id(self, cid: int) -> bytes:
+        row, col = divmod(cid, self.ext_cols)
+        return self.cell(row, col)
+
+    def to_blob(self) -> Blob:
+        """Strip the extension, returning the original data quadrant."""
+        return Blob(self.cells[: self.base_rows, : self.base_cols])
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExtendedBlob)
+            and self.base_rows == other.base_rows
+            and self.base_cols == other.base_cols
+            and bool(np.array_equal(self.cells, other.cells))
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def reconstruct(
+        known_cells: Dict[int, bytes],
+        base_rows: int,
+        base_cols: int,
+        cell_bytes: int,
+    ) -> "ExtendedBlob":
+        """Rebuild the full extended blob from a subset of cells.
+
+        Runs the same peeling closure as the availability tracker, but
+        over real bytes: decode every row/column holding at least half
+        its cells, repeat until fixpoint, and fail loudly if the grid
+        is not fully recovered (the data-withholding case).
+        """
+        ext_rows, ext_cols = 2 * base_rows, 2 * base_cols
+        availability = RowColumnAvailability(ext_rows, ext_cols)
+        ext = np.zeros((ext_rows, ext_cols, cell_bytes), dtype=np.uint8)
+        for cid, payload in known_cells.items():
+            row, col = divmod(cid, ext_cols)
+            if len(payload) != cell_bytes:
+                raise ValueError(f"cell {cid} has {len(payload)} B, expected {cell_bytes}")
+            ext[row, col] = np.frombuffer(payload, dtype=np.uint8)
+            availability.add(cid)
+
+        wide = max(ext_rows, ext_cols) > 255
+        row_codec = _SymbolCodec(base_cols, ext_cols, cell_bytes, wide=wide)
+        col_codec = _SymbolCodec(base_rows, ext_rows, cell_bytes, wide=wide)
+        progress = True
+        while progress:
+            progress = False
+            for row in range(ext_rows):
+                count = availability.row_count(row)
+                if count >= base_cols and count < ext_cols:
+                    known = {
+                        col: ext[row, col]
+                        for col in range(ext_cols)
+                        if availability.has(row * ext_cols + col)
+                    }
+                    ext[row] = row_codec.decode_line(known)
+                    for col in range(ext_cols):
+                        availability.add(row * ext_cols + col)
+                    progress = True
+            for col in range(ext_cols):
+                count = availability.col_count(col)
+                if count >= base_rows and count < ext_rows:
+                    known = {
+                        row: ext[row, col]
+                        for row in range(ext_rows)
+                        if availability.has(row * ext_cols + col)
+                    }
+                    ext[:, col] = col_codec.decode_line(known)
+                    for row in range(ext_rows):
+                        availability.add(row * ext_cols + col)
+                    progress = True
+
+        if not availability.fully_available():
+            raise BlobReconstructionError(
+                f"grid unrecoverable: {len(availability)} of {ext_rows * ext_cols} cells"
+            )
+        return ExtendedBlob(ext, base_rows, base_cols)

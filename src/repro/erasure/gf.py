@@ -1,0 +1,122 @@
+"""Finite-field arithmetic GF(2^m) for Reed-Solomon coding.
+
+Supports GF(2^8) (cells up to 255 per codeword, enough for the reduced
+grids used in timing experiments) and GF(2^16) (needed for the full
+512-symbol Danksharding rows/columns). Tables are built once per field
+with numpy and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["GaloisField", "GF256", "GF65536"]
+
+_PRIMITIVE_POLYS = {
+    8: 0x11D,  # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GaloisField:
+    """GF(2^m) with log/antilog tables and vectorized numpy helpers."""
+
+    def __init__(self, m: int) -> None:
+        if m not in _PRIMITIVE_POLYS:
+            raise ValueError(f"unsupported field degree {m} (supported: 8, 16)")
+        self.m = m
+        self.order = 1 << m
+        self.poly = _PRIMITIVE_POLYS[m]
+        size = self.order
+        exp = np.zeros(2 * size, dtype=np.int64)
+        log = np.zeros(size, dtype=np.int64)
+        x = 1
+        for i in range(size - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & size:
+                x ^= self.poly
+        # duplicate so exp[(a+b)] never needs an explicit modulo
+        exp[size - 1 : 2 * (size - 1)] = exp[: size - 1]
+        self._exp = exp
+        self._log = log
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Addition (= subtraction) is XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("no inverse for 0 in GF(2^m)")
+        return int(self._exp[(self.order - 1) - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self._exp[self._log[a] - self._log[b] + (self.order - 1)])
+
+    def pow(self, a: int, n: int) -> int:
+        if n == 0:
+            return 1
+        if a == 0:
+            return 0
+        return int(self._exp[(self._log[a] * n) % (self.order - 1)])
+
+    # ------------------------------------------------------------------
+    # vector operations (numpy arrays of field elements)
+    # ------------------------------------------------------------------
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise product of two arrays of field elements."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        nz = (a != 0) & (b != 0)
+        if np.any(nz):
+            a_b, b_b = np.broadcast_arrays(a, b)
+            out[nz] = self._exp[self._log[a_b[nz]] + self._log[b_b[nz]]]
+        return out
+
+    def scale_vec(self, scalar: int, vec: np.ndarray) -> np.ndarray:
+        """scalar * vec for an array of field elements."""
+        vec = np.asarray(vec, dtype=np.int64)
+        if scalar == 0:
+            return np.zeros_like(vec)
+        out = np.zeros_like(vec)
+        nz = vec != 0
+        out[nz] = self._exp[self._log[vec[nz]] + self._log[scalar]]
+        return out
+
+    def poly_eval(self, coeffs: np.ndarray, x: int) -> int:
+        """Evaluate polynomial (lowest degree first) at ``x`` (Horner)."""
+        acc = 0
+        for c in reversed(np.asarray(coeffs, dtype=np.int64)):
+            acc = self.mul(acc, x) ^ int(c)
+        return acc
+
+
+@lru_cache(maxsize=None)
+def _field(m: int) -> GaloisField:
+    return GaloisField(m)
+
+
+def GF256() -> GaloisField:
+    """The byte field GF(2^8)."""
+    return _field(8)
+
+
+def GF65536() -> GaloisField:
+    """GF(2^16), large enough for 512-symbol codewords."""
+    return _field(16)

@@ -1,0 +1,161 @@
+"""Cell-availability tracking over the extended 2D grid.
+
+Cells are addressed by integer id ``row * ext_cols + col``. The
+tracker answers the two questions the protocol and the analysis keep
+asking:
+
+- which rows/columns currently hold at least half their cells (and are
+  therefore Reed-Solomon reconstructable), and
+- what is the transitive closure of reconstruction (*peeling*): once a
+  row reconstructs, its cells complete columns, which may reconstruct,
+  completing further rows, and so on. Figure 3's minimal example (half
+  the cells of R distinct rows recovers the entire grid) falls out of
+  this closure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+__all__ = ["cell_id", "cell_coords", "RowColumnAvailability"]
+
+
+def cell_id(row: int, col: int, ext_cols: int) -> int:
+    """Flatten (row, col) to the canonical integer cell id."""
+    return row * ext_cols + col
+
+
+def cell_coords(cid: int, ext_cols: int) -> Tuple[int, int]:
+    """Inverse of :func:`cell_id`."""
+    return divmod(cid, ext_cols)
+
+
+class RowColumnAvailability:
+    """Which cells of an ``ext_rows x ext_cols`` grid are available.
+
+    Rows and columns are represented as integer bitmasks, so counting
+    uses ``int.bit_count`` and marking a full row is a single
+    assignment; this keeps whole-grid analyses (builder accounting,
+    withholding experiments) fast without numpy round-trips.
+    """
+
+    def __init__(self, ext_rows: int, ext_cols: int) -> None:
+        if ext_rows < 2 or ext_cols < 2:
+            raise ValueError("grid must be at least 2x2")
+        self.ext_rows = ext_rows
+        self.ext_cols = ext_cols
+        self._row_masks: List[int] = [0] * ext_rows
+        self._full_row = (1 << ext_cols) - 1
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # basic set operations
+    # ------------------------------------------------------------------
+    def add(self, cid: int) -> bool:
+        """Mark a cell available; returns True if it was new."""
+        row, col = divmod(cid, self.ext_cols)
+        bit = 1 << col
+        if self._row_masks[row] & bit:
+            return False
+        self._row_masks[row] |= bit
+        self._count += 1
+        return True
+
+    def add_many(self, cids: Iterable[int]) -> int:
+        """Add several cells; returns how many were new."""
+        return sum(1 for cid in cids if self.add(cid))
+
+    def has(self, cid: int) -> bool:
+        row, col = divmod(cid, self.ext_cols)
+        return bool(self._row_masks[row] & (1 << col))
+
+    def __contains__(self, cid: int) -> bool:
+        return self.has(cid)
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # row/column structure
+    # ------------------------------------------------------------------
+    def row_count(self, row: int) -> int:
+        return self._row_masks[row].bit_count()
+
+    def col_count(self, col: int) -> int:
+        bit = 1 << col
+        return sum(1 for mask in self._row_masks if mask & bit)
+
+    def row_cells(self, row: int) -> List[int]:
+        """Available cell ids in ``row``."""
+        mask = self._row_masks[row]
+        base = row * self.ext_cols
+        return [base + col for col in range(self.ext_cols) if mask & (1 << col)]
+
+    def col_cells(self, col: int) -> List[int]:
+        bit = 1 << col
+        return [
+            row * self.ext_cols + col
+            for row in range(self.ext_rows)
+            if self._row_masks[row] & bit
+        ]
+
+    def row_reconstructable(self, row: int) -> bool:
+        """A row reconstructs from any half of its cells (RS n=2k)."""
+        return self.row_count(row) >= self.ext_cols // 2
+
+    def col_reconstructable(self, col: int) -> bool:
+        return self.col_count(col) >= self.ext_rows // 2
+
+    # ------------------------------------------------------------------
+    # reconstruction closure (peeling)
+    # ------------------------------------------------------------------
+    def close(self) -> Set[int]:
+        """Apply reconstruction transitively; returns newly available ids.
+
+        Repeats until fixpoint: complete every row with >= half its
+        cells, then every column, and loop while progress is made.
+        """
+        new_cells: Set[int] = set()
+        half_cols = self.ext_cols // 2
+        half_rows = self.ext_rows // 2
+        progress = True
+        while progress:
+            progress = False
+            for row in range(self.ext_rows):
+                mask = self._row_masks[row]
+                if mask != self._full_row and mask.bit_count() >= half_cols:
+                    missing = self._full_row & ~mask
+                    base = row * self.ext_cols
+                    for col in range(self.ext_cols):
+                        if missing & (1 << col):
+                            new_cells.add(base + col)
+                    self._count += missing.bit_count()
+                    self._row_masks[row] = self._full_row
+                    progress = True
+            # columns: count per column once, then fill reconstructable ones
+            for col in range(self.ext_cols):
+                bit = 1 << col
+                have = [bool(self._row_masks[r] & bit) for r in range(self.ext_rows)]
+                count = sum(have)
+                if count >= half_rows and count < self.ext_rows:
+                    for row in range(self.ext_rows):
+                        if not have[row]:
+                            self._row_masks[row] |= bit
+                            new_cells.add(row * self.ext_cols + col)
+                            self._count += 1
+                    progress = True
+        return new_cells
+
+    def fully_available(self) -> bool:
+        return self._count == self.ext_rows * self.ext_cols
+
+    def recoverable(self) -> bool:
+        """Can the *entire* grid be recovered from what is available?
+
+        Runs the closure on a copy so the tracker itself is unchanged.
+        """
+        probe = RowColumnAvailability(self.ext_rows, self.ext_cols)
+        probe._row_masks = list(self._row_masks)
+        probe._count = self._count
+        probe.close()
+        return probe.fully_available()

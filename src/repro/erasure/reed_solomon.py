@@ -1,0 +1,120 @@
+"""Systematic Reed-Solomon erasure codec (evaluation form).
+
+A codeword of length ``n`` with ``k`` data symbols is the evaluation of
+the unique degree-<k polynomial interpolating the data at points
+``0..k-1``, extended to points ``k..n-1``. Any ``k`` received symbols
+determine the polynomial (Lagrange interpolation) and hence every
+erased position — exactly the "any 50% of a row/column reconstructs
+it" property the PANDAS blob relies on (n = 2k).
+
+This is an *erasure* decoder (positions of missing symbols are known),
+which matches DAS: cells are authenticated by their KZG proofs, so a
+node never holds a wrong symbol, only missing ones.
+
+Complexity is O(k^2) per decode; fine for the unit/integration scale
+(k up to 256 is exercised in tests), while the protocol simulation
+layer tracks availability combinatorially and does not move real
+bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.erasure.gf import GF256, GF65536, GaloisField
+
+__all__ = ["ReedSolomon"]
+
+
+class ReedSolomon:
+    """RS(n, k) erasure codec over GF(2^8) or GF(2^16)."""
+
+    def __init__(self, k: int, n: int, field: GaloisField | None = None) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if n <= k:
+            raise ValueError(f"n ({n}) must exceed k ({k})")
+        if field is None:
+            field = GF256() if n <= 255 else GF65536()
+        if n > field.order - 1:
+            raise ValueError(
+                f"codeword length {n} exceeds field capacity {field.order - 1}"
+            )
+        self.k = k
+        self.n = n
+        self.field = field
+
+    # ------------------------------------------------------------------
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """Extend ``k`` data symbols to a full ``n``-symbol codeword.
+
+        Systematic: the first ``k`` output symbols equal the input.
+        """
+        if len(data) != self.k:
+            raise ValueError(f"expected {self.k} data symbols, got {len(data)}")
+        known = {i: int(symbol) for i, symbol in enumerate(data)}
+        parity = self._interpolate_at(known, list(range(self.k, self.n)))
+        return [int(s) for s in data] + parity
+
+    def decode(self, known: Dict[int, int]) -> List[int]:
+        """Recover the full codeword from any >= k known symbols.
+
+        ``known`` maps position (0..n-1) to symbol value. Raises
+        ``ValueError`` if fewer than ``k`` positions are supplied —
+        below the threshold the codeword is information-theoretically
+        unrecoverable, the core fact behind the withholding analysis.
+        """
+        if len(known) < self.k:
+            raise ValueError(
+                f"need at least {self.k} symbols to decode, got {len(known)}"
+            )
+        for pos in known:
+            if not 0 <= pos < self.n:
+                raise ValueError(f"position {pos} outside codeword of length {self.n}")
+        use = dict(list(known.items())[: self.k])
+        missing = [i for i in range(self.n) if i not in known]
+        recovered = self._interpolate_at(use, missing)
+        codeword = [0] * self.n
+        for pos, value in known.items():
+            codeword[pos] = int(value)
+        for pos, value in zip(missing, recovered):
+            codeword[pos] = value
+        return codeword
+
+    # ------------------------------------------------------------------
+    def _interpolate_at(self, points: Dict[int, int], targets: List[int]) -> List[int]:
+        """Lagrange-interpolate ``points`` and evaluate at ``targets``.
+
+        Positions double as evaluation points (the field elements
+        0..n-1), which is safe because n < field order.
+        """
+        gf = self.field
+        xs = list(points.keys())
+        ys = list(points.values())
+        k = len(xs)
+        # Precompute denominators: d_j = prod_{i != j} (x_j - x_i)
+        denominators = []
+        for j in range(k):
+            d = 1
+            xj = xs[j]
+            for i in range(k):
+                if i != j:
+                    d = gf.mul(d, xj ^ xs[i])
+            denominators.append(d)
+        results = []
+        for x in targets:
+            # full product P(x) = prod_i (x - x_i)
+            full = 1
+            for xi in xs:
+                full = gf.mul(full, x ^ xi)
+            acc = 0
+            for j in range(k):
+                if ys[j] == 0:
+                    continue
+                # L_j(x) = P(x) / ((x - x_j) * d_j)
+                lj = gf.div(full, gf.mul(x ^ xs[j], denominators[j]))
+                acc ^= gf.mul(ys[j], lj)
+            results.append(acc)
+        return results

@@ -1,0 +1,264 @@
+"""Per-figure experiment runners (the evaluation of Section 8).
+
+Each function reproduces one table or figure of the paper and returns
+a structured result the benchmark harness prints as paper-vs-measured
+rows. Scales default to laptop-friendly node counts; the paper's
+scales are reached by raising ``num_nodes`` (the protocol and all
+parameters are identical — only population changes).
+
+Experiment index (also in DESIGN.md):
+
+========  =====================================================
+Fig. 9    phase-time CDFs for the three seeding policies
+Fig. 10   fetch messages / traffic volume distributions
+Table 1   per-round fetching telemetry
+Fig. 11   adaptive vs constant fetching
+Fig. 12   PANDAS vs GossipSub vs DHT at one scale
+Fig. 13   PANDAS scaling across node counts
+Fig. 14   baseline scaling across node counts
+Fig. 15   dead-node and out-of-view fault sweeps
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import Distribution
+from repro.core.seeding import MinimalSeeding, RedundantSeeding, SeedingPolicy, SingleSeeding
+from repro.experiments.scenario import BaseScenario, Scenario, ScenarioConfig
+from repro.params import FetchSchedule, PandasParams
+
+__all__ = [
+    "PolicyPhases",
+    "run_policy_comparison",
+    "run_table1",
+    "run_adaptive_vs_constant",
+    "run_baseline_comparison",
+    "run_scaling",
+    "run_fault_sweep",
+    "SEEDING_POLICIES",
+]
+
+
+def SEEDING_POLICIES() -> Dict[str, SeedingPolicy]:
+    """Fresh instances of the three policies of Figure 6."""
+    return {
+        "minimal": MinimalSeeding(),
+        "single": SingleSeeding(),
+        "redundant": RedundantSeeding(8),
+    }
+
+
+@dataclass
+class PolicyPhases:
+    """Figures 9 & 10 data for one seeding policy."""
+
+    policy: str
+    seeding: Distribution
+    consolidation: Distribution
+    sampling: Distribution
+    fetch_messages: Distribution
+    fetch_bytes: Distribution
+    builder_egress_bytes: float
+    block: Optional[Distribution] = None
+
+
+def _phase_result(scenario: BaseScenario, policy_name: str) -> PolicyPhases:
+    phases = scenario.phase_distributions()
+    block = None
+    if isinstance(scenario, Scenario) and scenario.block_overlay is not None:
+        block = scenario.block_distribution()
+    return PolicyPhases(
+        policy=policy_name,
+        seeding=phases.seeding,
+        consolidation=phases.consolidation,
+        sampling=phases.sampling,
+        fetch_messages=scenario.fetch_message_distribution(),
+        fetch_bytes=scenario.fetch_bytes_distribution(),
+        builder_egress_bytes=scenario.builder_egress_bytes(0),
+        block=block,
+    )
+
+
+def _consolidation_from_seeding(scenario: BaseScenario) -> Distribution:
+    """Per-node (consolidation - seeding) differences (Figure 9b)."""
+    values = []
+    for (_slot, node), times in scenario.metrics.phase_times.items():
+        if node in scenario.dead_nodes:
+            continue
+        if times.consolidation is None:
+            values.append(None)
+        elif times.seeding is None:
+            values.append(times.consolidation)
+        else:
+            values.append(times.consolidation - times.seeding)
+    return Distribution.from_optional(values)
+
+
+def run_policy_comparison(
+    num_nodes: int = 300,
+    slots: int = 1,
+    seed: int = 7,
+    include_block_gossip: bool = True,
+    params: Optional[PandasParams] = None,
+) -> Dict[str, PolicyPhases]:
+    """Figures 9a-9d and 10: all three seeding policies, same network.
+
+    Returns per-policy phase and traffic distributions; the special key
+    ``"<policy>:from_seeding"`` carries the Figure 9b variant.
+    """
+    results: Dict[str, PolicyPhases] = {}
+    for name, policy in SEEDING_POLICIES().items():
+        config = ScenarioConfig(
+            num_nodes=num_nodes,
+            slots=slots,
+            seed=seed,
+            policy=policy,
+            include_block_gossip=include_block_gossip,
+            params=params if params is not None else PandasParams.full(),
+        )
+        scenario = Scenario(config).run()
+        results[name] = _phase_result(scenario, name)
+        results[f"{name}:from_seeding"] = PolicyPhases(
+            policy=f"{name}:from_seeding",
+            seeding=results[name].seeding,
+            consolidation=_consolidation_from_seeding(scenario),
+            sampling=results[name].sampling,
+            fetch_messages=results[name].fetch_messages,
+            fetch_bytes=results[name].fetch_bytes,
+            builder_egress_bytes=results[name].builder_egress_bytes,
+        )
+    return results
+
+
+def run_table1(
+    num_nodes: int = 300,
+    slots: int = 1,
+    seed: int = 7,
+    max_round: int = 4,
+    params: Optional[PandasParams] = None,
+) -> Dict[int, Dict[str, Tuple[float, float]]]:
+    """Table 1: per-round fetching telemetry under the redundant policy."""
+    config = ScenarioConfig(
+        num_nodes=num_nodes,
+        slots=slots,
+        seed=seed,
+        policy=RedundantSeeding(8),
+        params=params if params is not None else PandasParams.full(),
+    )
+    scenario = Scenario(config).run()
+    return scenario.metrics.round_table(max_round)
+
+
+def run_adaptive_vs_constant(
+    num_nodes: int = 300,
+    slots: int = 1,
+    seed: int = 7,
+    params: Optional[PandasParams] = None,
+) -> Dict[str, PolicyPhases]:
+    """Figure 11: PANDAS's schedule vs fixed t=400 ms / k=1."""
+    base_params = params if params is not None else PandasParams.full()
+    results: Dict[str, PolicyPhases] = {}
+    for name, schedule in (
+        ("adaptive", FetchSchedule()),
+        ("constant", FetchSchedule.constant(timeout=0.4, redundancy=1)),
+    ):
+        config = ScenarioConfig(
+            num_nodes=num_nodes,
+            slots=slots,
+            seed=seed,
+            policy=RedundantSeeding(8),
+            params=base_params.with_schedule(schedule),
+        )
+        scenario = Scenario(config).run()
+        results[name] = _phase_result(scenario, name)
+    return results
+
+
+def run_baseline_comparison(
+    num_nodes: int = 300,
+    slots: int = 1,
+    seed: int = 7,
+    params: Optional[PandasParams] = None,
+) -> Dict[str, PolicyPhases]:
+    """Figure 12: PANDAS (redundant r=8) vs GossipSub vs DHT baselines."""
+    from repro.baselines.dht_das import DhtDasScenario
+    from repro.baselines.gossipsub_das import GossipDasScenario
+
+    results: Dict[str, PolicyPhases] = {}
+    pandas_config = ScenarioConfig(
+        num_nodes=num_nodes,
+        slots=slots,
+        seed=seed,
+        policy=RedundantSeeding(8),
+        params=params if params is not None else PandasParams.full(),
+    )
+    results["pandas"] = _phase_result(Scenario(pandas_config).run(), "pandas")
+    results["gossipsub"] = _phase_result(
+        GossipDasScenario(pandas_config.with_changes()).run(), "gossipsub"
+    )
+    results["dht"] = _phase_result(
+        DhtDasScenario(pandas_config.with_changes()).run(), "dht"
+    )
+    return results
+
+
+def run_scaling(
+    node_counts: Sequence[int] = (100, 200, 400),
+    slots: int = 1,
+    seed: int = 7,
+    system: str = "pandas",
+    params: Optional[PandasParams] = None,
+) -> Dict[int, PolicyPhases]:
+    """Figures 13 (system='pandas') and 14 (baselines): size sweeps."""
+    from repro.baselines.dht_das import DhtDasScenario
+    from repro.baselines.gossipsub_das import GossipDasScenario
+
+    makers = {
+        "pandas": Scenario,
+        "gossipsub": GossipDasScenario,
+        "dht": DhtDasScenario,
+    }
+    if system not in makers:
+        raise ValueError(f"unknown system {system!r}")
+    results: Dict[int, PolicyPhases] = {}
+    for count in node_counts:
+        config = ScenarioConfig(
+            num_nodes=count,
+            slots=slots,
+            seed=seed,
+            policy=RedundantSeeding(8),
+            params=params if params is not None else PandasParams.full(),
+        )
+        scenario = makers[system](config).run()
+        results[count] = _phase_result(scenario, f"{system}@{count}")
+    return results
+
+
+def run_fault_sweep(
+    fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    fault: str = "dead",
+    num_nodes: int = 300,
+    slots: int = 1,
+    seed: int = 7,
+    params: Optional[PandasParams] = None,
+) -> Dict[float, PolicyPhases]:
+    """Figure 15: dead-node (a) or out-of-view (b) sweeps."""
+    if fault not in ("dead", "out_of_view"):
+        raise ValueError(f"unknown fault type {fault!r}")
+    results: Dict[float, PolicyPhases] = {}
+    for fraction in fractions:
+        config = ScenarioConfig(
+            num_nodes=num_nodes,
+            slots=slots,
+            seed=seed,
+            policy=RedundantSeeding(8),
+            params=params if params is not None else PandasParams.full(),
+            dead_fraction=fraction if fault == "dead" else 0.0,
+            out_of_view_fraction=fraction if fault == "out_of_view" else 0.0,
+        )
+        scenario = Scenario(config).run()
+        results[fraction] = _phase_result(scenario, f"{fault}@{fraction:.0%}")
+    return results

@@ -1,0 +1,343 @@
+"""Scenario drivers: build a network, run slots, extract distributions.
+
+``BaseScenario`` owns everything protocol-independent — the simulation
+engine, WAN latency model, shaped transport, topology placement, fault
+injection and traffic accounting — and is shared by the PANDAS
+scenario here and the two baselines in :mod:`repro.baselines`.
+
+Defaults mirror Section 8.1: full Danksharding parameters, the
+IPFS-like latency model, 25 Mbps node links, a 10 Gbps builder placed
+in the best-connected 20% of vertices, 3% UDP loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.analysis.stats import Distribution
+from repro.core.assignment import AssignmentIndex, CellAssignment
+from repro.core.builder import Builder
+from repro.core.context import ProtocolContext
+from repro.core.node import PandasNode
+from repro.core.seeding import RedundantSeeding, SeedingPolicy
+from repro.crypto.randao import RandaoBeacon
+from repro.net.latency import ClusteredWanModel, LatencyModel
+from repro.net.topology import DEFAULT_BUILDER_PROFILE, DEFAULT_NODE_PROFILE, NodeProfile, Topology
+from repro.net.transport import DEFAULT_LOSS_RATE, Datagram, Network
+from repro.params import PandasParams
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ScenarioConfig", "BaseScenario", "Scenario", "PhaseDistributions"]
+
+
+@dataclass
+class ScenarioConfig:
+    """All knobs of one experiment."""
+
+    num_nodes: int = 200
+    params: PandasParams = field(default_factory=PandasParams.full)
+    policy: SeedingPolicy = field(default_factory=RedundantSeeding)
+    seed: int = 0
+    loss_rate: float = DEFAULT_LOSS_RATE
+    slots: int = 1
+    slot_window: float = 12.0
+    dead_fraction: float = 0.0
+    out_of_view_fraction: float = 0.0
+    node_profile: NodeProfile = DEFAULT_NODE_PROFILE
+    builder_profile: NodeProfile = DEFAULT_BUILDER_PROFILE
+    latency: Optional[LatencyModel] = None  # default: ClusteredWanModel
+    num_vertices: int = 2_000
+    # disseminate the block over a global GossipSub channel alongside
+    # DAS (Figure 9a's comparison curve); off by default so pure DAS
+    # timing runs are undisturbed
+    include_block_gossip: bool = False
+    block_bytes: int = 120_000
+
+    def make_latency(self) -> LatencyModel:
+        if self.latency is not None:
+            return self.latency
+        return ClusteredWanModel(num_vertices=self.num_vertices, seed=self.seed)
+
+    def with_changes(self, **changes) -> "ScenarioConfig":
+        return replace(self, **changes)
+
+
+@dataclass
+class PhaseDistributions:
+    seeding: Distribution
+    consolidation: Distribution
+    sampling: Distribution
+
+
+class BaseScenario:
+    """Protocol-independent scaffolding for one constructed network."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.latency = config.make_latency()
+        self.network = Network(
+            self.sim, self.latency, config.loss_rate, self.rngs.stream("loss")
+        )
+        self.metrics = MetricsRecorder()
+        self.params = config.params
+        self.assignment = CellAssignment(self.params, RandaoBeacon(config.seed))
+        self._indexes: Dict[int, AssignmentIndex] = {}
+
+        self.node_ids = list(range(config.num_nodes))
+        self.builder_id = config.num_nodes
+
+        self.ctx = ProtocolContext(
+            sim=self.sim,
+            network=self.network,
+            params=self.params,
+            assignment=self.assignment,
+            metrics=self.metrics,
+            rngs=self.rngs,
+            index_for_epoch=self._index_for_epoch,
+        )
+
+        self._place_participants()
+        self.dead_nodes = self._pick_dead_nodes()
+        self._build_participants()
+        self._wire_metrics()
+        for dead in self.dead_nodes:
+            self.network.kill(dead)
+
+    # ------------------------------------------------------------------
+    # hooks for protocol-specific subclasses
+    # ------------------------------------------------------------------
+    def _build_participants(self) -> None:
+        raise NotImplementedError
+
+    def _node_handler(self, node_id: int) -> Callable[[Datagram], None]:
+        raise NotImplementedError
+
+    def _begin_slot(self, slot: int) -> None:
+        """Kick off the slot (seed dissemination etc.)."""
+        raise NotImplementedError
+
+    def _end_slot(self, slot: int) -> None:
+        """Release per-slot state."""
+
+    # ------------------------------------------------------------------
+    # shared construction
+    # ------------------------------------------------------------------
+    def _index_for_epoch(self, epoch: int) -> AssignmentIndex:
+        index = self._indexes.get(epoch)
+        if index is None:
+            index = AssignmentIndex(self.assignment, epoch, self.node_ids)
+            self._indexes[epoch] = index
+        return index
+
+    def _place_participants(self) -> None:
+        rng = self.rngs.stream("topology")
+        self.topology = Topology.build(
+            self.latency, self.node_ids, [self.builder_id], rng
+        )
+        config = self.config
+        for node_id in self.node_ids:
+            self.network.register(
+                node_id,
+                self.topology.vertex_of(node_id),
+                self._node_handler(node_id),
+                config.node_profile.up_rate,
+                config.node_profile.down_rate,
+            )
+        self.network.register(
+            self.builder_id,
+            self.topology.vertex_of(self.builder_id),
+            self._builder_handler(),
+            config.builder_profile.up_rate,
+            config.builder_profile.down_rate,
+        )
+
+    def _builder_handler(self) -> Callable[[Datagram], None]:
+        return lambda dgram: None
+
+    def _pick_dead_nodes(self) -> Set[int]:
+        fraction = self.config.dead_fraction
+        if fraction <= 0.0:
+            return set()
+        rng = self.rngs.stream("dead")
+        count = int(round(fraction * len(self.node_ids)))
+        return set(rng.sample(self.node_ids, count))
+
+    def _node_view(self, node_id: int) -> Optional[Set[int]]:
+        """Out-of-view fault model: a random subset of the node set."""
+        fraction = self.config.out_of_view_fraction
+        if fraction <= 0.0:
+            return None  # complete, consistent view
+        rng = self.rngs.stream("view", node_id)
+        keep = int(round((1.0 - fraction) * len(self.node_ids)))
+        view = set(rng.sample(self.node_ids, keep))
+        view.add(node_id)
+        return view
+
+    def _wire_metrics(self) -> None:
+        """Account traffic: builder egress vs node fetch traffic.
+
+        "Fetch" traffic is everything nodes exchange among themselves
+        (queries, responses, gossip forwards, DHT RPCs) in both
+        directions — the quantity of Figures 10, 12b, 13b/c, 14b/c.
+        Builder-sourced seeding is tracked separately.
+        """
+        metrics = self.metrics
+        builder_id = self.builder_id
+
+        def on_send(dgram: Datagram) -> None:
+            slot = getattr(dgram.payload, "slot", None)
+            if slot is None or slot < 0:
+                return
+            if dgram.src == builder_id:
+                metrics.record_builder_send(slot, dgram.size)
+                return
+            metrics.record_send(slot, dgram.src, dgram.size)
+            if dgram.dst != builder_id:
+                metrics.fetch_messages.add(slot, dgram.src)
+                metrics.fetch_bytes.add(slot, dgram.src, dgram.size)
+
+        def on_deliver(dgram: Datagram) -> None:
+            slot = getattr(dgram.payload, "slot", None)
+            if slot is None or slot < 0 or dgram.dst == builder_id:
+                return
+            metrics.record_receive(slot, dgram.dst, dgram.size)
+            if dgram.src != builder_id:
+                metrics.fetch_messages.add(slot, dgram.dst)
+                metrics.fetch_bytes.add(slot, dgram.dst, dgram.size)
+
+        self.network.on_send.append(on_send)
+        self.network.on_deliver.append(on_deliver)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_slot(self, slot: int) -> None:
+        """Run one full slot of the protocol."""
+        start = slot * self.params.slot_duration
+        if self.sim.now < start:
+            self.sim.run(until=start)
+        self.ctx.begin_slot(slot)
+        self._begin_slot(slot)
+        self.sim.run(until=start + self.config.slot_window)
+        self._end_slot(slot)
+
+    def run(self, slots: Optional[int] = None) -> "BaseScenario":
+        for slot in range(slots if slots is not None else self.config.slots):
+            self.run_slot(slot)
+        return self
+
+    # ------------------------------------------------------------------
+    # result extraction
+    # ------------------------------------------------------------------
+    @property
+    def live_node_count(self) -> int:
+        return len(self.node_ids) - len(self.dead_nodes)
+
+    def _alive_phase(self, phase: str) -> List[Optional[float]]:
+        """Phase times over live nodes only; absent entries are misses."""
+        values: List[Optional[float]] = []
+        for (slot, node), times in self.metrics.phase_times.items():
+            if node in self.dead_nodes:
+                continue
+            values.append(getattr(times, phase))
+        slots_run = len(self.ctx.slot_starts)
+        expected = slots_run * self.live_node_count
+        values.extend([None] * max(0, expected - len(values)))
+        return values
+
+    def phase_distributions(self) -> PhaseDistributions:
+        return PhaseDistributions(
+            seeding=Distribution.from_optional(self._alive_phase("seeding")),
+            consolidation=Distribution.from_optional(self._alive_phase("consolidation")),
+            sampling=Distribution.from_optional(self._alive_phase("sampling")),
+        )
+
+    def sampling_distribution(self) -> Distribution:
+        return Distribution.from_optional(self._alive_phase("sampling"))
+
+    def fetch_message_distribution(self) -> Distribution:
+        values = [
+            value
+            for (slot, node), value in self.metrics.fetch_messages._data.items()
+            if node not in self.dead_nodes
+        ]
+        return Distribution(sorted(values))
+
+    def fetch_bytes_distribution(self) -> Distribution:
+        values = [
+            value
+            for (slot, node), value in self.metrics.fetch_bytes._data.items()
+            if node not in self.dead_nodes
+        ]
+        return Distribution(sorted(values))
+
+    def builder_egress_bytes(self, slot: int = 0) -> float:
+        return self.metrics.builder_bytes_sent.get(slot, 0.0)
+
+
+class Scenario(BaseScenario):
+    """The PANDAS protocol scenario (builder seeding + adaptive fetch)."""
+
+    def _build_participants(self) -> None:
+        self.nodes: Dict[int, PandasNode] = {
+            node_id: PandasNode(self.ctx, node_id, self._node_view(node_id))
+            for node_id in self.node_ids
+        }
+        self.builder = Builder(self.ctx, self.builder_id, self.config.policy)
+        self.block_overlay: Optional["GossipOverlay"] = None
+        if self.config.include_block_gossip:
+            from repro.gossip.pubsub import GossipOverlay
+
+            self.block_overlay = GossipOverlay(
+                self.network, self.rngs.stream("block-mesh")
+            )
+            self.block_overlay.create_topic(
+                "blocks", self.node_ids, handler=self._on_block
+            )
+
+    def _on_block(self, member: int, message) -> None:
+        self.metrics.mark_block(
+            message.slot, member, self.ctx.since_slot_start(message.slot)
+        )
+
+    def _node_handler(self, node_id: int) -> Callable[[Datagram], None]:
+        def handler(dgram: Datagram) -> None:
+            from repro.gossip.pubsub import GossipMessage
+
+            if isinstance(dgram.payload, GossipMessage):
+                if self.block_overlay is not None:
+                    self.block_overlay.on_datagram(node_id, dgram)
+                return
+            self.nodes[node_id].on_datagram(dgram)
+
+        return handler
+
+    def _begin_slot(self, slot: int) -> None:
+        if self.block_overlay is not None:
+            # a randomly chosen node acts as the proposer and gossips
+            # the block, concurrently with the builder's seeding
+            proposer = self.rngs.stream("proposer").choice(self.node_ids)
+            self.metrics.mark_block(slot, proposer, 0.0)
+            self.block_overlay.publish(
+                publisher=proposer,
+                topic="blocks",
+                msg_id=("block", slot),
+                payload=None,
+                payload_size=self.config.block_bytes,
+                slot=slot,
+            )
+        self.builder.seed_slot(slot)
+
+    def _end_slot(self, slot: int) -> None:
+        for node in self.nodes.values():
+            node.drop_slot(slot)
+        if self.block_overlay is not None:
+            self.block_overlay.reset_seen()
+
+    def block_distribution(self) -> Distribution:
+        return Distribution.from_optional(self._alive_phase("block"))

@@ -1,0 +1,5 @@
+"""GossipSub-style pub/sub substrate."""
+
+from repro.gossip.pubsub import DEFAULT_MESH_DEGREE, GossipMessage, GossipOverlay
+
+__all__ = ["DEFAULT_MESH_DEGREE", "GossipMessage", "GossipOverlay"]

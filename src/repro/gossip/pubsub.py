@@ -1,0 +1,176 @@
+"""GossipSub-style topic pub/sub over the simulated network.
+
+Used in two places, matching the paper:
+
+- the system-wide channel that disseminates each new *block* (step 2
+  of Figure 4), whose reception-time CDF Figure 9a shows next to the
+  PANDAS phases;
+- the GossipSub DAS baseline of Figures 12 and 14 (one channel per
+  unit of custody).
+
+The model captures what matters for dissemination timing: per-topic
+meshes of bounded degree (libp2p default D=8), eager push of full
+messages along mesh edges, duplicate suppression by message id, and
+TCP transport (reliable, so no Bernoulli loss — retransmission is
+already abstracted by the latency/bandwidth path). Control-plane
+details (IHAVE/IWANT lazy gossip, heartbeat GRAFT/PRUNE churn) shift
+tail behaviour only on much longer timescales than one slot, and are
+deliberately out of scope; the mesh is built at subscription time and
+static within a run, as in PeerSim-style evaluations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.net.transport import Datagram, Network
+
+__all__ = ["GossipMessage", "GossipOverlay", "DEFAULT_MESH_DEGREE"]
+
+DEFAULT_MESH_DEGREE = 8
+GOSSIP_HEADER_BYTES = 80  # topic id, message id, framing
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """One pub/sub data frame.
+
+    ``slot`` mirrors the protocol messages so traffic observers can
+    attribute gossip bytes to a slot.
+    """
+
+    topic: Hashable
+    msg_id: Hashable
+    payload: object
+    payload_size: int
+    slot: int = -1
+
+    @property
+    def size(self) -> int:
+        return self.payload_size + GOSSIP_HEADER_BYTES
+
+
+class GossipOverlay:
+    """All topics' meshes plus per-member routing state.
+
+    One overlay instance serves every participant; members are network
+    addresses. The owner routes incoming ``GossipMessage`` datagrams
+    to :meth:`on_datagram`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rng: random.Random,
+        mesh_degree: int = DEFAULT_MESH_DEGREE,
+    ) -> None:
+        if mesh_degree < 1:
+            raise ValueError("mesh degree must be positive")
+        self.network = network
+        self.rng = rng
+        self.mesh_degree = mesh_degree
+        self._mesh: Dict[Tuple[Hashable, int], Set[int]] = {}
+        self._members: Dict[Hashable, List[int]] = {}
+        self._seen: Dict[int, Set[Tuple[Hashable, Hashable]]] = {}
+        self._handlers: Dict[Hashable, Callable[[int, GossipMessage], None]] = {}
+        self.messages_forwarded = 0
+        self.duplicates_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def create_topic(
+        self,
+        topic: Hashable,
+        members: List[int],
+        handler: Optional[Callable[[int, GossipMessage], None]] = None,
+    ) -> None:
+        """Subscribe ``members`` and build the topic mesh.
+
+        Each member GRAFTs ``mesh_degree`` random peers; meshes are
+        symmetric (an edge serves both directions), giving the usual
+        degree distribution around 1-2x the target.
+        """
+        if topic in self._members:
+            raise ValueError(f"topic {topic!r} already exists")
+        self._members[topic] = list(members)
+        if handler is not None:
+            self._handlers[topic] = handler
+        for member in members:
+            self._mesh.setdefault((topic, member), set())
+        if len(members) < 2:
+            return
+        for member in members:
+            others = [m for m in members if m != member]
+            picks = self.rng.sample(others, min(self.mesh_degree, len(others)))
+            for pick in picks:
+                self._mesh[(topic, member)].add(pick)
+                self._mesh[(topic, pick)].add(member)
+
+    def mesh_neighbors(self, topic: Hashable, member: int) -> Set[int]:
+        return self._mesh.get((topic, member), set())
+
+    def topic_members(self, topic: Hashable) -> List[int]:
+        return self._members.get(topic, [])
+
+    def set_handler(self, topic: Hashable, handler: Callable[[int, GossipMessage], None]) -> None:
+        self._handlers[topic] = handler
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        publisher: int,
+        topic: Hashable,
+        msg_id: Hashable,
+        payload: object,
+        payload_size: int,
+        slot: int = -1,
+        fanout: Optional[int] = None,
+    ) -> None:
+        """Inject a message.
+
+        A publisher subscribed to the topic pushes to its mesh; an
+        external publisher (e.g. the builder) pushes to ``fanout``
+        random members, per GossipSub's fanout rule.
+        """
+        message = GossipMessage(topic, msg_id, payload, payload_size, slot)
+        neighbors = self._mesh.get((topic, publisher))
+        if neighbors is None:
+            members = self._members.get(topic, [])
+            if not members:
+                return
+            count = min(fanout if fanout is not None else self.mesh_degree, len(members))
+            neighbors = set(self.rng.sample(members, count))
+        self._seen.setdefault(publisher, set()).add((topic, msg_id))
+        for neighbor in neighbors:
+            self._push(publisher, neighbor, message)
+
+    def _push(self, src: int, dst: int, message: GossipMessage) -> None:
+        self.messages_forwarded += 1
+        self.network.send(src, dst, message, message.size, reliable=True)
+
+    def on_datagram(self, member: int, dgram: Datagram) -> None:
+        """Mesh forwarding with duplicate suppression."""
+        message = dgram.payload
+        if not isinstance(message, GossipMessage):
+            return
+        seen = self._seen.setdefault(member, set())
+        key = (message.topic, message.msg_id)
+        if key in seen:
+            self.duplicates_suppressed += 1
+            return
+        seen.add(key)
+        handler = self._handlers.get(message.topic)
+        if handler is not None:
+            handler(member, message)
+        for neighbor in self._mesh.get((message.topic, member), ()):
+            if neighbor != dgram.src:
+                self._push(member, neighbor, message)
+
+    def reset_seen(self) -> None:
+        """Forget message ids (between slots, to bound memory)."""
+        self._seen.clear()

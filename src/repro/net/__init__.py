@@ -1,0 +1,29 @@
+"""Network substrate: latency models, shaped links, lossy UDP transport."""
+
+from repro.net.latency import ClusteredWanModel, ConstantLatency, LatencyModel, UniformLatency
+from repro.net.link import AccessLink, gbps, mbps
+from repro.net.topology import (
+    DEFAULT_BUILDER_PROFILE,
+    DEFAULT_NODE_PROFILE,
+    NodeProfile,
+    Topology,
+)
+from repro.net.transport import DEFAULT_LOSS_RATE, Datagram, Endpoint, Network
+
+__all__ = [
+    "ClusteredWanModel",
+    "ConstantLatency",
+    "LatencyModel",
+    "UniformLatency",
+    "AccessLink",
+    "gbps",
+    "mbps",
+    "DEFAULT_BUILDER_PROFILE",
+    "DEFAULT_NODE_PROFILE",
+    "NodeProfile",
+    "Topology",
+    "DEFAULT_LOSS_RATE",
+    "Datagram",
+    "Endpoint",
+    "Network",
+]

@@ -1,0 +1,71 @@
+"""Bandwidth-limited access links.
+
+The paper caps each node's connection at 25 Mbps and the builder's at
+10 Gbps. We model each endpoint with an uplink and a downlink modelled
+as FIFO serialization queues: a message of ``size`` bytes occupies the
+link for ``size * 8 / rate`` seconds, and back-to-back messages queue
+behind each other. This is what makes the *redundant* seeding policy
+measurably heavier for the builder and what creates the contention
+effects the paper reports ("reduced contention on peer bandwidth ...
+speeds up the fetching operation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessLink", "mbps", "gbps"]
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return value * 1e6 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * 1e9 / 8.0
+
+
+@dataclass
+class AccessLink:
+    """One endpoint's uplink + downlink serialization state.
+
+    Rates are in bytes/second. ``None`` disables shaping for that
+    direction (infinite capacity), useful in unit tests.
+    """
+
+    up_rate: float | None
+    down_rate: float | None
+    up_busy_until: float = 0.0
+    down_busy_until: float = 0.0
+    up_bytes: float = 0.0
+    down_bytes: float = 0.0
+
+    def reserve_uplink(self, now: float, size: int) -> float:
+        """Serialize ``size`` bytes out; returns departure time."""
+        self.up_bytes += size
+        if self.up_rate is None:
+            return now
+        start = max(now, self.up_busy_until)
+        self.up_busy_until = start + size / self.up_rate
+        return self.up_busy_until
+
+    def reserve_downlink(self, arrival: float, size: int) -> float:
+        """Serialize ``size`` bytes in; returns full-delivery time."""
+        self.down_bytes += size
+        if self.down_rate is None:
+            return arrival
+        start = max(arrival, self.down_busy_until)
+        self.down_busy_until = start + size / self.down_rate
+        return self.down_busy_until
+
+    def uplink_backlog(self, now: float) -> float:
+        """Seconds of queued, not-yet-serialized outgoing traffic."""
+        return max(0.0, self.up_busy_until - now)
+
+    def reset(self) -> None:
+        self.up_busy_until = 0.0
+        self.down_busy_until = 0.0
+        self.up_bytes = 0.0
+        self.down_bytes = 0.0

@@ -1,0 +1,77 @@
+"""Topology: placing nodes and builders onto latency-model vertices.
+
+Mirrors the paper's setup: nodes are assigned to trace vertices
+randomly (with reuse when there are more nodes than vertices, exactly
+as the paper does beyond 10,000 nodes); the builder is placed on a
+vertex randomly chosen among the 20% with the best average latency,
+modelling a cloud deployment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.net.latency import LatencyModel
+from repro.net.link import gbps, mbps
+
+__all__ = ["NodeProfile", "Topology", "DEFAULT_NODE_PROFILE", "DEFAULT_BUILDER_PROFILE"]
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Link capacities for a class of participants (bytes/second)."""
+
+    up_rate: float | None
+    down_rate: float | None
+    label: str = "node"
+
+
+# The paper caps node connections at 25 Mbps (both directions in the
+# testbed) and the builder at 10 Gbps.
+DEFAULT_NODE_PROFILE = NodeProfile(up_rate=mbps(25), down_rate=mbps(25), label="node")
+DEFAULT_BUILDER_PROFILE = NodeProfile(up_rate=gbps(10), down_rate=gbps(10), label="builder")
+
+
+@dataclass
+class Topology:
+    """Assignment of simulation participants to latency vertices."""
+
+    latency: LatencyModel
+    node_vertices: Dict[int, int] = field(default_factory=dict)
+    builder_vertices: Dict[int, int] = field(default_factory=dict)
+
+    @staticmethod
+    def build(
+        latency: LatencyModel,
+        node_ids: Sequence[int],
+        builder_ids: Sequence[int],
+        rng: random.Random,
+        builder_fraction: float = 0.2,
+    ) -> "Topology":
+        """Place nodes uniformly and builders among the best vertices."""
+        topo = Topology(latency)
+        num_vertices = latency.num_vertices
+        for node_id in node_ids:
+            topo.node_vertices[node_id] = rng.randrange(num_vertices)
+        if builder_ids:
+            best = _best_vertices(latency, builder_fraction)
+            for builder_id in builder_ids:
+                topo.builder_vertices[builder_id] = rng.choice(best)
+        return topo
+
+    def vertex_of(self, participant_id: int) -> int:
+        if participant_id in self.node_vertices:
+            return self.node_vertices[participant_id]
+        return self.builder_vertices[participant_id]
+
+
+def _best_vertices(latency: LatencyModel, fraction: float) -> List[int]:
+    best_connected = getattr(latency, "best_connected", None)
+    if callable(best_connected):
+        return list(best_connected(fraction))
+    # Fallback for simple models without a notion of "well-connected".
+    count = max(1, int(latency.num_vertices * fraction))
+    order = sorted(range(latency.num_vertices), key=latency.mean_one_way)
+    return order[:count]

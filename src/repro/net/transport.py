@@ -1,0 +1,165 @@
+"""Lossy, connectionless (UDP-like) message transport.
+
+PANDAS deliberately uses one-way UDP datagrams with no connection
+establishment, keep-alives, or negative acknowledgments; requests and
+responses "may fail silently due to packet loss or incorrect nodes".
+The transport reproduces exactly that contract:
+
+- ``send`` never fails at the caller; loss is a Bernoulli draw
+  (the paper's testbed observed 3% UDP loss);
+- delivery time = sender uplink serialization + propagation latency +
+  receiver downlink serialization (see :mod:`repro.net.link`);
+- datagrams to unregistered/destroyed addresses vanish silently, which
+  models departed nodes that are still present in stale views.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.latency import LatencyModel
+from repro.net.link import AccessLink
+from repro.sim.engine import Simulator
+
+__all__ = ["Datagram", "Endpoint", "Network", "DEFAULT_LOSS_RATE"]
+
+DEFAULT_LOSS_RATE = 0.03  # observed UDP loss in the paper's cluster
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One message on the wire."""
+
+    src: int
+    dst: int
+    payload: Any
+    size: int
+    sent_at: float
+
+
+@dataclass
+class Endpoint:
+    """A registered network participant."""
+
+    address: int
+    vertex: int
+    link: AccessLink
+    handler: Callable[[Datagram], None]
+    alive: bool = True
+
+
+class Network:
+    """Connects endpoints through latency, bandwidth and loss.
+
+    ``on_send`` / ``on_deliver`` observers let the experiment layer
+    account messages and bytes without protocol code knowing about
+    metrics objects.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        loss_rate: float = DEFAULT_LOSS_RATE,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random(0)
+        self._endpoints: Dict[int, Endpoint] = {}
+        self.on_send: List[Callable[[Datagram], None]] = []
+        self.on_deliver: List[Callable[[Datagram], None]] = []
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_lost = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        address: int,
+        vertex: int,
+        handler: Callable[[Datagram], None],
+        up_rate: float | None,
+        down_rate: float | None,
+    ) -> Endpoint:
+        """Attach a participant; ``address`` must be unique."""
+        if address in self._endpoints:
+            raise ValueError(f"address {address} already registered")
+        endpoint = Endpoint(address, vertex, AccessLink(up_rate, down_rate), handler)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def kill(self, address: int) -> None:
+        """Silence an endpoint (fail-silent crash / free-rider model).
+
+        The endpoint stays registered so senders still pay uplink cost,
+        but nothing is ever delivered to or emitted by it.
+        """
+        endpoint = self._endpoints.get(address)
+        if endpoint is not None:
+            endpoint.alive = False
+
+    def is_alive(self, address: int) -> bool:
+        endpoint = self._endpoints.get(address)
+        return endpoint is not None and endpoint.alive
+
+    def endpoint(self, address: int) -> Optional[Endpoint]:
+        return self._endpoints.get(address)
+
+    @property
+    def addresses(self) -> List[int]:
+        return list(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def send(
+        self, src: int, dst: int, payload: Any, size: int, reliable: bool = False
+    ) -> None:
+        """Fire-and-forget datagram from ``src`` to ``dst``.
+
+        The sender always pays uplink serialization (bytes leave the
+        NIC whether or not they arrive). Loss and dead destinations
+        are resolved at delivery time, silently.
+
+        ``reliable=True`` models a TCP stream segment (as used by
+        GossipSub in libp2p): retransmission hides Bernoulli loss, so
+        the loss draw is skipped; dead endpoints still receive nothing.
+        """
+        sender = self._endpoints.get(src)
+        if sender is None:
+            raise ValueError(f"unknown sender {src}")
+        if size <= 0:
+            raise ValueError(f"datagram size must be positive, got {size}")
+        dgram = Datagram(src, dst, payload, size, self.sim.now)
+        self.datagrams_sent += 1
+        for observer in self.on_send:
+            observer(dgram)
+
+        departure = sender.link.reserve_uplink(self.sim.now, size)
+        receiver = self._endpoints.get(dst)
+        if receiver is None or not receiver.alive or not sender.alive:
+            self.datagrams_lost += 1
+            return
+        if not reliable and self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.datagrams_lost += 1
+            return
+        arrival = departure + self.latency.one_way(sender.vertex, receiver.vertex)
+        delivered_at = receiver.link.reserve_downlink(arrival, size)
+        self.sim.call_at(delivered_at, lambda: self._deliver(receiver, dgram))
+
+    def _deliver(self, receiver: Endpoint, dgram: Datagram) -> None:
+        if not receiver.alive:
+            self.datagrams_lost += 1
+            return
+        self.datagrams_delivered += 1
+        for observer in self.on_deliver:
+            observer(dgram)
+        receiver.handler(dgram)

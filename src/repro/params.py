@@ -1,0 +1,190 @@
+"""Danksharding / PANDAS parameter presets.
+
+Section 3 of the paper fixes the target parameters discussed in the
+Ethereum community:
+
+- base blob: 32 MB as a 256 x 256 matrix of 512 B cells;
+- 2D Reed-Solomon extension to 512 x 512 (each row and column doubles
+  and becomes reconstructable from any half of its cells);
+- each cell carries a 48 B KZG proof, so the extended blob is
+  (512 * 512) * (512 + 48) = 140 MB;
+- custody: 8 distinct rows + 8 distinct columns per node (~4.4 MB);
+- sampling: 73 random cells -> false-positive probability < 1e-9;
+- deadline: 4 s (a third of the 12 s slot), epochs of 32 slots.
+
+Section 7 fixes the adaptive fetching schedule: round timeouts
+400, 200, then 100 ms (up to 50 rounds) and redundancy 1, 2, 4, 6, 8,
+then 10; cb_boost = 10,000; consolidation timer 400 ms.
+
+``PandasParams.full()`` reproduces these numbers exactly.
+``PandasParams.reduced()`` scales the grid down proportionally so that
+timing experiments with hundreds-to-thousands of simulated nodes run
+on one machine; the sample count is re-derived from the same 1e-9
+false-positive bound so the security semantics are preserved (see
+``repro.das.security``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+__all__ = ["PandasParams", "FetchSchedule", "SLOT_SECONDS", "DEADLINE_SECONDS"]
+
+SLOT_SECONDS = 12.0
+DEADLINE_SECONDS = 4.0
+
+
+@dataclass(frozen=True)
+class FetchSchedule:
+    """Round timeouts (seconds) and redundancy factors for Algorithm 1.
+
+    Rounds beyond the listed vectors repeat the last entry, up to
+    ``max_rounds`` (the paper uses t up to t50).
+    """
+
+    timeouts: Tuple[float, ...] = (0.4, 0.2, 0.1)
+    redundancy: Tuple[int, ...] = (1, 2, 4, 6, 8, 10)
+    max_rounds: int = 50
+
+    def timeout(self, round_index: int) -> float:
+        """Timeout for 1-based ``round_index``."""
+        if round_index < 1:
+            raise ValueError(f"rounds are 1-based, got {round_index}")
+        return self.timeouts[min(round_index, len(self.timeouts)) - 1]
+
+    def redundancy_for(self, round_index: int) -> int:
+        """Redundancy factor k_i for 1-based ``round_index``."""
+        if round_index < 1:
+            raise ValueError(f"rounds are 1-based, got {round_index}")
+        return self.redundancy[min(round_index, len(self.redundancy)) - 1]
+
+    @staticmethod
+    def constant(timeout: float = 0.4, redundancy: int = 1, max_rounds: int = 50) -> "FetchSchedule":
+        """The non-adaptive baseline of Figure 11 (fixed t, fixed k)."""
+        return FetchSchedule((timeout,), (redundancy,), max_rounds)
+
+
+@dataclass(frozen=True)
+class PandasParams:
+    """All protocol constants in one immutable bundle.
+
+    The extended grid is ``(2 * base_rows) x (2 * base_cols)``; cell
+    indices are ``row * ext_cols + col``.
+    """
+
+    base_rows: int = 256
+    base_cols: int = 256
+    cell_data_bytes: int = 512
+    proof_bytes: int = 48
+    custody_rows: int = 8
+    custody_cols: int = 8
+    samples: int = 73
+    seeding_redundancy: int = 8
+    cb_boost: float = 10_000.0
+    consolidation_timer: float = 0.4
+    deadline: float = DEADLINE_SECONDS
+    slot_duration: float = SLOT_SECONDS
+    slots_per_epoch: int = 32
+    fetch_schedule: FetchSchedule = field(default_factory=FetchSchedule)
+    # Overhead per UDP message: headers + proposer signature binding the
+    # builder identity (Section 6.1).
+    message_overhead_bytes: int = 120
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def ext_rows(self) -> int:
+        return 2 * self.base_rows
+
+    @property
+    def ext_cols(self) -> int:
+        return 2 * self.base_cols
+
+    @property
+    def total_cells(self) -> int:
+        return self.ext_rows * self.ext_cols
+
+    @property
+    def cell_bytes(self) -> int:
+        """Wire size of one cell: data plus its KZG proof (512+48 B)."""
+        return self.cell_data_bytes + self.proof_bytes
+
+    @property
+    def blob_bytes(self) -> int:
+        """Size of the original (unextended) blob payload."""
+        return self.base_rows * self.base_cols * self.cell_data_bytes
+
+    @property
+    def extended_blob_bytes(self) -> int:
+        """Size of the full extended blob including proofs (140 MB full-scale)."""
+        return self.total_cells * self.cell_bytes
+
+    @property
+    def custody_cells(self) -> int:
+        """Distinct cells per node: 8 full rows + 8 columns minus overlaps.
+
+        The paper counts 8 * 512 + 8 * (512 - 8) = 8,176 cells for the
+        default custody (each of the 8 columns intersects the 8 rows).
+        """
+        return (
+            self.custody_rows * self.ext_cols
+            + self.custody_cols * (self.ext_rows - self.custody_rows)
+        )
+
+    @property
+    def custody_bytes(self) -> int:
+        return self.custody_cells * self.cell_bytes
+
+    @property
+    def sample_bytes(self) -> int:
+        """Total size of the sampled cells (73 * 560 B = ~40 KB full-scale)."""
+        return self.samples * self.cell_bytes
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def full() -> "PandasParams":
+        """The exact Danksharding target parameters from the paper."""
+        return PandasParams()
+
+    @staticmethod
+    def reduced(factor: int = 8, samples: int | None = None) -> "PandasParams":
+        """Paper parameters with the grid scaled down by ``factor``.
+
+        ``factor=8`` gives a 32x32 base grid (64x64 extended), one
+        row/one column custody scaled to keep the same *fraction* of
+        the grid in custody, and a sample count re-derived from the
+        1e-9 false-positive bound for the smaller grid. Used for
+        timing experiments; the protocol logic is scale-free.
+        """
+        if factor < 1 or 256 % factor:
+            raise ValueError(f"factor must divide 256, got {factor}")
+        base = 256 // factor
+        custody = max(1, 8 // factor)
+        params = PandasParams(
+            base_rows=base,
+            base_cols=base,
+            custody_rows=custody,
+            custody_cols=custody,
+        )
+        if samples is None:
+            from repro.das.security import required_samples
+
+            samples = required_samples(2 * base, 2 * base, target=1e-9)
+        return replace(params, samples=samples)
+
+    def with_schedule(self, schedule: FetchSchedule) -> "PandasParams":
+        """A copy of these parameters with a different fetch schedule."""
+        return replace(self, fetch_schedule=schedule)
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises ValueError."""
+        if self.custody_rows > self.ext_rows or self.custody_cols > self.ext_cols:
+            raise ValueError("custody exceeds grid dimensions")
+        if self.samples > self.total_cells:
+            raise ValueError("cannot sample more cells than exist")
+        if not 0 < self.deadline <= self.slot_duration:
+            raise ValueError("deadline must lie within the slot")

@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate (engine, RNG streams, metrics)."""
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.metrics import Counter2D, MetricsRecorder, PhaseTimes
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Counter2D",
+    "MetricsRecorder",
+    "PhaseTimes",
+    "RngRegistry",
+    "derive_seed",
+]

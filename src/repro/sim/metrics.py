@@ -1,0 +1,176 @@
+"""Metric collection for simulation runs.
+
+The paper's evaluation reports, per node and per slot: the times to
+seeding / consolidation / sampling, message counts, and traffic volume
+(both directions). ``MetricsRecorder`` collects these as flat
+counters and event marks keyed by ``(slot, node_id)``; the analysis
+layer turns them into CDFs, percentiles and the rows of Table 1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter2D", "MetricsRecorder", "PhaseTimes"]
+
+
+class Counter2D:
+    """A ``(slot, node) -> float`` accumulator with dict ergonomics."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple[Hashable, Hashable], float] = defaultdict(float)
+
+    def add(self, slot: Hashable, node: Hashable, amount: float = 1.0) -> None:
+        self._data[(slot, node)] += amount
+
+    def get(self, slot: Hashable, node: Hashable) -> float:
+        return self._data.get((slot, node), 0.0)
+
+    def per_node(self, slot: Hashable) -> Dict[Hashable, float]:
+        """All values for one slot, keyed by node."""
+        return {n: v for (s, n), v in self._data.items() if s == slot}
+
+    def values(self, slot: Optional[Hashable] = None) -> List[float]:
+        if slot is None:
+            return list(self._data.values())
+        return [v for (s, _n), v in self._data.items() if s == slot]
+
+    def total(self, slot: Optional[Hashable] = None) -> float:
+        return sum(self.values(slot))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class PhaseTimes:
+    """Completion timestamps (seconds from slot start) for one node/slot.
+
+    ``None`` means the phase never completed within the simulated
+    window — those entries count as deadline misses.
+    """
+
+    seeding: Optional[float] = None
+    consolidation: Optional[float] = None
+    sampling: Optional[float] = None
+    block: Optional[float] = None
+
+
+@dataclass
+class MetricsRecorder:
+    """Collects everything the evaluation section reports.
+
+    All times are stored relative to the slot start, matching the
+    paper's "time from the start of the slot" x-axes. The recorder is
+    deliberately dumb — pure storage — so protocol code stays easy to
+    audit and the analysis stays in one place.
+    """
+
+    phase_times: Dict[Tuple[Hashable, Hashable], PhaseTimes] = field(default_factory=dict)
+    messages_sent: Counter2D = field(default_factory=Counter2D)
+    messages_received: Counter2D = field(default_factory=Counter2D)
+    bytes_sent: Counter2D = field(default_factory=Counter2D)
+    bytes_received: Counter2D = field(default_factory=Counter2D)
+    # fetch-phase traffic only (queries + responses, both directions),
+    # the quantity plotted in Figures 10, 13b/c and 14b/c
+    fetch_messages: Counter2D = field(default_factory=Counter2D)
+    fetch_bytes: Counter2D = field(default_factory=Counter2D)
+    builder_bytes_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
+    builder_messages_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
+    round_stats: Dict[Tuple[Hashable, Hashable, int], Dict[str, float]] = field(default_factory=dict)
+    custom: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    # ------------------------------------------------------------------
+    # phase completion marks
+    # ------------------------------------------------------------------
+    def _times(self, slot: Hashable, node: Hashable) -> PhaseTimes:
+        key = (slot, node)
+        times = self.phase_times.get(key)
+        if times is None:
+            times = PhaseTimes()
+            self.phase_times[key] = times
+        return times
+
+    def mark_seeding(self, slot: Hashable, node: Hashable, t: float) -> None:
+        times = self._times(slot, node)
+        if times.seeding is None:
+            times.seeding = t
+
+    def mark_consolidation(self, slot: Hashable, node: Hashable, t: float) -> None:
+        times = self._times(slot, node)
+        if times.consolidation is None:
+            times.consolidation = t
+
+    def mark_sampling(self, slot: Hashable, node: Hashable, t: float) -> None:
+        times = self._times(slot, node)
+        if times.sampling is None:
+            times.sampling = t
+
+    def mark_block(self, slot: Hashable, node: Hashable, t: float) -> None:
+        times = self._times(slot, node)
+        if times.block is None:
+            times.block = t
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def record_send(self, slot: Hashable, node: Hashable, size: int) -> None:
+        self.messages_sent.add(slot, node)
+        self.bytes_sent.add(slot, node, size)
+
+    def record_receive(self, slot: Hashable, node: Hashable, size: int) -> None:
+        self.messages_received.add(slot, node)
+        self.bytes_received.add(slot, node, size)
+
+    def record_builder_send(self, slot: Hashable, size: int) -> None:
+        self.builder_messages_sent[slot] += 1
+        self.builder_bytes_sent[slot] += size
+
+    # ------------------------------------------------------------------
+    # fetching round telemetry (Table 1)
+    # ------------------------------------------------------------------
+    def record_round(
+        self, slot: Hashable, node: Hashable, round_index: int, **stats: float
+    ) -> None:
+        key = (slot, node, round_index)
+        entry = self.round_stats.setdefault(key, defaultdict(float))
+        for name, value in stats.items():
+            entry[name] += value
+
+    # ------------------------------------------------------------------
+    # extraction helpers
+    # ------------------------------------------------------------------
+    def phase_series(self, phase: str, slots: Optional[Iterable[Hashable]] = None) -> List[Optional[float]]:
+        """All completion times for ``phase`` across (slot, node) pairs.
+
+        Missing completions are returned as ``None`` so callers can
+        compute deadline-miss fractions honestly rather than silently
+        dropping the slowest nodes.
+        """
+        wanted = set(slots) if slots is not None else None
+        series: List[Optional[float]] = []
+        for (slot, _node), times in self.phase_times.items():
+            if wanted is not None and slot not in wanted:
+                continue
+            series.append(getattr(times, phase))
+        return series
+
+    def round_table(self, max_round: int = 4) -> Dict[int, Dict[str, Tuple[float, float]]]:
+        """Aggregate round telemetry into Table-1-style (mean, std) rows."""
+        from statistics import mean, pstdev
+
+        per_round: Dict[int, Dict[str, List[float]]] = defaultdict(lambda: defaultdict(list))
+        for (_slot, _node, rnd), stats in self.round_stats.items():
+            if rnd > max_round:
+                continue
+            for name, value in stats.items():
+                per_round[rnd][name].append(value)
+        table: Dict[int, Dict[str, Tuple[float, float]]] = {}
+        for rnd, stats in sorted(per_round.items()):
+            table[rnd] = {
+                name: (mean(values), pstdev(values) if len(values) > 1 else 0.0)
+                for name, values in stats.items()
+            }
+        return table

@@ -1,0 +1,58 @@
+"""Shared fixtures: small parameter sets and network scaffolding.
+
+Unit and integration tests run on reduced grids so the whole suite
+stays fast; the full Danksharding constants are exercised by the
+dedicated parameter/math tests and by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.transport import Network
+from repro.params import PandasParams
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_params() -> PandasParams:
+    """A 16x16 base grid (32x32 extended), 2+2 custody, 10 samples.
+
+    Dense custody (4 lines over 64) keeps every line well covered even
+    with a few dozen nodes, so integration assertions are stable.
+    """
+    return PandasParams(
+        base_rows=16,
+        base_cols=16,
+        custody_rows=2,
+        custody_cols=2,
+        samples=10,
+    )
+
+
+@pytest.fixture
+def lossless_network(sim: Simulator) -> Network:
+    """A fast, deterministic network: 10 ms everywhere, no loss."""
+    return Network(
+        sim,
+        ConstantLatency(0.01, num_vertices=4096),
+        loss_rate=0.0,
+        rng=random.Random(0),
+    )
+
+
+def make_network(sim: Simulator, loss: float = 0.0, latency: float = 0.01) -> Network:
+    return Network(
+        sim,
+        ConstantLatency(latency, num_vertices=4096),
+        loss_rate=loss,
+        rng=random.Random(42),
+    )

@@ -1,0 +1,77 @@
+"""Feedback-adaptive builder redundancy (Section 11 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive_policy import AdaptiveRedundancyController
+
+
+def test_starts_with_configured_r():
+    controller = AdaptiveRedundancyController(r=4)
+    assert controller.policy().copies == 4
+
+
+def test_doubles_on_poor_completion():
+    controller = AdaptiveRedundancyController(r=4)
+    assert controller.observe(0.80) == 8
+
+
+def test_capped_at_max():
+    controller = AdaptiveRedundancyController(r=12, max_r=16)
+    controller.observe(0.5)
+    assert controller.r == 16
+    controller.observe(0.5)
+    assert controller.r == 16
+
+
+def test_decays_after_calm_streak():
+    controller = AdaptiveRedundancyController(r=8, calm_slots_before_decay=3)
+    controller.observe(1.0)
+    controller.observe(1.0)
+    assert controller.r == 8  # not yet
+    controller.observe(1.0)
+    assert controller.r == 7
+
+
+def test_calm_streak_resets_on_trouble():
+    controller = AdaptiveRedundancyController(r=8, calm_slots_before_decay=2)
+    controller.observe(1.0)
+    controller.observe(0.98)  # between the water marks: streak resets
+    controller.observe(1.0)
+    assert controller.r == 8
+
+
+def test_never_below_min():
+    controller = AdaptiveRedundancyController(r=1, min_r=1, calm_slots_before_decay=1)
+    controller.observe(1.0)
+    assert controller.r == 1
+
+
+def test_history_recorded():
+    controller = AdaptiveRedundancyController(r=4)
+    controller.observe(0.9)
+    controller.observe(1.0)
+    assert controller.history == [(4, 0.9), (8, 1.0)]
+
+
+def test_invalid_fraction_rejected():
+    with pytest.raises(ValueError):
+        AdaptiveRedundancyController().observe(1.5)
+
+
+def test_closed_loop_recovers_from_faults():
+    """Simulated feedback: completion depends on r; the controller
+    climbs until the network meets the deadline again."""
+
+    def network_response(r: int) -> float:
+        # a degraded network needing r >= 8 for full completion
+        return min(1.0, 0.80 + 0.03 * r)
+
+    controller = AdaptiveRedundancyController(r=2)
+    for _ in range(6):
+        controller.observe(network_response(controller.r))
+    # the controller climbs to meet the deadline, then trims the excess;
+    # wherever it settles, completion stays above the low-water mark
+    assert controller.r > 2
+    assert network_response(controller.r) >= controller.low_water

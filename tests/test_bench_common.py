@@ -1,0 +1,43 @@
+"""Benchmark-harness configuration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import baseline_params, bench_nodes, bench_scales, bench_seed, bench_slots
+
+
+def test_defaults(monkeypatch):
+    for var in ("REPRO_BENCH_NODES", "REPRO_BENCH_SCALES", "REPRO_BENCH_SEED",
+                "REPRO_BENCH_SLOTS", "REPRO_BENCH_FULL"):
+        monkeypatch.delenv(var, raising=False)
+    assert bench_nodes() >= 250  # above the line-coverage threshold
+    assert bench_slots() == 1
+    assert bench_seed() == 7
+    assert all(scale >= 250 for scale in bench_scales())
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_NODES", "1234")
+    monkeypatch.setenv("REPRO_BENCH_SCALES", "10, 20,30")
+    monkeypatch.setenv("REPRO_BENCH_SEED", "99")
+    monkeypatch.setenv("REPRO_BENCH_SLOTS", "3")
+    assert bench_nodes() == 1234
+    assert bench_scales() == [10, 20, 30]
+    assert bench_seed() == 99
+    assert bench_slots() == 3
+
+
+def test_baseline_params_reduced_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+    params = baseline_params()
+    assert params.ext_rows == 128  # 4x-reduced grid (256/4 base rows)
+    # custody fraction preserved -> same custodians-per-line scaling
+    assert (params.custody_rows + params.custody_cols) / (
+        params.ext_rows + params.ext_cols
+    ) == pytest.approx(16 / 1024)
+
+
+def test_baseline_params_full_opt_in(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    assert baseline_params().ext_rows == 512

@@ -1,0 +1,60 @@
+"""CLI smoke tests (fast paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_security_command(capsys):
+    assert main(["security", "--grid", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "64x64" in out
+    assert "FP bound" in out
+
+
+def test_security_with_explicit_samples(capsys):
+    assert main(["security", "--grid", "128", "--samples", "50"]) == 0
+    assert "s=50" in capsys.readouterr().out
+
+
+def test_slot_command_small(capsys):
+    code = main(
+        [
+            "slot",
+            "--nodes", "40",
+            "--reduced", "16",
+            "--seed", "3",
+            "--policy", "redundant",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "seeding" in out and "sampling" in out
+    assert code in (0, 1)
+
+
+def test_slot_with_plot(capsys):
+    main(["slot", "--nodes", "40", "--reduced", "16", "--plot"])
+    out = capsys.readouterr().out
+    assert "deadline" in out  # the CDF legend
+
+
+def test_figure_table1(capsys):
+    assert main(["figure", "table1", "--nodes", "40", "--reduced", "16"]) == 0
+    assert "round 1" in capsys.readouterr().out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError):
+        main(["slot", "--nodes", "10", "--reduced", "16", "--policy", "bogus"])

@@ -1,0 +1,144 @@
+"""Consensus substrate: clock, sortition, chain objects, fork-choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.chain import AggregateDecision, Attestation, BlobTransaction, Block
+from repro.consensus.clock import SlotClock, SlotPhase
+from repro.consensus.forkchoice import ForkChoiceRule, ForkChoiceSimulator
+from repro.consensus.validators import ValidatorRegistry
+from repro.crypto.kzg import KzgCommitment
+from repro.crypto.randao import RandaoBeacon
+
+
+class TestSlotClock:
+    def test_slot_boundaries(self):
+        clock = SlotClock()
+        assert clock.slot_at(0.0) == 0
+        assert clock.slot_at(11.999) == 0
+        assert clock.slot_at(12.0) == 1
+
+    def test_epoch_mapping(self):
+        clock = SlotClock()
+        assert clock.epoch_of_slot(31) == 0
+        assert clock.epoch_of_slot(32) == 1
+
+    def test_attestation_deadline_is_one_third(self):
+        clock = SlotClock()
+        assert clock.attestation_deadline(0) == pytest.approx(4.0)
+        assert clock.attestation_deadline(2) == pytest.approx(28.0)
+
+    def test_phases(self):
+        clock = SlotClock()
+        assert clock.phase_at(1.0) == SlotPhase.BLOCK
+        assert clock.phase_at(5.0) == SlotPhase.ATTESTATION
+        assert clock.phase_at(9.0) == SlotPhase.AGGREGATION
+
+    def test_genesis_offset(self):
+        clock = SlotClock(genesis_time=100.0)
+        assert clock.slot_at(100.0) == 0
+        with pytest.raises(ValueError):
+            clock.slot_at(99.0)
+
+
+class TestValidatorRegistry:
+    def make_registry(self, validators=100, nodes=20):
+        import random
+
+        registry = ValidatorRegistry(RandaoBeacon(5), committee_size=16)
+        registry.register_many(validators, list(range(nodes)), random.Random(1))
+        return registry
+
+    def test_sortition_deterministic(self):
+        a = self.make_registry().committee_for_slot(7)
+        b = self.make_registry().committee_for_slot(7)
+        assert a == b
+
+    def test_committee_changes_across_slots(self):
+        registry = self.make_registry()
+        assert registry.committee_for_slot(0) != registry.committee_for_slot(1)
+
+    def test_committee_members_distinct(self):
+        committee = self.make_registry().committee_for_slot(3)
+        assert len(committee.members) == len(set(committee.members)) == 16
+
+    def test_proposer_node_resolution(self):
+        registry = self.make_registry()
+        node = registry.proposer_node(4)
+        assert 0 <= node < 20
+
+    def test_duplicate_registration_rejected(self):
+        registry = ValidatorRegistry(RandaoBeacon(1))
+        registry.register(0, 5)
+        with pytest.raises(ValueError):
+            registry.register(0, 6)
+
+    def test_empty_registry_cannot_sortition(self):
+        with pytest.raises(ValueError):
+            ValidatorRegistry(RandaoBeacon(1)).committee_for_slot(0)
+
+
+class TestChainObjects:
+    def test_block_size_includes_blob_transactions(self):
+        tx = BlobTransaction(sender=1, commitment=KzgCommitment(b"x" * 48), blob_bytes=1000)
+        block = Block(slot=0, proposer=1, builder_id=2, parent_root=b"p", blob_transactions=(tx,))
+        assert block.size == block.body_bytes + tx.size
+
+    def test_attestation_vote_requires_both(self):
+        assert Attestation(0, 1, block_valid=True, data_available=True).vote
+        assert not Attestation(0, 1, block_valid=True, data_available=False).vote
+        assert not Attestation(0, 1, block_valid=False, data_available=True).vote
+
+    def test_aggregate_supermajority(self):
+        assert AggregateDecision(0, votes_for=67, votes_against=33, missing=0).accepted
+        assert not AggregateDecision(0, votes_for=66, votes_against=34, missing=0).accepted
+        assert not AggregateDecision(0, votes_for=0, votes_against=0, missing=0).accepted
+
+    def test_missing_votes_count_against(self):
+        assert not AggregateDecision(0, votes_for=60, votes_against=0, missing=40).accepted
+
+
+class TestForkChoice:
+    def test_tight_rule_requires_sampling(self):
+        fc = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+        on_time = fc.outcome_for(0, 1, block_time=2.0, sampling_time=3.0)
+        late_sample = fc.outcome_for(0, 1, block_time=2.0, sampling_time=5.0)
+        no_sample = fc.outcome_for(0, 1, block_time=2.0, sampling_time=None)
+        assert on_time.attests_valid
+        assert not late_sample.attests_valid
+        assert not no_sample.attests_valid
+
+    def test_trailing_rule_ignores_sampling_at_deadline(self):
+        fc = ForkChoiceSimulator(ForkChoiceRule.TRAILING)
+        outcome = fc.outcome_for(0, 1, block_time=2.0, sampling_time=None)
+        assert outcome.attests_valid  # votes without availability...
+        assert outcome.later_reverted  # ...and must revert later
+
+    def test_tight_rule_never_reverts(self):
+        fc = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+        outcome = fc.outcome_for(0, 1, block_time=2.0, sampling_time=None)
+        assert not outcome.later_reverted
+
+    def test_block_must_arrive_for_any_vote(self):
+        for rule in (ForkChoiceRule.TIGHT, ForkChoiceRule.TRAILING):
+            fc = ForkChoiceSimulator(rule)
+            assert not fc.outcome_for(0, 1, None, 1.0).attests_valid
+
+    def test_aggregate_from_outcomes(self):
+        fc = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+        outcomes = [
+            fc.outcome_for(0, n, block_time=1.0, sampling_time=2.0) for n in range(8)
+        ] + [fc.outcome_for(0, 9, block_time=1.0, sampling_time=None)]
+        decision = fc.aggregate(outcomes)
+        assert decision.votes_for == 8
+        assert decision.votes_against == 1
+        assert decision.accepted
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            ForkChoiceSimulator("sideways")
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            ForkChoiceSimulator().aggregate([])

@@ -1,0 +1,110 @@
+"""End-to-end consensus integration: attestations from measured runs.
+
+The executable version of the paper's core claim: under the tight
+fork-choice rule, an honest builder's block is accepted and a
+withholding builder's block is rejected — with no consensus change,
+purely from per-node sampling outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.consensus import ForkChoiceRule, ForkChoiceSimulator, ValidatorRegistry
+from repro.core.seeding import RedundantSeeding, WithholdingSeeding
+from repro.crypto.randao import RandaoBeacon
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+def run_scenario(policy):
+    params = PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+    )
+    config = ScenarioConfig(
+        num_nodes=40,
+        params=params,
+        policy=policy,
+        seed=11,
+        slots=1,
+        num_vertices=400,
+        include_block_gossip=True,
+    )
+    return Scenario(config).run()
+
+
+def committee_outcomes(scenario, registry, fork_choice, slot=0):
+    committee = registry.committee_for_slot(slot)
+    outcomes = []
+    for validator in committee.members:
+        node = registry.host_of(validator)
+        times = scenario.metrics.phase_times.get((slot, node))
+        outcomes.append(
+            fork_choice.outcome_for(
+                slot,
+                node,
+                times.block if times else None,
+                times.sampling if times else None,
+            )
+        )
+    return outcomes
+
+
+@pytest.fixture(scope="module")
+def registry():
+    registry = ValidatorRegistry(RandaoBeacon(5), committee_size=24)
+    registry.register_many(120, list(range(40)), random.Random(1))
+    return registry
+
+
+@pytest.fixture(scope="module")
+def honest_run():
+    return run_scenario(RedundantSeeding(8))
+
+
+@pytest.fixture(scope="module")
+def withholding_run():
+    return run_scenario(WithholdingSeeding(RedundantSeeding(8), release=0.4))
+
+
+def test_honest_block_accepted_under_tight_rule(honest_run, registry):
+    fork_choice = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+    decision = fork_choice.aggregate(committee_outcomes(honest_run, registry, fork_choice))
+    assert decision.accepted
+
+
+def test_withholding_block_rejected_under_tight_rule(withholding_run, registry):
+    fork_choice = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+    decision = fork_choice.aggregate(
+        committee_outcomes(withholding_run, registry, fork_choice)
+    )
+    assert not decision.accepted
+    assert decision.votes_against > decision.votes_for
+
+
+def test_withholding_accepted_then_reverted_under_trailing_rule(withholding_run, registry):
+    """The consensus-modifying behaviour PANDAS exists to avoid."""
+    fork_choice = ForkChoiceSimulator(ForkChoiceRule.TRAILING)
+    outcomes = committee_outcomes(withholding_run, registry, fork_choice)
+    decision = fork_choice.aggregate(outcomes)
+    assert decision.accepted  # voted in on block validity alone...
+    assert any(outcome.later_reverted for outcome in outcomes)  # ...then reverted
+
+
+def test_tight_rule_never_needs_reverts(honest_run, withholding_run, registry):
+    fork_choice = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+    for scenario in (honest_run, withholding_run):
+        outcomes = committee_outcomes(scenario, registry, fork_choice)
+        assert not any(outcome.later_reverted for outcome in outcomes)
+
+
+def test_attestations_derive_from_outcomes(honest_run, registry):
+    fork_choice = ForkChoiceSimulator(ForkChoiceRule.TIGHT)
+    outcomes = committee_outcomes(honest_run, registry, fork_choice)
+    attestations = [
+        fork_choice.attestation(outcome, validator)
+        for outcome, validator in zip(outcomes, registry.committee_for_slot(0).members)
+    ]
+    assert all(att.vote for att in attestations)

@@ -1,0 +1,60 @@
+"""ProtocolContext slot bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import AssignmentIndex, CellAssignment
+from repro.core.context import ProtocolContext
+from repro.crypto.randao import RandaoBeacon
+from repro.net.latency import ConstantLatency
+from repro.net.transport import Network
+from repro.params import PandasParams
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def ctx():
+    sim = Simulator()
+    params = PandasParams.reduced(16, samples=4)
+    assignment = CellAssignment(params, RandaoBeacon(1))
+    return ProtocolContext(
+        sim=sim,
+        network=Network(sim, ConstantLatency(0.01, 16), loss_rate=0.0),
+        params=params,
+        assignment=assignment,
+        metrics=MetricsRecorder(),
+        rngs=RngRegistry(1),
+        index_for_epoch=lambda epoch: AssignmentIndex(assignment, epoch, range(8)),
+    )
+
+
+def test_epoch_of_slot(ctx):
+    assert ctx.epoch_of(0) == 0
+    assert ctx.epoch_of(31) == 0
+    assert ctx.epoch_of(32) == 1
+
+
+def test_begin_slot_records_start_once(ctx):
+    ctx.sim.call_after(5.0, lambda: ctx.begin_slot(0))
+    ctx.sim.run()
+    ctx.begin_slot(0)  # second call must not overwrite
+    assert ctx.slot_start(0) == 5.0
+
+
+def test_since_slot_start(ctx):
+    ctx.begin_slot(0)
+    ctx.sim.call_after(1.5, lambda: None)
+    ctx.sim.run()
+    assert ctx.since_slot_start(0) == pytest.approx(1.5)
+
+
+def test_unknown_slot_start_defaults_to_zero(ctx):
+    assert ctx.slot_start(99) == 0.0
+
+
+def test_index_provider_used(ctx):
+    index = ctx.index_for_epoch(0)
+    assert index.custodians(0) is not None

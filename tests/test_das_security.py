@@ -1,0 +1,87 @@
+"""Sampling security math (Section 3 of the paper)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.das.security import (
+    false_positive_probability,
+    max_unreconstructable_cells,
+    min_reconstructable_cells,
+    required_samples,
+)
+
+
+def test_paper_headline_number():
+    """73 samples on the 512x512 grid give FP < 1e-9 (Section 3)."""
+    assert false_positive_probability(73, 512, 512) < 1e-9
+
+
+def test_zero_samples_always_pass():
+    assert false_positive_probability(0) == 1.0
+
+
+def test_single_sample_probability():
+    # P(miss the withheld 257x257 block with one draw)
+    expected = 1 - (257 * 257) / (512 * 512)
+    assert false_positive_probability(1) == pytest.approx(expected)
+
+
+def test_monotone_decreasing_in_samples():
+    values = [false_positive_probability(s) for s in (1, 10, 30, 73, 150)]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_without_replacement_smaller_than_with():
+    """The product bound must beat the naive (1-p)^s approximation."""
+    s = 50
+    naive = (1 - (257 * 257) / (512 * 512)) ** s
+    assert false_positive_probability(s) < naive
+
+
+def test_required_samples_inverts_bound():
+    s = required_samples(512, 512, target=1e-9)
+    assert false_positive_probability(s, 512, 512) < 1e-9
+    assert false_positive_probability(s - 1, 512, 512) >= 1e-9
+
+
+def test_required_samples_near_paper_value():
+    """The community picked 73; the exact inversion is within a couple."""
+    assert abs(required_samples(512, 512, 1e-9) - 73) <= 2
+
+
+def test_required_samples_smaller_grids_need_fewer_cells_fractionally():
+    small = required_samples(64, 64, 1e-9)
+    large = required_samples(512, 512, 1e-9)
+    assert small <= large + 5  # roughly scale-free in the fraction withheld
+
+
+def test_sampling_everything_is_certain():
+    assert false_positive_probability(512 * 512, 512, 512) == 0.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        false_positive_probability(-1)
+    with pytest.raises(ValueError):
+        false_positive_probability(10, 7, 512)  # odd dimension
+    with pytest.raises(ValueError):
+        false_positive_probability(10**9, 512, 512)
+    with pytest.raises(ValueError):
+        required_samples(512, 512, target=2.0)
+
+
+def test_reconstruction_geometry_fig3():
+    """Fig. 3: minimal recoverable = one quadrant; maximal withheld
+    leaves total - (R+1)(C+1)."""
+    assert min_reconstructable_cells(512, 512) == 256 * 256
+    assert max_unreconstructable_cells(512, 512) == 512 * 512 - 257 * 257
+
+
+def test_geometry_consistent_with_bound():
+    """The FP bound assumes exactly the Fig. 3-right withholding."""
+    total = 512 * 512
+    withheld = total - max_unreconstructable_cells(512, 512)
+    assert withheld == 257 * 257

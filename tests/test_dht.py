@@ -1,0 +1,192 @@
+"""Kademlia: XOR metric, k-buckets, iterative lookups, ENR directory."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.enr import EnrDirectory, node_id_for_address
+from repro.dht.kademlia import KademliaNode
+from repro.dht.routing import RoutingTable, bucket_index, xor_distance
+from tests.conftest import make_network
+
+IDS = st.integers(min_value=0, max_value=2**256 - 1)
+
+
+class TestXorMetric:
+    def test_identity(self):
+        assert xor_distance(5, 5) == 0
+
+    @given(a=IDS, b=IDS)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert xor_distance(a, b) == xor_distance(b, a)
+
+    @given(a=IDS, b=IDS, c=IDS)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        """XOR satisfies d(a,c) <= d(a,b) XOR d(b,c) <= d(a,b)+d(b,c)."""
+        assert xor_distance(a, c) == xor_distance(a, b) ^ xor_distance(b, c)
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+    @given(a=IDS, b=IDS)
+    @settings(max_examples=50)
+    def test_unique_zero(self, a, b):
+        assert (xor_distance(a, b) == 0) == (a == b)
+
+
+class TestRoutingTable:
+    def test_bucket_index_is_log_distance(self):
+        assert bucket_index(0b1000, 0b1001) == 0
+        assert bucket_index(0, 1 << 200) == 200
+
+    def test_bucket_of_self_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_index(7, 7)
+
+    def test_insert_and_closest(self):
+        table = RoutingTable(own_id=0, k=4)
+        for node_id in (1, 2, 3, 1 << 100, 1 << 101):
+            table.insert(node_id)
+        assert table.closest(0, 3) == [1, 2, 3]
+
+    def test_bucket_capacity(self):
+        table = RoutingTable(own_id=0, k=2)
+        # ids 4..7 share bucket 2
+        assert table.insert(4)
+        assert table.insert(5)
+        assert not table.insert(6)  # bucket full
+        assert len(table) == 2
+
+    def test_self_not_inserted(self):
+        table = RoutingTable(own_id=9)
+        assert not table.insert(9)
+
+    def test_duplicate_not_inserted(self):
+        table = RoutingTable(own_id=0)
+        assert table.insert(5)
+        assert not table.insert(5)
+
+    def test_remove(self):
+        table = RoutingTable(own_id=0)
+        table.insert(5)
+        table.remove(5)
+        assert len(table) == 0
+
+    def test_populate_counts(self):
+        table = RoutingTable(own_id=0, k=16)
+        inserted = table.populate(range(1, 50))
+        assert inserted == len(table)
+
+
+class TestEnrDirectory:
+    def test_register_and_lookup(self):
+        directory = EnrDirectory()
+        record = directory.register(7)
+        assert directory.by_id(record.node_id).address == 7
+        assert directory.address_of(record.node_id) == 7
+
+    def test_ids_are_stable_hashes(self):
+        assert node_id_for_address(3) == node_id_for_address(3)
+        assert node_id_for_address(3) != node_id_for_address(4)
+
+    def test_unregister(self):
+        directory = EnrDirectory()
+        record = directory.register(7)
+        directory.unregister(7)
+        assert directory.by_id(record.node_id) is None
+        assert len(directory) == 0
+
+    def test_crawl_completeness(self):
+        directory = EnrDirectory()
+        for address in range(100):
+            directory.register(address)
+        view = directory.crawl(random.Random(1), completeness=0.8)
+        assert len(view) == 80
+        assert directory.crawl(random.Random(1), completeness=1.0) == set(range(100))
+
+    def test_crawl_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            EnrDirectory().crawl(random.Random(1), completeness=0.0)
+
+
+def build_dht(sim, count=40, loss=0.0):
+    net = make_network(sim, loss=loss, latency=0.005)
+    directory = EnrDirectory()
+    nodes = {}
+    for address in range(count):
+        directory.register(address)
+    for address in range(count):
+        node = KademliaNode(sim, net, directory, address, rng=random.Random(address))
+        net.register(address, address, node.on_datagram, None, None)
+        nodes[address] = node
+    for node in nodes.values():
+        node.bootstrap_from_directory()
+    return net, directory, nodes
+
+
+class TestKademliaProtocol:
+    def test_store_places_value_at_closest(self, sim):
+        _net, directory, nodes = build_dht(sim)
+        key = node_id_for_address(12345, namespace=9)
+        results = []
+        nodes[0].store(key, 1000, replicas=4, callback=results.append)
+        sim.run(until=5.0)
+        holders = [a for a, n in nodes.items() if key in n.storage]
+        assert len(holders) == 4
+        # holders are among the globally closest ids to the key
+        by_distance = sorted(nodes, key=lambda a: directory.record_for(a).node_id ^ key)
+        assert set(holders) <= set(by_distance[:8])
+
+    def test_get_finds_stored_value(self, sim):
+        _net, _directory, nodes = build_dht(sim)
+        key = node_id_for_address(777, namespace=2)
+        nodes[0].store(key, 2048, replicas=3)
+        sim.run(until=5.0)
+        results = []
+        nodes[30].get(key, results.append)
+        sim.run(until=10.0)
+        assert results[0].found_value
+        assert results[0].value_size == 2048
+
+    def test_get_missing_value_returns_closest(self, sim):
+        _net, _directory, nodes = build_dht(sim)
+        key = node_id_for_address(31337, namespace=3)
+        results = []
+        nodes[5].get(key, results.append)
+        sim.run(until=5.0)
+        assert not results[0].found_value
+        assert len(results[0].closest) > 0
+
+    def test_lookup_converges_toward_target(self, sim):
+        _net, directory, nodes = build_dht(sim)
+        target = node_id_for_address(999, namespace=5)
+        results = []
+        nodes[3].lookup(target, results.append)
+        sim.run(until=5.0)
+        found = results[0].closest
+        by_distance = sorted(
+            (directory.record_for(a).node_id for a in nodes), key=lambda i: i ^ target
+        )
+        # the true closest id should be discovered
+        assert by_distance[0] in found
+
+    def test_lookup_survives_loss(self, sim):
+        _net, _directory, nodes = build_dht(sim, loss=0.2)
+        key = node_id_for_address(55, namespace=1)
+        nodes[0].store(key, 100, replicas=8)
+        sim.run(until=8.0)
+        results = []
+        nodes[20].get(key, results.append)
+        sim.run(until=20.0)
+        assert results and results[0].found_value
+
+    def test_rpc_accounting(self, sim):
+        _net, _directory, nodes = build_dht(sim)
+        results = []
+        nodes[0].lookup(node_id_for_address(1, namespace=7), results.append)
+        sim.run(until=5.0)
+        assert results[0].rpcs_sent >= 1

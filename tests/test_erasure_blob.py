@@ -1,0 +1,139 @@
+"""Byte-level 2D Reed-Solomon blob extension and reconstruction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.erasure.blob import Blob, BlobReconstructionError, ExtendedBlob
+
+
+def make_blob(rows=4, cols=4, cell_bytes=8, seed=1):
+    rng = np.random.default_rng(seed)
+    cells = rng.integers(0, 256, size=(rows, cols, cell_bytes), dtype=np.uint8)
+    return Blob(cells)
+
+
+def test_from_bytes_packs_and_pads():
+    blob = Blob.from_bytes(b"abcdef", 2, 2, 4)
+    assert blob.to_bytes()[:6] == b"abcdef"
+    assert blob.to_bytes()[6:] == b"\x00" * 10
+
+
+def test_from_bytes_overflow_raises():
+    with pytest.raises(ValueError):
+        Blob.from_bytes(b"x" * 17, 2, 2, 4)
+
+
+def test_extension_is_systematic():
+    blob = make_blob()
+    ext = blob.extend()
+    assert np.array_equal(ext.cells[:4, :4], blob.cells)
+    assert ext.ext_rows == 8 and ext.ext_cols == 8
+
+
+def test_to_blob_roundtrip():
+    blob = make_blob()
+    assert np.array_equal(blob.extend().to_blob().cells, blob.cells)
+
+
+def test_every_row_recovers_from_any_half():
+    blob = make_blob()
+    ext = blob.extend()
+    from repro.erasure.blob import _SymbolCodec
+
+    codec = _SymbolCodec(4, 8, 8)
+    for row in (0, 3, 5, 7):
+        known = {c: ext.cells[row, c] for c in (1, 2, 6, 7)}
+        recovered = codec.decode_line(known)
+        assert np.array_equal(recovered, ext.cells[row])
+
+
+def test_every_column_recovers_from_any_half():
+    blob = make_blob()
+    ext = blob.extend()
+    from repro.erasure.blob import _SymbolCodec
+
+    codec = _SymbolCodec(4, 8, 8)
+    for col in (0, 2, 7):
+        known = {r: ext.cells[r, col] for r in (0, 4, 5, 6)}
+        recovered = codec.decode_line(known)
+        assert np.array_equal(recovered, ext.cells[:, col])
+
+
+def test_product_code_consistency():
+    """Parity-of-parity: rows of the extended matrix are codewords even
+    in the parity-row region (linearity of the 2D code)."""
+    blob = make_blob()
+    ext = blob.extend()
+    from repro.erasure.blob import _SymbolCodec
+
+    codec = _SymbolCodec(4, 8, 8)
+    for row in range(4, 8):  # parity rows
+        known = {c: ext.cells[row, c] for c in range(4)}
+        recovered = codec.decode_line(known)
+        assert np.array_equal(recovered, ext.cells[row])
+
+
+def test_reconstruct_from_quadrant():
+    """The original quadrant (Fig. 3 left) recovers everything."""
+    blob = make_blob()
+    ext = blob.extend()
+    known = {
+        r * 8 + c: ext.cell(r, c) for r in range(4) for c in range(4)
+    }
+    rebuilt = ExtendedBlob.reconstruct(known, 4, 4, 8)
+    assert rebuilt == ext
+
+
+def test_reconstruct_from_scattered_half_rows():
+    blob = make_blob(seed=7)
+    ext = blob.extend()
+    known = {}
+    for r in range(8):
+        for c in (0, 2, 5, 7):  # any half of each row
+            known[r * 8 + c] = ext.cell(r, c)
+    assert ExtendedBlob.reconstruct(known, 4, 4, 8) == ext
+
+
+def test_reconstruct_insufficient_raises():
+    blob = make_blob()
+    ext = blob.extend()
+    # withhold a 5x5 sub-matrix: maximal non-reconstructable pattern
+    known = {
+        r * 8 + c: ext.cell(r, c)
+        for r in range(8)
+        for c in range(8)
+        if not (r < 5 and c < 5)
+    }
+    with pytest.raises(BlobReconstructionError):
+        ExtendedBlob.reconstruct(known, 4, 4, 8)
+
+
+def test_reconstruct_rejects_wrong_cell_size():
+    with pytest.raises(ValueError):
+        ExtendedBlob.reconstruct({0: b"too-short"}, 4, 4, 8)
+
+
+def test_gf65536_path_for_wide_grids():
+    """Grids wider than 255 extended cells switch to 2-byte symbols."""
+    rng = np.random.default_rng(3)
+    cells = rng.integers(0, 256, size=(2, 130, 4), dtype=np.uint8)
+    ext = Blob(cells).extend()  # 260 extended cols > 255
+    known = {}
+    for r in range(4):
+        for c in range(130):
+            known[r * 260 + c] = ext.cell(r, c)
+    assert ExtendedBlob.reconstruct(known, 2, 130, 4) == ext
+
+
+def test_odd_cell_size_rejected_for_wide_grids():
+    rng = np.random.default_rng(3)
+    cells = rng.integers(0, 256, size=(2, 130, 5), dtype=np.uint8)
+    with pytest.raises(ValueError):
+        Blob(cells).extend()
+
+
+def test_cell_by_id_matches_coords():
+    ext = make_blob().extend()
+    assert ext.cell_by_id(8 * 3 + 5) == ext.cell(3, 5)

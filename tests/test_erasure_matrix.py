@@ -1,0 +1,133 @@
+"""Availability tracking and reconstruction-closure (peeling) tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.matrix import RowColumnAvailability, cell_coords, cell_id
+
+
+def test_cell_id_roundtrip():
+    assert cell_coords(cell_id(3, 5, 8), 8) == (3, 5)
+
+
+def test_add_and_membership():
+    grid = RowColumnAvailability(4, 4)
+    assert grid.add(5)
+    assert not grid.add(5)  # duplicate
+    assert grid.has(5)
+    assert 5 in grid
+    assert len(grid) == 1
+
+
+def test_row_and_col_counts():
+    grid = RowColumnAvailability(4, 4)
+    grid.add_many([0, 1, 4, 8])  # row 0: cells 0,1; col 0: cells 0,4,8
+    assert grid.row_count(0) == 2
+    assert grid.col_count(0) == 3
+    assert grid.row_cells(0) == [0, 1]
+    assert grid.col_cells(0) == [0, 4, 8]
+
+
+def test_row_reconstructable_at_half():
+    grid = RowColumnAvailability(4, 4)
+    grid.add_many([0, 1])
+    assert grid.row_reconstructable(0)
+    assert not grid.row_reconstructable(1)
+
+
+def test_close_completes_half_full_row():
+    grid = RowColumnAvailability(4, 4)
+    grid.add_many([0, 1])
+    new = grid.close()
+    assert new == {2, 3}
+    assert grid.row_count(0) == 4
+
+
+def test_close_cascades_rows_to_columns():
+    """Half of each of the first R rows recovers the whole grid
+    (Figure 3 left, scaled down)."""
+    grid = RowColumnAvailability(4, 4)
+    # rows 0 and 1, first two cells each = the original quadrant
+    grid.add_many([0, 1, 4, 5])
+    grid.close()
+    assert grid.fully_available()
+
+
+def test_close_no_progress_below_threshold():
+    grid = RowColumnAvailability(4, 4)
+    grid.add(0)
+    assert grid.close() == set()
+    assert len(grid) == 1
+
+
+def test_maximal_withholding_blocks_recovery():
+    """Everything except an (R+1)x(C+1) sub-matrix is NOT recoverable
+    (Figure 3 right, scaled down)."""
+    ext = 8  # R = C = 4
+    grid = RowColumnAvailability(ext, ext)
+    withheld = {(r, c) for r in range(5) for c in range(5)}
+    for r in range(ext):
+        for c in range(ext):
+            if (r, c) not in withheld:
+                grid.add(cell_id(r, c, ext))
+    assert not grid.recoverable()
+
+
+def test_one_less_than_maximal_withholding_recovers():
+    """Shrinking the withheld square by one row makes it recoverable."""
+    ext = 8
+    grid = RowColumnAvailability(ext, ext)
+    withheld = {(r, c) for r in range(4) for c in range(5)}  # 4x5 only
+    for r in range(ext):
+        for c in range(ext):
+            if (r, c) not in withheld:
+                grid.add(cell_id(r, c, ext))
+    assert grid.recoverable()
+
+
+def test_recoverable_does_not_mutate():
+    grid = RowColumnAvailability(4, 4)
+    grid.add_many([0, 1, 4, 5])  # half of rows 0 and 1: recoverable
+    before = len(grid)
+    assert grid.recoverable()
+    assert len(grid) == before
+    empty = RowColumnAvailability(4, 4)
+    empty.add(0)
+    assert not empty.recoverable()
+    assert len(empty) == 1
+
+
+def test_minimum_grid_size_enforced():
+    with pytest.raises(ValueError):
+        RowColumnAvailability(1, 4)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=35), max_size=36))
+@settings(max_examples=80)
+def test_closure_is_idempotent_and_monotone(cells):
+    grid = RowColumnAvailability(6, 6)
+    grid.add_many(cells)
+    before = len(grid)
+    first = grid.close()
+    assert len(grid) == before + len(first)
+    assert grid.close() == set()  # fixpoint
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63), max_size=64))
+@settings(max_examples=60)
+def test_closure_fixpoint_has_no_reconstructable_incomplete_lines(cells):
+    """After close(), every row/column is either complete or strictly
+    below the reconstruction threshold — otherwise closure stopped
+    early."""
+    grid = RowColumnAvailability(8, 8)
+    grid.add_many(cells)
+    grid.close()
+    for r in range(8):
+        count = grid.row_count(r)
+        assert count == 8 or count < 4
+    for c in range(8):
+        count = grid.col_count(c)
+        assert count == 8 or count < 4

@@ -1,0 +1,86 @@
+"""Property-based tests for the byte-level erasure pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.blob import Blob, BlobReconstructionError, ExtendedBlob
+from repro.erasure.matrix import RowColumnAvailability, cell_id
+
+
+@st.composite
+def small_blob(draw):
+    rows = draw(st.integers(2, 4))
+    cols = draw(st.integers(2, 4))
+    cell_bytes = draw(st.sampled_from([2, 4]))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    cells = rng.integers(0, 256, size=(rows, cols, cell_bytes), dtype=np.uint8)
+    return Blob(cells)
+
+
+@given(blob=small_blob(), seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_reconstructs_whenever_availability_says_recoverable(blob, seed):
+    """The byte-level decoder and the combinatorial tracker agree:
+    a random surviving subset either recovers exactly the original
+    extended blob, or raises — matching ``recoverable()``."""
+    ext = blob.extend()
+    total = ext.ext_rows * ext.ext_cols
+    rng = np.random.default_rng(seed)
+    keep_fraction = rng.uniform(0.3, 0.9)
+    keep = {int(c) for c in rng.permutation(total)[: int(total * keep_fraction)]}
+
+    tracker = RowColumnAvailability(ext.ext_rows, ext.ext_cols)
+    tracker.add_many(keep)
+    known = {cid: ext.cell_by_id(cid) for cid in keep}
+
+    if tracker.recoverable():
+        rebuilt = ExtendedBlob.reconstruct(
+            known, blob.base_rows, blob.base_cols, blob.cell_bytes
+        )
+        assert rebuilt == ext
+    else:
+        with pytest.raises(BlobReconstructionError):
+            ExtendedBlob.reconstruct(
+                known, blob.base_rows, blob.base_cols, blob.cell_bytes
+            )
+
+
+@given(blob=small_blob())
+@settings(max_examples=20, deadline=None)
+def test_quadrant_always_recovers(blob):
+    """Figure 3 left as a property: the original quadrant suffices."""
+    ext = blob.extend()
+    known = {
+        cell_id(r, c, ext.ext_cols): ext.cell(r, c)
+        for r in range(blob.base_rows)
+        for c in range(blob.base_cols)
+    }
+    rebuilt = ExtendedBlob.reconstruct(known, blob.base_rows, blob.base_cols, blob.cell_bytes)
+    assert np.array_equal(rebuilt.to_blob().cells, blob.cells)
+
+
+@given(blob=small_blob())
+@settings(max_examples=20, deadline=None)
+def test_maximal_withholding_always_blocks(blob):
+    """Figure 3 right as a property: withholding (R+1)x(C+1) blocks."""
+    ext = blob.extend()
+    withheld_rows = blob.base_rows + 1
+    withheld_cols = blob.base_cols + 1
+    known = {}
+    for r in range(ext.ext_rows):
+        for c in range(ext.ext_cols):
+            if r >= withheld_rows or c >= withheld_cols:
+                known[cell_id(r, c, ext.ext_cols)] = ext.cell(r, c)
+    with pytest.raises(BlobReconstructionError):
+        ExtendedBlob.reconstruct(known, blob.base_rows, blob.base_cols, blob.cell_bytes)
+
+
+@given(blob=small_blob())
+@settings(max_examples=15, deadline=None)
+def test_extension_roundtrip_property(blob):
+    assert np.array_equal(blob.extend().to_blob().cells, blob.cells)

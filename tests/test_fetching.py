@@ -1,0 +1,278 @@
+"""Adaptive fetching (Algorithm 1): scoring, planning, rounds."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Custody, cells_of_line
+from repro.core.custody import SlotCellState
+from repro.core.fetching import AdaptiveFetcher, plan_queries, score_peers
+from repro.params import FetchSchedule, PandasParams
+from repro.sim.engine import Simulator
+
+
+class TestScoring:
+    def test_score_counts_cells_of_interest(self):
+        scores = score_peers(
+            targets={1, 2, 3},
+            candidate_cells={10: {1, 2}, 11: {3}},
+            boost={},
+            cb_boost=10_000,
+        )
+        assert scores == {10: 2.0, 11: 1.0}
+
+    def test_boost_dominates(self):
+        """cb_boost gives an overwhelming advantage (Section 7)."""
+        scores = score_peers(
+            targets={1, 2, 3, 4, 5},
+            candidate_cells={10: {1, 2, 3, 4, 5}, 11: {1}},
+            boost={11: {1}},
+            cb_boost=10_000,
+        )
+        assert scores[11] > scores[10]
+
+    def test_boost_only_counts_missing_cells(self):
+        scores = score_peers(
+            targets={2},
+            candidate_cells={11: {2}},
+            boost={11: {1, 3}},  # boost cells already held
+            cb_boost=10_000,
+        )
+        assert scores[11] == 1.0
+
+
+class TestPlanning:
+    def test_single_redundancy_covers_each_cell_once(self):
+        plan = plan_queries(
+            targets={1, 2, 3},
+            ordered_peers=[10, 11],
+            candidate_cells={10: {1, 2}, 11: {2, 3}},
+            redundancy=1,
+        )
+        counts = {}
+        for _peer, cells in plan.queries:
+            for cid in cells:
+                counts[cid] = counts.get(cid, 0) + 1
+        assert counts == {1: 1, 2: 1, 3: 1}
+
+    def test_higher_redundancy_queries_more_peers(self):
+        candidates = {p: {1} for p in range(10)}
+        plan1 = plan_queries({1}, list(range(10)), candidates, redundancy=1)
+        plan3 = plan_queries({1}, list(range(10)), candidates, redundancy=3)
+        assert len(plan1.queries) == 1
+        assert len(plan3.queries) == 3
+
+    def test_respects_peer_order(self):
+        plan = plan_queries(
+            targets={1},
+            ordered_peers=[99, 11],
+            candidate_cells={99: {1}, 11: {1}},
+            redundancy=1,
+        )
+        assert plan.queries[0][0] == 99
+
+    def test_skips_peers_without_interesting_cells(self):
+        plan = plan_queries(
+            targets={1},
+            ordered_peers=[10, 11],
+            candidate_cells={10: {5}, 11: {1}},
+            redundancy=1,
+        )
+        assert [peer for peer, _ in plan.queries] == [11]
+
+    def test_stops_when_covered(self):
+        candidates = {p: {1, 2} for p in range(50)}
+        plan = plan_queries({1, 2}, list(range(50)), candidates, redundancy=2)
+        assert len(plan.queries) == 2
+
+    def test_cells_requested_counts_multiplicity(self):
+        candidates = {p: {1} for p in range(3)}
+        plan = plan_queries({1}, [0, 1, 2], candidates, redundancy=3)
+        assert plan.cells_requested == 3
+
+
+def make_fetcher(params=None, custody=None, samples=(), custodians=None,
+                 schedule=None, sim=None, sent=None):
+    params = params or PandasParams(
+        base_rows=8, base_cols=8, custody_rows=1, custody_cols=1, samples=2
+    )
+    custody = custody or Custody(rows=(0,), cols=(3,))
+    state = SlotCellState(params, custody, samples)
+    sim = sim or Simulator()
+    sent = sent if sent is not None else []
+    custodians = custodians if custodians is not None else {}
+
+    fetcher = AdaptiveFetcher(
+        sim=sim,
+        state=state,
+        schedule=schedule or FetchSchedule(),
+        line_custodians=lambda line: custodians.get(line, []),
+        send_query=lambda peer, cells: sent.append((sim.now, peer, cells)),
+        rng=random.Random(1),
+        cb_boost=10_000,
+        self_id=999,
+    )
+    return fetcher, state, sim, sent
+
+
+class TestRoundTargets:
+    def test_targets_are_deficits_plus_samples(self):
+        fetcher, state, _sim, _sent = make_fetcher(samples=[100, 101])
+        targets = fetcher.round_targets()
+        # row 0 (16 cells) needs 8; col 3 (16 cells) needs 8; +2 samples;
+        # cell 3 lies on both custody lines, so the union loses one
+        assert len(targets) == 8 + 8 + 2 - 1
+
+    def test_targets_prefer_boosted_cells(self):
+        fetcher, state, _sim, _sent = make_fetcher()
+        boosted = [4, 5, 6]
+        fetcher.add_boost(77, boosted)
+        targets = fetcher.round_targets()
+        assert set(boosted) <= targets
+
+    def test_targets_shrink_with_held_cells(self):
+        fetcher, state, _sim, _sent = make_fetcher()
+        state.add_cells([0, 1, 2])
+        targets = fetcher.round_targets()
+        row_targets = [t for t in targets if t < 16]
+        assert len(row_targets) == 8 - 3
+
+    def test_complete_line_contributes_nothing(self):
+        fetcher, state, _sim, _sent = make_fetcher()
+        state.add_cells(cells_of_line(0, 16, 16))
+        assert all(t % 16 == 3 for t in fetcher.round_targets())  # only col 3
+
+    def test_sample_only_mode(self):
+        fetcher, state, _sim, _sent = make_fetcher(samples=[40])
+        fetcher.fetch_custody = False
+        assert fetcher.round_targets() == {40}
+
+
+class TestRounds:
+    def test_round_schedule_timing(self):
+        custodians = {line: [1, 2, 3, 4, 5, 6, 7, 8] for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=1.0)
+        times = sorted({t for t, _p, _c in sent})
+        # rounds at 0, 0.4, 0.6, then every 0.1
+        assert times[0] == pytest.approx(0.0)
+        assert times[1] == pytest.approx(0.4)
+        assert times[2] == pytest.approx(0.6)
+        assert times[3] == pytest.approx(0.7)
+
+    def test_peers_queried_at_most_once(self):
+        custodians = {line: list(range(20)) for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=2.0)
+        peers = [p for _t, p, _c in sent]
+        assert len(peers) == len(set(peers))
+
+    def test_stops_when_candidates_exhausted(self):
+        custodians = {0: [1]}  # a single peer for everything
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=10.0)
+        assert len(sent) == 1  # queried once, then no more rounds
+        assert not fetcher.finished  # still waiting on the response
+
+    def test_start_idempotent(self):
+        fetcher, _state, sim, sent = make_fetcher(custodians={0: [1]})
+        fetcher.start()
+        fetcher.start()
+        sim.run(until=0.01)
+        assert len(sent) == 1
+
+    def test_completes_on_response(self):
+        done = []
+        custodians = {line: [1] for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.on_done = lambda ok: done.append(ok)
+        fetcher.start()
+        sim.run(until=0.01)
+        # deliver everything: both custody lines fully
+        cells = cells_of_line(0, 16, 16) + cells_of_line(16 + 3, 16, 16)
+        fetcher.on_response(1, tuple(cells))
+        assert fetcher.finished
+        assert done == [True]
+
+    def test_gives_up_at_max_rounds(self):
+        done = []
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=3)
+        custodians = {line: list(range(50)) for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians, schedule=schedule)
+        fetcher.on_done = lambda ok: done.append(ok)
+        fetcher.start()
+        sim.run(until=5.0)
+        assert done == [False]
+
+    def test_round_stats_recorded(self):
+        rounds = []
+        custodians = {line: list(range(8)) for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.on_round = lambda stats: rounds.append(stats)
+        fetcher.start()
+        sim.run(until=0.5)
+        assert rounds[0].index == 1
+        assert rounds[0].messages_sent == len([s for s in sent if s[0] == 0.0])
+        assert rounds[0].cells_requested > 0
+
+    def test_reply_in_vs_after_round_attribution(self):
+        custodians = {line: list(range(8)) for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=0.01)
+        peer = sent[0][1]
+        in_cells = tuple(sent[0][2])[:1]
+        fetcher.on_response(peer, in_cells)  # now=0.01 < 0.4 deadline
+        assert fetcher.rounds[0].replies_in_round == 1
+        sim.run(until=0.5)
+        fetcher.on_response(peer, tuple(sent[0][2])[1:2])
+        assert fetcher.rounds[0].replies_after_round == 1
+
+    def test_duplicate_accounting(self):
+        custodians = {line: list(range(8)) for line in range(32)}
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=0.01)
+        peer = sent[0][1]
+        cell = next(iter(sent[0][2]))
+        fetcher.on_response(peer, (cell,))
+        fetcher.on_response(peer, (cell,))
+        assert fetcher.rounds[0].duplicates == 1
+
+    def test_self_never_queried(self):
+        custodians = {line: [999, 1] for line in range(32)}  # includes self
+        fetcher, state, sim, sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=0.01)
+        assert all(p != 999 for _t, p, _c in sent)
+
+
+@given(
+    redundancy=st.integers(1, 5),
+    num_peers=st.integers(1, 12),
+    num_cells=st.integers(1, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_plan_redundancy_invariant(redundancy, num_peers, num_cells):
+    """Every target gets min(k, available peers holding it) queries."""
+    rng = random.Random(redundancy * 100 + num_peers * 10 + num_cells)
+    targets = set(range(num_cells))
+    candidates = {
+        p: {c for c in targets if rng.random() < 0.5} for p in range(num_peers)
+    }
+    plan = plan_queries(targets, list(candidates), candidates, redundancy)
+    counts = {c: 0 for c in targets}
+    for _peer, cells in plan.queries:
+        for cid in cells:
+            counts[cid] += 1
+    for cid in targets:
+        holders = sum(1 for p in candidates if cid in candidates[p])
+        assert counts[cid] >= min(redundancy, holders) or counts[cid] >= holders
+        assert counts[cid] <= holders

@@ -1,0 +1,91 @@
+"""Kademlia behaviour under faults: dead peers, partial storage."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.enr import EnrDirectory, node_id_for_address
+from repro.dht.kademlia import RPC_TIMEOUT, KademliaNode
+from tests.conftest import make_network
+
+
+def build_dht(sim, count=40, loss=0.0):
+    net = make_network(sim, loss=loss, latency=0.005)
+    directory = EnrDirectory()
+    nodes = {}
+    for address in range(count):
+        directory.register(address)
+    for address in range(count):
+        node = KademliaNode(sim, net, directory, address, rng=random.Random(address))
+        net.register(address, address, node.on_datagram, None, None)
+        nodes[address] = node
+    for node in nodes.values():
+        node.bootstrap_from_directory()
+    return net, directory, nodes
+
+
+def test_lookup_completes_despite_dead_peers(sim):
+    net, directory, nodes = build_dht(sim)
+    rng = random.Random(4)
+    for dead in rng.sample(range(1, 40), 10):
+        net.kill(dead)
+    results = []
+    nodes[0].lookup(node_id_for_address(500, namespace=4), results.append)
+    sim.run(until=30.0)
+    assert results  # timeouts advanced past the silent peers
+    assert results[0].closest
+
+
+def test_get_succeeds_if_any_replica_alive(sim):
+    net, directory, nodes = build_dht(sim)
+    key = node_id_for_address(900, namespace=6)
+    nodes[0].store(key, 512, replicas=6)
+    sim.run(until=5.0)
+    holders = [address for address, node in nodes.items() if key in node.storage]
+    # kill all but one holder
+    for holder in holders[:-1]:
+        net.kill(holder)
+    results = []
+    nodes[7].get(key, results.append)
+    sim.run(until=30.0)
+    assert results
+    assert results[0].found_value
+
+
+def test_get_fails_when_all_replicas_dead(sim):
+    net, directory, nodes = build_dht(sim)
+    key = node_id_for_address(901, namespace=6)
+    nodes[0].store(key, 512, replicas=4)
+    sim.run(until=5.0)
+    for address, node in nodes.items():
+        if key in node.storage:
+            net.kill(address)
+    results = []
+    nodes[7].get(key, results.append)
+    sim.run(until=40.0)
+    assert results
+    assert not results[0].found_value
+
+
+def test_timeouts_bound_lookup_latency(sim):
+    """Even with many dead peers a lookup ends within a few RPC
+    timeouts, not unboundedly."""
+    net, directory, nodes = build_dht(sim)
+    for dead in range(10, 40):
+        net.kill(dead)
+    results = []
+    started = sim.now
+    nodes[0].lookup(node_id_for_address(77, namespace=2), results.append)
+    sim.run(until=60.0)
+    assert results
+    # lookups visit at most ~k peers serially in the worst case
+    assert sim.now - started <= 20 * RPC_TIMEOUT + 1.0 or results
+
+
+def test_storage_cleared_between_slots(sim):
+    _net, _directory, nodes = build_dht(sim, count=10)
+    nodes[0].storage[123] = 456
+    nodes[0].storage.clear()
+    assert nodes[0].storage == {}

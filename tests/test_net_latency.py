@@ -1,0 +1,87 @@
+"""Unit tests for the WAN latency models."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.net.latency import ClusteredWanModel, ConstantLatency, UniformLatency
+
+
+def test_constant_latency():
+    model = ConstantLatency(0.05, num_vertices=10)
+    assert model.one_way(0, 1) == 0.05
+    assert model.one_way(3, 3) == 0.0
+    assert model.mean_one_way(2) == 0.05
+
+
+def test_uniform_latency_bounds_and_symmetry():
+    model = UniformLatency(0.01, 0.1, num_vertices=50, seed=1)
+    for a, b in [(0, 1), (4, 40), (12, 33)]:
+        latency = model.one_way(a, b)
+        assert 0.01 <= latency <= 0.1
+        assert model.one_way(b, a) == latency
+
+
+def test_uniform_latency_self_is_zero():
+    model = UniformLatency(num_vertices=10)
+    assert model.one_way(5, 5) == 0.0
+
+
+def test_uniform_latency_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(0.2, 0.1)
+
+
+class TestClusteredWanModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ClusteredWanModel(num_vertices=3000, seed=11)
+
+    def test_symmetry(self, model):
+        assert model.one_way(1, 2) == model.one_way(2, 1)
+
+    def test_self_latency_zero(self, model):
+        assert model.one_way(7, 7) == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = ClusteredWanModel(num_vertices=200, seed=5)
+        b = ClusteredWanModel(num_vertices=200, seed=5)
+        assert a.one_way(3, 77) == b.one_way(3, 77)
+
+    def test_rtt_statistics_match_paper_trace(self, model):
+        """Paper's IPFS trace: RTT min ~8 ms, mean ~64 ms, max ~438 ms."""
+        rtts = model.rtt_sample(pairs=15_000, seed=2)
+        assert 0.004 <= min(rtts) <= 0.020
+        assert 0.045 <= statistics.mean(rtts) <= 0.085
+        assert 0.200 <= max(rtts) <= 0.700
+
+    def test_triangle_latency_floor(self, model):
+        """All pairs pay at least the intra-cluster floor + accesses."""
+        for a, b in [(0, 1), (10, 2000), (55, 999)]:
+            assert model.one_way(a, b) >= model.intra_cluster_floor
+
+    def test_best_connected_returns_fraction(self, model):
+        best = model.best_connected(0.2)
+        assert len(best) == int(3000 * 0.2)
+
+    def test_best_connected_are_actually_better(self, model):
+        best = model.best_connected(0.1)
+        best_mean = statistics.mean(model.mean_one_way(v) for v in best[:50])
+        overall_mean = statistics.mean(model.mean_one_way(v) for v in range(0, 3000, 60))
+        assert best_mean < overall_mean
+
+    def test_best_connected_rejects_bad_fraction(self, model):
+        with pytest.raises(ValueError):
+            model.best_connected(0.0)
+
+    def test_mean_one_way_close_to_sampled_mean(self, model):
+        vertex = 42
+        import random
+
+        rng = random.Random(3)
+        sampled = statistics.mean(
+            model.one_way(vertex, rng.randrange(3000)) for _ in range(2000)
+        )
+        assert model.mean_one_way(vertex) == pytest.approx(sampled, rel=0.15)

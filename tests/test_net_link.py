@@ -1,0 +1,81 @@
+"""Unit tests for bandwidth-limited access links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import AccessLink, gbps, mbps
+
+
+def test_mbps_conversion():
+    assert mbps(8) == 1e6  # 8 Mbit/s = 1 MB/s
+
+
+def test_gbps_conversion():
+    assert gbps(8) == 1e9
+
+
+def test_uplink_serialization_delay():
+    link = AccessLink(up_rate=1e6, down_rate=None)  # 1 MB/s
+    departure = link.reserve_uplink(now=0.0, size=500_000)
+    assert departure == pytest.approx(0.5)
+
+
+def test_uplink_fifo_queueing():
+    link = AccessLink(up_rate=1e6, down_rate=None)
+    first = link.reserve_uplink(0.0, 1_000_000)
+    second = link.reserve_uplink(0.0, 1_000_000)
+    assert first == pytest.approx(1.0)
+    assert second == pytest.approx(2.0)  # queued behind the first
+
+
+def test_uplink_idle_gap_not_accumulated():
+    link = AccessLink(up_rate=1e6, down_rate=None)
+    link.reserve_uplink(0.0, 1_000_000)  # busy until 1.0
+    departure = link.reserve_uplink(5.0, 1_000_000)  # link idle since 1.0
+    assert departure == pytest.approx(6.0)
+
+
+def test_downlink_serialization():
+    link = AccessLink(up_rate=None, down_rate=2e6)
+    delivered = link.reserve_downlink(arrival=1.0, size=1_000_000)
+    assert delivered == pytest.approx(1.5)
+
+
+def test_downlink_queueing():
+    link = AccessLink(up_rate=None, down_rate=1e6)
+    first = link.reserve_downlink(0.0, 500_000)
+    second = link.reserve_downlink(0.1, 500_000)
+    assert first == pytest.approx(0.5)
+    assert second == pytest.approx(1.0)  # starts only after the first drains
+
+
+def test_unshaped_link_is_instant():
+    link = AccessLink(up_rate=None, down_rate=None)
+    assert link.reserve_uplink(3.0, 10**9) == 3.0
+    assert link.reserve_downlink(3.0, 10**9) == 3.0
+
+
+def test_byte_accounting():
+    link = AccessLink(up_rate=1e6, down_rate=1e6)
+    link.reserve_uplink(0.0, 100)
+    link.reserve_uplink(0.0, 200)
+    link.reserve_downlink(0.0, 50)
+    assert link.up_bytes == 300
+    assert link.down_bytes == 50
+
+
+def test_uplink_backlog():
+    link = AccessLink(up_rate=1e6, down_rate=None)
+    link.reserve_uplink(0.0, 2_000_000)
+    assert link.uplink_backlog(0.0) == pytest.approx(2.0)
+    assert link.uplink_backlog(1.5) == pytest.approx(0.5)
+    assert link.uplink_backlog(10.0) == 0.0
+
+
+def test_reset():
+    link = AccessLink(up_rate=1e6, down_rate=1e6)
+    link.reserve_uplink(0.0, 1000)
+    link.reset()
+    assert link.up_busy_until == 0.0
+    assert link.up_bytes == 0.0

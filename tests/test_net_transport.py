@@ -1,0 +1,174 @@
+"""Unit tests for the lossy UDP-like transport."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+from tests.conftest import make_network
+
+
+def _register_sink(net, address, vertex=None, up=None, down=None):
+    # distinct vertices by default so pairs see the model latency
+    inbox = []
+    net.register(address, address if vertex is None else vertex, lambda dgram: inbox.append(dgram), up, down)
+    return inbox
+
+
+def test_basic_delivery(sim, lossless_network):
+    inbox = _register_sink(lossless_network, 1)
+    _register_sink(lossless_network, 2)
+    lossless_network.send(2, 1, "hello", 100)
+    sim.run()
+    assert len(inbox) == 1
+    assert inbox[0].payload == "hello"
+    assert inbox[0].src == 2
+
+
+def test_delivery_time_includes_latency(sim, lossless_network):
+    times = []
+    lossless_network.register(1, 1, lambda d: times.append(sim.now), None, None)
+    _register_sink(lossless_network, 2)
+    lossless_network.send(2, 1, "x", 100)
+    sim.run()
+    assert times == [pytest.approx(0.01)]
+
+
+def test_uplink_serialization_delays_delivery(sim):
+    net = make_network(sim)
+    times = []
+    net.register(1, 1, lambda d: times.append(sim.now), None, None)
+    net.register(2, 2, lambda d: None, 1e6, None)  # 1 MB/s uplink
+    net.send(2, 1, "big", 500_000)
+    sim.run()
+    assert times == [pytest.approx(0.5 + 0.01)]
+
+
+def test_downlink_serialization_delays_delivery(sim):
+    net = make_network(sim)
+    times = []
+    net.register(1, 1, lambda d: times.append(sim.now), None, 1e6)
+    net.register(2, 2, lambda d: None, None, None)
+    net.send(2, 1, "big", 1_000_000)
+    sim.run()
+    assert times == [pytest.approx(0.01 + 1.0)]
+
+
+def test_consecutive_sends_queue_at_uplink(sim):
+    net = make_network(sim)
+    times = []
+    net.register(1, 1, lambda d: times.append(sim.now), None, None)
+    net.register(2, 2, lambda d: None, 1e6, None)
+    net.send(2, 1, "a", 1_000_000)
+    net.send(2, 1, "b", 1_000_000)
+    sim.run()
+    assert times[0] == pytest.approx(1.01)
+    assert times[1] == pytest.approx(2.01)
+
+
+def test_unknown_destination_is_silent(sim, lossless_network):
+    _register_sink(lossless_network, 1)
+    lossless_network.send(1, 999, "void", 100)
+    sim.run()
+    assert lossless_network.datagrams_lost == 1
+
+
+def test_unknown_sender_raises(sim, lossless_network):
+    with pytest.raises(ValueError):
+        lossless_network.send(999, 1, "x", 10)
+
+
+def test_duplicate_registration_raises(sim, lossless_network):
+    _register_sink(lossless_network, 1)
+    with pytest.raises(ValueError):
+        lossless_network.register(1, 0, lambda d: None, None, None)
+
+
+def test_non_positive_size_raises(sim, lossless_network):
+    _register_sink(lossless_network, 1)
+    _register_sink(lossless_network, 2)
+    with pytest.raises(ValueError):
+        lossless_network.send(1, 2, "x", 0)
+
+
+def test_killed_endpoint_receives_nothing(sim, lossless_network):
+    inbox = _register_sink(lossless_network, 1)
+    _register_sink(lossless_network, 2)
+    lossless_network.kill(1)
+    lossless_network.send(2, 1, "x", 10)
+    sim.run()
+    assert inbox == []
+    assert not lossless_network.is_alive(1)
+
+
+def test_killed_endpoint_sends_nothing(sim, lossless_network):
+    inbox = _register_sink(lossless_network, 1)
+    _register_sink(lossless_network, 2)
+    lossless_network.kill(2)
+    lossless_network.send(2, 1, "x", 10)
+    sim.run()
+    assert inbox == []
+
+
+def test_loss_rate_statistics(sim):
+    net = Network(sim, ConstantLatency(0.001, 10), loss_rate=0.3, rng=random.Random(1))
+    received = []
+    net.register(1, 1, lambda d: received.append(d), None, None)
+    net.register(2, 2, lambda d: None, None, None)
+    for _ in range(2000):
+        net.send(2, 1, "x", 10)
+    sim.run()
+    assert 0.6 < len(received) / 2000 < 0.8
+
+
+def test_reliable_send_skips_loss(sim):
+    net = Network(sim, ConstantLatency(0.001, 10), loss_rate=0.9, rng=random.Random(1))
+    received = []
+    net.register(1, 1, lambda d: received.append(d), None, None)
+    net.register(2, 2, lambda d: None, None, None)
+    for _ in range(50):
+        net.send(2, 1, "x", 10, reliable=True)
+    sim.run()
+    assert len(received) == 50
+
+
+def test_reliable_send_still_fails_to_dead_nodes(sim):
+    net = make_network(sim)
+    inbox = _register_sink(net, 1)
+    _register_sink(net, 2)
+    net.kill(1)
+    net.send(2, 1, "x", 10, reliable=True)
+    sim.run()
+    assert inbox == []
+
+
+def test_invalid_loss_rate_rejected(sim):
+    with pytest.raises(ValueError):
+        Network(sim, ConstantLatency(0.01, 4), loss_rate=1.0)
+
+
+def test_observers_fire(sim, lossless_network):
+    sent, delivered = [], []
+    lossless_network.on_send.append(lambda d: sent.append(d))
+    lossless_network.on_deliver.append(lambda d: delivered.append(d))
+    _register_sink(lossless_network, 1)
+    _register_sink(lossless_network, 2)
+    lossless_network.send(1, 2, "x", 10)
+    sim.run()
+    assert len(sent) == 1
+    assert len(delivered) == 1
+
+
+def test_counters(sim, lossless_network):
+    _register_sink(lossless_network, 1)
+    _register_sink(lossless_network, 2)
+    lossless_network.send(1, 2, "x", 10)
+    lossless_network.send(1, 404, "x", 10)
+    sim.run()
+    assert lossless_network.datagrams_sent == 2
+    assert lossless_network.datagrams_delivered == 1
+    assert lossless_network.datagrams_lost == 1

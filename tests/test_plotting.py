@@ -1,0 +1,72 @@
+"""ASCII CDF/bar rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import ascii_bars, ascii_cdf
+from repro.analysis.stats import Distribution
+
+
+def dist(values, misses=0):
+    d = Distribution.from_optional(values)
+    d.misses += misses
+    return d
+
+
+def test_cdf_contains_markers_and_axis():
+    art = ascii_cdf({"pandas": dist([0.5, 1.0, 1.5, 2.0])}, width=40, height=8)
+    assert "*" in art
+    assert "-" * 40 in art
+    assert "pandas" in art
+
+
+def test_cdf_multiple_series_distinct_markers():
+    art = ascii_cdf(
+        {"a": dist([0.5, 1.0]), "b": dist([1.5, 2.0])}, width=40, height=8
+    )
+    assert "*" in art and "o" in art
+    assert "a" in art and "b" in art
+
+
+def test_cdf_deadline_marker():
+    art = ascii_cdf({"a": dist([1.0, 2.0])}, width=40, height=8, deadline=4.0)
+    assert "|" in art
+    assert "deadline 4s" in art
+
+
+def test_cdf_misses_cap_curve_below_one():
+    """A series with misses must never touch the 1.0 row."""
+    art_full = ascii_cdf({"a": dist([1.0, 2.0])}, width=30, height=10)
+    art_miss = ascii_cdf({"a": dist([1.0, 2.0], misses=2)}, width=30, height=10)
+    top_full = art_full.splitlines()[0]
+    top_miss = art_miss.splitlines()[0]
+    assert "*" in top_full
+    assert "*" not in top_miss
+
+
+def test_cdf_rejects_empty_input():
+    with pytest.raises(ValueError):
+        ascii_cdf({})
+
+
+def test_cdf_all_empty_series():
+    art = ascii_cdf({"a": Distribution([], 0)})
+    assert "empty" in art
+
+
+def test_cdf_canvas_bounds():
+    with pytest.raises(ValueError):
+        ascii_cdf({"a": dist([1.0])}, width=4, height=2)
+
+
+def test_bars_scale_to_peak():
+    art = ascii_bars([("minimal", 36.6), ("single", 149.0), ("redundant", 1208.0)], unit=" MB")
+    lines = art.splitlines()
+    assert lines[2].count("#") > lines[0].count("#")
+    assert "1208 MB" in lines[2]
+
+
+def test_bars_reject_empty():
+    with pytest.raises(ValueError):
+        ascii_bars([])

@@ -1,0 +1,115 @@
+"""Cross-cutting protocol invariants observed on live runs.
+
+These watch real traffic during a slot and assert properties every
+PANDAS message must satisfy — the executable version of the protocol
+description in Sections 5-7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import CellRequest, CellResponse, SeedMessage
+from repro.core.seeding import RedundantSeeding
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    config = ScenarioConfig(
+        num_nodes=40,
+        params=PandasParams(
+            base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+        ),
+        policy=RedundantSeeding(4),
+        seed=12,
+        slots=1,
+        num_vertices=400,
+    )
+    scenario = Scenario(config)
+    sent = []
+    scenario.network.on_send.append(lambda d: sent.append(d))
+    scenario.run()
+    return scenario, sent
+
+
+def test_requests_target_custodians_only(observed_run):
+    """A cell is only ever requested from a node whose custody
+    intersects one of the cell's two lines (Section 6.3)."""
+    scenario, sent = observed_run
+    assignment = scenario.assignment
+    for dgram in sent:
+        if isinstance(dgram.payload, CellRequest):
+            for cid in dgram.payload.cells:
+                assert assignment.is_custodian(dgram.dst, 0, cid), (
+                    f"node {dgram.src} asked {dgram.dst} for cell {cid} "
+                    "outside its custody"
+                )
+
+
+def test_responses_answer_prior_requests(observed_run):
+    """No unsolicited cell pushes between nodes: every response's
+    (src, dst) pair matches an earlier request's (dst, src)."""
+    scenario, sent = observed_run
+    requested = set()
+    for dgram in sent:
+        if isinstance(dgram.payload, CellRequest):
+            requested.add((dgram.dst, dgram.src))
+        elif isinstance(dgram.payload, CellResponse) and dgram.src != scenario.builder_id:
+            assert (dgram.src, dgram.dst) in requested
+
+
+def test_responses_subset_of_request(observed_run):
+    """Responses never contain cells that were not asked for."""
+    scenario, sent = observed_run
+    asked = {}
+    for dgram in sent:
+        if isinstance(dgram.payload, CellRequest):
+            asked.setdefault((dgram.dst, dgram.src), set()).update(dgram.payload.cells)
+    for dgram in sent:
+        if isinstance(dgram.payload, CellResponse) and dgram.src != scenario.builder_id:
+            assert set(dgram.payload.cells) <= asked[(dgram.src, dgram.dst)]
+
+
+def test_seed_messages_only_from_builder(observed_run):
+    scenario, sent = observed_run
+    for dgram in sent:
+        if isinstance(dgram.payload, SeedMessage):
+            assert dgram.src == scenario.builder_id
+
+
+def test_nobody_queries_themselves(observed_run):
+    _scenario, sent = observed_run
+    for dgram in sent:
+        if isinstance(dgram.payload, CellRequest):
+            assert dgram.src != dgram.dst
+
+
+def test_sample_choices_rotate_across_slots():
+    """Sampling must be unpredictable per slot (unlike S): two slots
+    give a node different sample sets."""
+    config = ScenarioConfig(
+        num_nodes=30,
+        params=PandasParams(
+            base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+        ),
+        seed=3,
+        slots=2,
+        num_vertices=300,
+    )
+    scenario = Scenario(config)
+    rng0 = scenario.rngs.stream("samples", 5, 0)
+    rng1 = scenario.rngs.stream("samples", 5, 1)
+    assert rng0.sample(range(256), 10) != rng1.sample(range(256), 10)
+
+
+def test_wire_byte_accounting_consistent(observed_run):
+    """The metrics' per-node byte counters equal the observed datagram
+    sizes (no double counting, nothing dropped)."""
+    scenario, sent = observed_run
+    total_from_observer = sum(
+        d.size for d in sent if d.src != scenario.builder_id and getattr(d.payload, "slot", -1) == 0
+    )
+    total_from_metrics = scenario.metrics.bytes_sent.total(0)
+    assert total_from_observer == pytest.approx(total_from_metrics)

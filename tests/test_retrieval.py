@@ -1,0 +1,73 @@
+"""Layer-2 retrieval client tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retrieval import RetrievalClient
+from tests.helpers import make_world
+
+
+def make_world_with_client(**kwargs):
+    world = make_world(**kwargs)
+    client_id = 1000
+    client = RetrievalClient(world.ctx, client_id)
+    world.network.register(client_id, len(world.nodes) + 1, client.on_datagram, None, None)
+    return world, client
+
+
+def test_fetch_rows_completes_after_slot():
+    world, client = make_world_with_client(num_nodes=30)
+    world.run_slot(0)
+    results = []
+    outcome = client.fetch_lines(0, rows=(2, 5), callback=results.append)
+    world.sim.run(until=world.sim.now + 3.0)
+    assert results and results[0].complete
+    assert outcome.complete
+    # both rows fully present: 2 rows x 16 extended cells
+    assert len(outcome.cells) == 2 * world.params.ext_cols
+
+
+def test_fetch_columns():
+    world, client = make_world_with_client(num_nodes=30)
+    world.run_slot(0)
+    outcome = client.fetch_lines(0, cols=(7,))
+    world.sim.run(until=world.sim.now + 3.0)
+    assert outcome.complete
+    assert len(outcome.cells) == world.params.ext_rows
+
+
+def test_fetch_during_slot_still_completes():
+    """Retrieval started at slot time 0.5 s races consolidation and is
+    served by buffered (deferred) replies."""
+    world, client = make_world_with_client(num_nodes=30)
+    world.ctx.begin_slot(0)
+    world.builder.seed_slot(0)
+    world.sim.run(until=0.5)
+    outcome = client.fetch_lines(0, rows=(1,))
+    world.sim.run(until=8.0)
+    assert outcome.complete
+
+
+def test_empty_request_rejected():
+    world, client = make_world_with_client(num_nodes=30)
+    with pytest.raises(ValueError):
+        client.fetch_lines(0)
+
+
+def test_elapsed_recorded():
+    world, client = make_world_with_client(num_nodes=30)
+    world.run_slot(0)
+    outcome = client.fetch_lines(0, rows=(0,))
+    world.sim.run(until=world.sim.now + 3.0)
+    assert outcome.complete
+    assert 0.0 < outcome.elapsed < 3.0
+
+
+def test_concurrent_retrievals_independent():
+    world, client = make_world_with_client(num_nodes=30)
+    world.run_slot(0)
+    first = client.fetch_lines(0, rows=(0,))
+    second = client.fetch_lines(0, cols=(3,))
+    world.sim.run(until=world.sim.now + 3.0)
+    assert first.complete and second.complete

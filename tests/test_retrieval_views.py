@@ -1,0 +1,62 @@
+"""Retrieval client under restricted views and degraded networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retrieval import RetrievalClient
+from tests.helpers import make_world
+
+
+def add_client(world, view=None):
+    client_id = 1000
+    client = RetrievalClient(world.ctx, client_id, view)
+    world.network.register(client_id, len(world.nodes) + 1, client.on_datagram, None, None)
+    return client
+
+
+def test_view_restricted_client_uses_only_view():
+    world = make_world(num_nodes=30)
+    world.run_slot(0)
+    view = set(range(15))
+    client = add_client(world, view=view)
+    from repro.core.messages import CellRequest
+
+    targets = []
+    world.network.on_send.append(
+        lambda d: targets.append(d.dst) if isinstance(d.payload, CellRequest) and d.src == 1000 else None
+    )
+    outcome = client.fetch_lines(0, rows=(2,))
+    world.sim.run(until=world.sim.now + 4.0)
+    assert targets and set(targets) <= view
+    assert outcome.complete  # 15 nodes still cover the line's custodians
+
+
+def test_retrieval_survives_loss():
+    world = make_world(num_nodes=30, loss_rate=0.1)
+    world.run_slot(0)
+    client = add_client(world)
+    outcome = client.fetch_lines(0, rows=(1,), cols=(4,))
+    world.sim.run(until=world.sim.now + 6.0)
+    assert outcome.complete
+
+
+def test_retrieval_fails_gracefully_with_empty_view():
+    world = make_world(num_nodes=30)
+    world.run_slot(0)
+    client = add_client(world, view=set())
+    results = []
+    outcome = client.fetch_lines(0, rows=(0,), callback=results.append)
+    world.sim.run(until=world.sim.now + 8.0)
+    # nobody to query: the fetcher gives up without crashing
+    assert not outcome.complete
+
+
+def test_retrieved_cells_reported_incrementally():
+    world = make_world(num_nodes=30)
+    world.run_slot(0)
+    client = add_client(world)
+    outcome = client.fetch_lines(0, rows=(3,))
+    assert len(outcome.cells) == 0
+    world.sim.run(until=world.sim.now + 4.0)
+    assert len(outcome.cells) == world.params.ext_cols

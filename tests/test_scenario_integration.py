@@ -1,0 +1,116 @@
+"""End-to-end PANDAS scenario integration tests (small, dense grids)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.seeding import MinimalSeeding, RedundantSeeding, SingleSeeding
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+def dense_params(samples=10):
+    return PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=samples
+    )
+
+
+def make_config(**overrides):
+    defaults = dict(
+        num_nodes=40,
+        params=dense_params(),
+        policy=RedundantSeeding(4),
+        seed=3,
+        slots=1,
+        num_vertices=500,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestFaultFreeSlot:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return Scenario(make_config()).run()
+
+    def test_everyone_seeds(self, scenario):
+        dist = scenario.phase_distributions().seeding
+        assert dist.misses == 0
+        assert dist.count == 40
+
+    def test_everyone_consolidates(self, scenario):
+        dist = scenario.phase_distributions().consolidation
+        assert dist.misses == 0
+
+    def test_everyone_samples_within_deadline(self, scenario):
+        dist = scenario.phase_distributions().sampling
+        assert dist.misses == 0
+        assert dist.fraction_within(4.0) == 1.0
+
+    def test_phase_ordering(self, scenario):
+        for (_slot, _node), times in scenario.metrics.phase_times.items():
+            assert times.seeding <= times.consolidation
+
+    def test_traffic_recorded(self, scenario):
+        assert scenario.fetch_message_distribution().count > 0
+        assert scenario.builder_egress_bytes(0) > 0
+
+
+def test_policies_ordered_by_consolidation_speed():
+    """Redundant seeding consolidates no slower than minimal (Fig. 9c)."""
+    medians = {}
+    for name, policy in (
+        ("minimal", MinimalSeeding()),
+        ("redundant", RedundantSeeding(4)),
+    ):
+        scenario = Scenario(make_config(policy=policy)).run()
+        medians[name] = scenario.phase_distributions().consolidation.median
+    assert medians["redundant"] <= medians["minimal"] * 1.25
+
+
+def test_builder_egress_ordering():
+    """minimal < single < redundant egress (Section 6.1 budgets)."""
+    egress = {}
+    for name, policy in (
+        ("minimal", MinimalSeeding()),
+        ("single", SingleSeeding()),
+        ("redundant", RedundantSeeding(4)),
+    ):
+        scenario = Scenario(make_config(policy=policy)).run()
+        egress[name] = scenario.builder_egress_bytes(0)
+    assert egress["minimal"] < egress["single"] < egress["redundant"]
+
+
+def test_multiple_slots_accumulate_metrics():
+    scenario = Scenario(make_config(slots=2)).run()
+    assert len(scenario.ctx.slot_starts) == 2
+    sampled = scenario.phase_distributions().sampling
+    assert sampled.count == 2 * 40
+
+
+def test_determinism_same_seed():
+    a = Scenario(make_config()).run().phase_distributions().sampling
+    b = Scenario(make_config()).run().phase_distributions().sampling
+    assert a.values == b.values
+
+
+def test_different_seeds_differ():
+    a = Scenario(make_config(seed=1)).run().phase_distributions().sampling
+    b = Scenario(make_config(seed=2)).run().phase_distributions().sampling
+    assert a.values != b.values
+
+
+def test_block_gossip_distribution():
+    scenario = Scenario(make_config(include_block_gossip=True)).run()
+    block = scenario.block_distribution()
+    assert block.misses == 0
+    assert block.fraction_within(4.0) == 1.0
+
+
+def test_zero_loss_faster_or_equal_completion():
+    lossy = Scenario(make_config(loss_rate=0.15)).run()
+    clean = Scenario(make_config(loss_rate=0.0)).run()
+    assert (
+        clean.phase_distributions().sampling.p99
+        <= lossy.phase_distributions().sampling.p99 * 1.5
+    )

@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_call_after_advances_clock(sim):
+    fired = []
+    sim.call_after(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+    assert sim.now == 1.5
+
+
+def test_call_at_absolute_time(sim):
+    fired = []
+    sim.call_at(3.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.call_after(2.0, lambda: order.append("b"))
+    sim.call_after(1.0, lambda: order.append("a"))
+    sim.call_after(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order(sim):
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.call_at(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_scheduling_in_past_raises(sim):
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.call_after(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.call_after(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert not event.active
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.call_after(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.call_after(1.0, lambda: fired.append("early"))
+    sim.call_after(5.0, lambda: fired.append("late"))
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0  # clock advanced to the window end
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_when_idle(sim):
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.call_after(1.0, chain)
+
+    sim.call_after(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_max_events_limits_execution(sim):
+    fired = []
+    for i in range(10):
+        sim.call_after(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_step_executes_single_event(sim):
+    fired = []
+    sim.call_after(1.0, lambda: fired.append("a"))
+    sim.call_after(2.0, lambda: fired.append("b"))
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.call_after(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_reset_clears_queue_and_clock(sim):
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_processed == 0
+
+
+def test_not_reentrant(sim):
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.call_after(1.0, reenter)
+    sim.run()
+
+
+def test_zero_delay_event_fires_at_current_time(sim):
+    fired = []
+    sim.call_after(1.0, lambda: sim.call_after(0.0, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_determinism_across_instances():
+    def run_once() -> list:
+        sim = Simulator()
+        trace = []
+        sim.call_after(0.5, lambda: trace.append(("a", sim.now)))
+        sim.call_after(0.5, lambda: trace.append(("b", sim.now)))
+        sim.call_after(0.2, lambda: sim.call_after(0.3, lambda: trace.append(("c", sim.now))))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

@@ -1,0 +1,76 @@
+"""Sybil-analysis math, validated against Monte-Carlo sampling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.das.sybil import (
+    cell_censorship_probability,
+    expected_censorable_cells,
+    line_assignment_probability,
+    line_without_honest_custodian_probability,
+    rotation_safety_factor,
+)
+
+
+def test_assignment_probability_full_params():
+    # 16 custody lines over 1,024: 1/64
+    assert line_assignment_probability(16, 1024) == pytest.approx(1 / 64)
+
+
+def test_assignment_probability_validation():
+    with pytest.raises(ValueError):
+        line_assignment_probability(0, 10)
+    with pytest.raises(ValueError):
+        line_assignment_probability(20, 10)
+
+
+def test_line_without_honest_custodian_decreases_with_honest_count():
+    values = [
+        line_without_honest_custodian_probability(n) for n in (100, 500, 1000, 10000)
+    ]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_monte_carlo_agreement():
+    """Analytic line-miss probability matches simulation of S."""
+    honest, custody_lines, total_lines = 200, 16, 1024
+    rng = random.Random(3)
+    trials, misses = 3000, 0
+    for _ in range(trials):
+        # does any of `honest` nodes pick line 0 among its 16 of 1024?
+        hit = False
+        for _node in range(honest):
+            if rng.random() < custody_lines / total_lines:
+                hit = True
+                break
+        if not hit:
+            misses += 1
+    analytic = line_without_honest_custodian_probability(honest, custody_lines, total_lines)
+    assert misses / trials == pytest.approx(analytic, abs=0.02)
+
+
+def test_cell_censorship_needs_both_lines():
+    p_line = line_without_honest_custodian_probability(300)
+    assert cell_censorship_probability(300) == pytest.approx(p_line**2)
+
+
+def test_censorship_negligible_at_realistic_scale():
+    """At the paper's 10,000-node scale the expected number of
+    honest-custodian-free cells is effectively zero."""
+    assert expected_censorable_cells(10_000) < 1e-50
+
+
+def test_censorship_material_at_tiny_scale():
+    """...while at 100 nodes it is visibly non-zero — the small-scale
+    coverage artifact the bench documentation warns about."""
+    assert expected_censorable_cells(100) > 100
+
+
+def test_rotation_safety_factor():
+    # 6.4-minute epochs vs ~1-minute crawls: factor ~6.4
+    assert rotation_safety_factor() == pytest.approx(6.4)
+    with pytest.raises(ValueError):
+        rotation_safety_factor(crawl_seconds=0)

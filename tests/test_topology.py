@@ -1,0 +1,56 @@
+"""Topology placement and node profiles."""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.latency import ClusteredWanModel, ConstantLatency
+from repro.net.link import gbps, mbps
+from repro.net.topology import (
+    DEFAULT_BUILDER_PROFILE,
+    DEFAULT_NODE_PROFILE,
+    NodeProfile,
+    Topology,
+)
+
+
+def test_default_profiles_match_paper():
+    """25 Mbps node connections, 10 Gbps builder (Section 8.1)."""
+    assert DEFAULT_NODE_PROFILE.up_rate == mbps(25)
+    assert DEFAULT_NODE_PROFILE.down_rate == mbps(25)
+    assert DEFAULT_BUILDER_PROFILE.up_rate == gbps(10)
+
+
+def test_nodes_get_vertices_within_range():
+    latency = ConstantLatency(0.01, num_vertices=100)
+    topo = Topology.build(latency, list(range(50)), [50], random.Random(1))
+    for node_id in range(50):
+        assert 0 <= topo.vertex_of(node_id) < 100
+
+
+def test_builder_placed_in_best_connected_fraction():
+    latency = ClusteredWanModel(num_vertices=500, seed=2)
+    topo = Topology.build(latency, list(range(50)), [99], random.Random(1))
+    best = set(latency.best_connected(0.2))
+    assert topo.vertex_of(99) in best
+
+
+def test_deterministic_given_rng_seed():
+    latency = ConstantLatency(0.01, num_vertices=100)
+    a = Topology.build(latency, list(range(20)), [20], random.Random(7))
+    b = Topology.build(latency, list(range(20)), [20], random.Random(7))
+    assert a.node_vertices == b.node_vertices
+    assert a.builder_vertices == b.builder_vertices
+
+
+def test_vertices_reused_beyond_population():
+    """More nodes than vertices is allowed (the paper reuses vertices
+    beyond 10,000 nodes)."""
+    latency = ConstantLatency(0.01, num_vertices=10)
+    topo = Topology.build(latency, list(range(50)), [], random.Random(1))
+    assert len(topo.node_vertices) == 50
+
+
+def test_profile_is_frozen_value_object():
+    profile = NodeProfile(up_rate=1.0, down_rate=2.0, label="x")
+    assert profile == NodeProfile(up_rate=1.0, down_rate=2.0, label="x")

@@ -1,0 +1,88 @@
+"""Data-withholding attacks and their detection (Section 3 / claim C1).
+
+A rational builder may withhold cells to save bandwidth or because it
+never had the data. Below the 50% per-line release threshold the grid
+cannot be reconstructed, consolidation cannot complete, and sampling
+systematically fails — which under the tight fork-choice rule turns
+into 'invalid' attestations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.seeding import RedundantSeeding, SingleSeeding, WithholdingSeeding
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.params import PandasParams
+
+
+def dense_params():
+    return PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+    )
+
+
+def run_with_policy(policy, seed=3):
+    config = ScenarioConfig(
+        num_nodes=40,
+        params=dense_params(),
+        policy=policy,
+        seed=seed,
+        slots=1,
+        num_vertices=400,
+    )
+    return Scenario(config).run()
+
+
+def test_release_fraction_validated():
+    with pytest.raises(ValueError):
+        WithholdingSeeding(SingleSeeding(), release=1.5)
+
+
+def test_withholding_reduces_seeded_cells():
+    params = dense_params()
+    full = SingleSeeding()
+    attack = WithholdingSeeding(full, release=0.4)
+    for line in (0, 5, 20):
+        assert len(attack.cells_for_line(line, params)) == int(
+            len(full.cells_for_line(line, params)) * 0.4
+        )
+
+
+def test_name_describes_attack():
+    attack = WithholdingSeeding(RedundantSeeding(8), release=0.25)
+    assert "withholding" in attack.name
+    assert "0.25" in attack.name
+
+
+def test_heavy_withholding_blocks_sampling_network_wide():
+    """Release 40% of each line's owned cells: the grid cannot be
+    recovered, so sampling must fail for (essentially) everyone."""
+    scenario = run_with_policy(WithholdingSeeding(RedundantSeeding(8), release=0.4))
+    sampling = scenario.sampling_distribution()
+    assert sampling.fraction_within(4.0) < 0.1
+
+
+def test_heavy_withholding_blocks_consolidation():
+    scenario = run_with_policy(WithholdingSeeding(RedundantSeeding(8), release=0.4))
+    consolidation = scenario.phase_distributions().consolidation
+    assert consolidation.fraction_within(12.0) < 0.1
+
+
+def test_full_release_behaves_like_inner_policy():
+    honest = run_with_policy(RedundantSeeding(8))
+    wrapped = run_with_policy(WithholdingSeeding(RedundantSeeding(8), release=1.0))
+    assert (
+        wrapped.sampling_distribution().fraction_within(4.0)
+        == honest.sampling_distribution().fraction_within(4.0)
+        == 1.0
+    )
+
+
+def test_partial_withholding_above_threshold_survives():
+    """Releasing 100% of owned cells is 50% of each line; the network
+    reconstructs. Even a mild shave below that can be absorbed when
+    both of a cell's lines have custodians to cross-fetch from."""
+    scenario = run_with_policy(WithholdingSeeding(RedundantSeeding(8), release=0.95))
+    sampling = scenario.sampling_distribution()
+    assert sampling.fraction_within(12.0) > 0.8
