@@ -47,6 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
     slot.add_argument("--out-of-view", type=float, default=0.0, help="fraction out of view")
     slot.add_argument("--block-gossip", action="store_true", help="also gossip the block")
     slot.add_argument("--plot", action="store_true", help="render the sampling CDF")
+    slot.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault plan, e.g. "
+            "'loss=0.05,crash=2@1.0:2.0,partition=0.2@1.0+0.5' "
+            "(kinds: loss, dup, jitter, crash=N@T1[:T2], "
+            "partition=F@T+D, slow=N@D)"
+        ),
+    )
+    slot.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="enforce protocol invariants online; violations abort the run",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -88,7 +104,9 @@ def _params(args) -> PandasParams:
 
 def _cmd_slot(args) -> int:
     from repro.experiments.scenario import Scenario, ScenarioConfig
+    from repro.faults.plan import FaultPlan
 
+    faults = FaultPlan.parse(args.faults) if args.faults else None
     config = ScenarioConfig(
         num_nodes=args.nodes,
         params=_params(args),
@@ -98,8 +116,12 @@ def _cmd_slot(args) -> int:
         dead_fraction=args.dead,
         out_of_view_fraction=args.out_of_view,
         include_block_gossip=args.block_gossip,
+        faults=faults,
+        check_invariants=args.check_invariants,
     )
     print(f"running {args.slots} slot(s) over {args.nodes} nodes ({config.policy.name})")
+    if faults is not None:
+        print(f"  fault plan     {faults.describe()}")
     scenario = Scenario(config).run()
     phases = scenario.phase_distributions()
     print(f"  seeding        {summarize(phases.seeding, 4.0)}")
@@ -109,6 +131,14 @@ def _cmd_slot(args) -> int:
     fetch = scenario.fetch_bytes_distribution()
     if fetch.values:
         print(f"  fetch traffic  median {fetch.median / 1e6:.2f} MB, max {fetch.max / 1e6:.2f} MB")
+    if scenario.metrics.fault_counts:
+        realized = ", ".join(
+            f"{kind}={int(count)}"
+            for kind, count in sorted(scenario.metrics.fault_counts.items())
+        )
+        print(f"  faults         {realized}")
+    if scenario.invariants is not None:
+        print(f"  invariants     ok ({scenario.invariants.checks_run} checks)")
     if args.plot:
         print(ascii_cdf({"sampling": phases.sampling}, deadline=4.0))
     return 0 if phases.sampling.fraction_within(4.0) > 0 else 1

@@ -252,6 +252,35 @@ class PandasNode:
         return self.ctx.epoch_of(slot)
 
     # ------------------------------------------------------------------
+    # crash / recovery (fault injection)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: lose all volatile per-slot state.
+
+        Every pending timer is cancelled so a crashed node emits
+        nothing; co-custodians waiting on its replies time out and
+        retry elsewhere, exactly the silent-failure contract of the
+        UDP transport.
+        """
+        for state in self._slots.values():
+            if state.fallback_timer is not None:
+                state.fallback_timer.cancel()
+                state.fallback_timer = None
+            state.fetcher.stop()
+        self._slots.clear()
+
+    def restart(self, slot: int) -> None:
+        """Recover with empty storage and immediately re-fetch ``slot``.
+
+        A restarted node cannot wait for seed parcels (the builder's
+        burst is over); it re-derives fresh samples and starts the
+        adaptive fetcher on its full custody deficits, the same path a
+        seedless node takes after the 400 ms fallback timer.
+        """
+        state = self._slot_state(slot)
+        state.fetcher.start()
+
+    # ------------------------------------------------------------------
     # introspection for tests and experiments
     # ------------------------------------------------------------------
     def slot_cells(self, slot: int) -> Optional[SlotCellState]:

@@ -22,6 +22,9 @@ from repro.core.context import ProtocolContext
 from repro.core.node import PandasNode
 from repro.core.seeding import RedundantSeeding, SeedingPolicy
 from repro.crypto.randao import RandaoBeacon
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
 from repro.net.latency import ClusteredWanModel, LatencyModel
 from repro.net.topology import DEFAULT_BUILDER_PROFILE, DEFAULT_NODE_PROFILE, NodeProfile, Topology
 from repro.net.transport import DEFAULT_LOSS_RATE, Datagram, Network
@@ -55,6 +58,14 @@ class ScenarioConfig:
     # timing runs are undisturbed
     include_block_gossip: bool = False
     block_bytes: int = 120_000
+    # deterministic dynamic faults (crash/restart, partitions, link
+    # faults) driven by dedicated RNG streams; None leaves the
+    # transport untouched
+    faults: Optional[FaultPlan] = None
+    # attach the online protocol-invariant checker (repro.faults.
+    # invariants) — any violation raises mid-run
+    check_invariants: bool = False
+    invariant_fetch_bound_factor: float = 1.0
 
     def make_latency(self) -> LatencyModel:
         if self.latency is not None:
@@ -107,6 +118,8 @@ class BaseScenario:
         self._wire_metrics()
         for dead in self.dead_nodes:
             self.network.kill(dead)
+        self.fault_injector = self._install_faults()
+        self.invariants = self._install_invariants()
 
     # ------------------------------------------------------------------
     # hooks for protocol-specific subclasses
@@ -178,6 +191,40 @@ class BaseScenario:
         view.add(node_id)
         return view
 
+    def _install_faults(self) -> Optional[FaultInjector]:
+        """Attach the configured fault plan (dead nodes are immune —
+        they are a separate, static fault dimension)."""
+        plan = self.config.faults
+        if plan is None or plan.is_empty:
+            return None
+        candidates = [n for n in self.node_ids if n not in self.dead_nodes]
+        injector = FaultInjector(
+            plan,
+            sim=self.sim,
+            network=self.network,
+            rngs=self.rngs,
+            metrics=self.metrics,
+            candidates=candidates,
+            node_lookup=lambda nid: getattr(self, "nodes", {}).get(nid),
+            slot_duration=self.params.slot_duration,
+        )
+        return injector.install()
+
+    def _install_invariants(self) -> Optional[InvariantChecker]:
+        if not self.config.check_invariants:
+            return None
+        checker = InvariantChecker(
+            self, fetch_bound_factor=self.config.invariant_fetch_bound_factor
+        )
+        return checker.install()
+
+    @property
+    def crashed_nodes(self) -> Set[int]:
+        """Nodes the fault plan crashes at some point during the run."""
+        if self.fault_injector is None:
+            return set()
+        return set(self.fault_injector.crash_targets)
+
     def _wire_metrics(self) -> None:
         """Account traffic: builder egress vs node fetch traffic.
 
@@ -229,6 +276,8 @@ class BaseScenario:
     def run(self, slots: Optional[int] = None) -> "BaseScenario":
         for slot in range(slots if slots is not None else self.config.slots):
             self.run_slot(slot)
+        if self.invariants is not None:
+            self.invariants.check_final()
         return self
 
     # ------------------------------------------------------------------

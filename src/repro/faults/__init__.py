@@ -1,0 +1,24 @@
+"""Deterministic fault injection and protocol-invariant checking.
+
+- :mod:`repro.faults.plan` — declarative, seed-replayable fault plans
+  (link loss/duplication/jitter, partitions, crash/restart, slow
+  responders);
+- :mod:`repro.faults.injector` — executes a plan against a live
+  simulator/network through dedicated RNG streams;
+- :mod:`repro.faults.invariants` — online protocol-invariant checker
+  that must hold under any fault mix.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import CrashWindow, FaultPlan, PartitionWindow, SlowResponders
+
+__all__ = [
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "PartitionWindow",
+    "SlowResponders",
+]

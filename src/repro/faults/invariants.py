@@ -1,0 +1,177 @@
+"""Runtime protocol-invariant checking for (faulty) scenario runs.
+
+``tests/test_protocol_invariants.py`` asserts message-level properties
+post-hoc on recorded traffic. This module is the reusable, online
+version: an :class:`InvariantChecker` attaches to a live scenario and
+enforces, *while the run executes and under any fault mix*:
+
+- **I1 — causality**: no datagram is delivered before it was sent, and
+  observed simulation time never goes backwards (the engine already
+  refuses to schedule into the past; this catches clock misuse too);
+- **I2 — bounded fetch traffic**: no node's per-slot fetch traffic
+  exceeds the parameter-derived ceiling (catches retry loops that a
+  fault mix could otherwise send into a meltdown);
+- **I3 — honest consolidation**: a node is marked
+  consolidation-complete only when every one of its custody lines is
+  actually fully held or reconstructable;
+- **I4 — honest sampling**: sampling success is only recorded when all
+  ``params.samples`` (73 at full scale) sample cells are verified held,
+  and never with a negative completion time.
+
+Violations raise :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain pytest runs fail loudly) at the moment the bad
+transition happens, which keeps the offending event on the stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.transport import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import BaseScenario
+
+__all__ = ["InvariantChecker", "InvariantViolation"]
+
+_TIME_EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A protocol invariant was broken during a simulated run."""
+
+
+class InvariantChecker:
+    """Watches one scenario run; see module docstring for the checks.
+
+    ``fetch_bound_factor`` loosens/tightens I2 relative to
+    ``PandasParams.fetch_bytes_invariant_bound`` (1.0 is already
+    generous: the bound is a physical ceiling, not a performance
+    target).
+    """
+
+    def __init__(self, scenario: "BaseScenario", fetch_bound_factor: float = 1.0) -> None:
+        self.scenario = scenario
+        self.fetch_bound_factor = fetch_bound_factor
+        self.checks_run = 0
+        self._last_seen_now: float = 0.0
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "InvariantChecker":
+        """Hook transport observers and wrap the metrics marks."""
+        if self._installed:
+            raise RuntimeError("invariant checker already installed")
+        self._installed = True
+        network = self.scenario.network
+        network.on_send.append(self._on_send)
+        network.on_deliver.append(self._on_deliver)
+        metrics = self.scenario.metrics
+        self._orig_mark_consolidation = metrics.mark_consolidation
+        self._orig_mark_sampling = metrics.mark_sampling
+        metrics.mark_consolidation = self._checked_consolidation
+        metrics.mark_sampling = self._checked_sampling
+        return self
+
+    # ------------------------------------------------------------------
+    # I1: causality
+    # ------------------------------------------------------------------
+    def _observe_clock(self) -> None:
+        now = self.scenario.sim.now
+        if now < self._last_seen_now - _TIME_EPS:
+            raise InvariantViolation(
+                f"simulation time went backwards: {now:.6f} after {self._last_seen_now:.6f}"
+            )
+        self._last_seen_now = now
+
+    def _on_send(self, dgram: Datagram) -> None:
+        self.checks_run += 1
+        self._observe_clock()
+
+    def _on_deliver(self, dgram: Datagram) -> None:
+        self.checks_run += 1
+        self._observe_clock()
+        if dgram.sent_at > self.scenario.sim.now + _TIME_EPS:
+            raise InvariantViolation(
+                f"datagram {dgram.src}->{dgram.dst} delivered at "
+                f"{self.scenario.sim.now:.6f} before being sent at {dgram.sent_at:.6f}"
+            )
+
+    # ------------------------------------------------------------------
+    # I3 / I4: completion marks must reflect real cell state
+    # ------------------------------------------------------------------
+    def _node_cells(self, slot: int, node: int):
+        nodes = getattr(self.scenario, "nodes", None)
+        if not nodes:
+            return None
+        node_obj = nodes.get(node)
+        if node_obj is None or not hasattr(node_obj, "slot_cells"):
+            return None
+        return node_obj.slot_cells(slot)
+
+    def _checked_consolidation(self, slot, node, t: float) -> None:
+        self.checks_run += 1
+        if t < -_TIME_EPS:
+            raise InvariantViolation(
+                f"node {node} consolidation marked at negative time {t:.6f}"
+            )
+        state = self._node_cells(slot, node)
+        if state is not None:
+            for line in state.custody_lines:
+                if not state.line_complete(line):
+                    raise InvariantViolation(
+                        f"node {node} marked consolidation-complete for slot {slot} "
+                        f"with custody line {line} at {state.line_count(line)} cells "
+                        "(not reconstructable)"
+                    )
+        self._orig_mark_consolidation(slot, node, t)
+
+    def _checked_sampling(self, slot, node, t: float) -> None:
+        self.checks_run += 1
+        if t < -_TIME_EPS:
+            raise InvariantViolation(
+                f"node {node} sampling marked at negative time {t:.6f}"
+            )
+        state = self._node_cells(slot, node)
+        if state is not None:
+            if len(state.samples) != self.scenario.params.samples:
+                raise InvariantViolation(
+                    f"node {node} sampled {len(state.samples)} cells, protocol "
+                    f"requires {self.scenario.params.samples}"
+                )
+            missing = state.missing_samples()
+            if missing:
+                raise InvariantViolation(
+                    f"node {node} marked sampling-complete for slot {slot} with "
+                    f"{len(missing)} sample cells unverified"
+                )
+        self._orig_mark_sampling(slot, node, t)
+
+    # ------------------------------------------------------------------
+    # end-of-run checks (I1 tail + I2)
+    # ------------------------------------------------------------------
+    def check_final(self) -> None:
+        """Run the whole-run invariants after the last slot."""
+        scenario = self.scenario
+        sim = scenario.sim
+        for event in sim._queue:
+            self.checks_run += 1
+            if event.active and event.time < sim.now - _TIME_EPS:
+                raise InvariantViolation(
+                    f"pending event scheduled at {event.time:.6f}, now {sim.now:.6f}"
+                )
+        bound = self.fetch_bytes_bound()
+        for (slot, node), value in scenario.metrics.fetch_bytes._data.items():
+            self.checks_run += 1
+            if value > bound:
+                raise InvariantViolation(
+                    f"node {node} fetch traffic for slot {slot} is {value:.0f} B, "
+                    f"invariant ceiling is {bound:.0f} B"
+                )
+
+    def fetch_bytes_bound(self) -> float:
+        """I2's ceiling for this scenario's parameters and node count."""
+        scenario = self.scenario
+        return self.fetch_bound_factor * scenario.params.fetch_bytes_invariant_bound(
+            len(scenario.node_ids)
+        )

@@ -64,6 +64,10 @@ class AccessLink:
         """Seconds of queued, not-yet-serialized outgoing traffic."""
         return max(0.0, self.up_busy_until - now)
 
+    def downlink_backlog(self, now: float) -> float:
+        """Seconds of queued, not-yet-serialized incoming traffic."""
+        return max(0.0, self.down_busy_until - now)
+
     def reset(self) -> None:
         self.up_busy_until = 0.0
         self.down_busy_until = 0.0

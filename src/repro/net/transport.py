@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.latency import LatencyModel
 from repro.net.link import AccessLink
@@ -74,9 +74,15 @@ class Network:
         self._endpoints: Dict[int, Endpoint] = {}
         self.on_send: List[Callable[[Datagram], None]] = []
         self.on_deliver: List[Callable[[Datagram], None]] = []
+        # Optional fault-injection hook (see repro.faults.injector):
+        # called per datagram with (dgram, reliable), returns one extra
+        # delivery delay per copy to deliver — () drops the datagram,
+        # (0.0,) is undisturbed delivery, (0.0, j) adds a duplicate.
+        self.fault_filter: Optional[Callable[[Datagram, bool], Tuple[float, ...]]] = None
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
         self.datagrams_lost = 0
+        self.datagrams_duplicated = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -105,6 +111,19 @@ class Network:
         endpoint = self._endpoints.get(address)
         if endpoint is not None:
             endpoint.alive = False
+
+    def revive(self, address: int) -> None:
+        """Bring a killed endpoint back (crash/recovery fault model).
+
+        The link's serialization state resets: a rebooted process does
+        not resume the backlog its dead NIC never drained. Datagrams
+        already in flight toward the endpoint are delivered if they
+        arrive after the revival — to senders the outage was silent.
+        """
+        endpoint = self._endpoints.get(address)
+        if endpoint is not None and not endpoint.alive:
+            endpoint.alive = True
+            endpoint.link.reset()
 
     def is_alive(self, address: int) -> bool:
         endpoint = self._endpoints.get(address)
@@ -151,9 +170,18 @@ class Network:
         if not reliable and self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.datagrams_lost += 1
             return
+        extra_delays: Tuple[float, ...] = (0.0,)
+        if self.fault_filter is not None:
+            extra_delays = self.fault_filter(dgram, reliable)
+            if not extra_delays:
+                self.datagrams_lost += 1
+                return
         arrival = departure + self.latency.one_way(sender.vertex, receiver.vertex)
-        delivered_at = receiver.link.reserve_downlink(arrival, size)
-        self.sim.call_at(delivered_at, lambda: self._deliver(receiver, dgram))
+        for copy_index, extra in enumerate(extra_delays):
+            if copy_index:
+                self.datagrams_duplicated += 1
+            delivered_at = receiver.link.reserve_downlink(arrival + extra, size)
+            self.sim.call_at(delivered_at, lambda: self._deliver(receiver, dgram))
 
     def _deliver(self, receiver: Endpoint, dgram: Datagram) -> None:
         if not receiver.alive:

@@ -142,6 +142,39 @@ class PandasParams:
         """Total size of the sampled cells (73 * 560 B = ~40 KB full-scale)."""
         return self.samples * self.cell_bytes
 
+    def fetch_bytes_invariant_bound(
+        self, num_nodes: int, max_cells_per_query: int = 16
+    ) -> float:
+        """Physical ceiling on one node's per-slot fetch traffic.
+
+        Used by the protocol-invariant checker (I2): whatever the fault
+        mix, a node's fetch traffic (bytes it sends plus bytes it
+        receives in node-to-node queries and responses) cannot
+        legitimately exceed
+
+        - *requesting*: ``max(k_i)`` redundant copies of everything it
+          could ever want (custody cells plus samples), each carried as
+          a full cell, plus one query per peer (a peer is queried at
+          most once per slot) at the capped query size, and
+        - *serving*: one capped query received from every peer plus the
+          matching full-cell response.
+
+        Anything above this ceiling means a retry loop is melting down,
+        which is exactly what the checker exists to catch.
+        """
+        schedule = self.fetch_schedule
+        max_k = max(schedule.redundancy)
+        query_bytes = self.message_overhead_bytes + max_cells_per_query * 8
+        response_bytes = (
+            self.message_overhead_bytes + max_cells_per_query * self.cell_bytes
+        )
+        requesting = (
+            max_k * (self.custody_cells + self.samples) * self.cell_bytes
+            + num_nodes * query_bytes
+        )
+        serving = num_nodes * (query_bytes + response_bytes)
+        return float(requesting + serving)
+
     # ------------------------------------------------------------------
     # presets
     # ------------------------------------------------------------------

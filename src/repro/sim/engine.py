@@ -158,7 +158,13 @@ class Simulator:
             self._now = until
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        The tie-break sequence counter restarts too, so a reset
+        simulator schedules events with the same ``(time, seq)`` keys
+        — and therefore the same execution order — as a fresh one.
+        """
         self._queue.clear()
+        self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0

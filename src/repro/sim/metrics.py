@@ -81,6 +81,10 @@ class MetricsRecorder:
     builder_messages_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
     round_stats: Dict[Tuple[Hashable, Hashable, int], Dict[str, float]] = field(default_factory=dict)
     custom: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    # realized fault events by kind (link_drop, duplicate, crash, ...),
+    # recorded by the fault injector so fault figures report the actual
+    # injected load, not just the configured probabilities
+    fault_counts: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
     # ------------------------------------------------------------------
     # phase completion marks
@@ -128,6 +132,10 @@ class MetricsRecorder:
         self.builder_messages_sent[slot] += 1
         self.builder_bytes_sent[slot] += size
 
+    def record_fault(self, kind: str, amount: float = 1.0) -> None:
+        """Count one injected fault event of ``kind``."""
+        self.fault_counts[kind] += amount
+
     # ------------------------------------------------------------------
     # fetching round telemetry (Table 1)
     # ------------------------------------------------------------------
@@ -156,6 +164,48 @@ class MetricsRecorder:
                 continue
             series.append(getattr(times, phase))
         return series
+
+    def snapshot(self) -> Tuple:
+        """Canonical, order-independent form of everything recorded.
+
+        Two runs are behaviourally identical iff their snapshots are
+        equal — the basis of the cross-run determinism guarantee for
+        (faulty) replays.
+        """
+
+        def counter(c: Counter2D) -> Tuple:
+            return tuple(sorted(c._data.items()))
+
+        return (
+            tuple(
+                sorted(
+                    (key, (t.seeding, t.consolidation, t.sampling, t.block))
+                    for key, t in self.phase_times.items()
+                )
+            ),
+            counter(self.messages_sent),
+            counter(self.messages_received),
+            counter(self.bytes_sent),
+            counter(self.bytes_received),
+            counter(self.fetch_messages),
+            counter(self.fetch_bytes),
+            tuple(sorted(self.builder_bytes_sent.items())),
+            tuple(sorted(self.builder_messages_sent.items())),
+            tuple(
+                sorted(
+                    (key, tuple(sorted(stats.items())))
+                    for key, stats in self.round_stats.items()
+                )
+            ),
+            tuple(sorted(self.custom.items())),
+            tuple(sorted(self.fault_counts.items())),
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of :meth:`snapshot` for bit-identity checks."""
+        import hashlib
+
+        return hashlib.sha256(repr(self.snapshot()).encode()).hexdigest()
 
     def round_table(self, max_round: int = 4) -> Dict[int, Dict[str, Tuple[float, float]]]:
         """Aggregate round telemetry into Table-1-style (mean, std) rows."""

@@ -50,6 +50,34 @@ def test_figure_table1(capsys):
     assert "round 1" in capsys.readouterr().out
 
 
+def test_slot_with_faults_end_to_end(capsys):
+    """The ``--faults`` spec drives the injector from the shell: the
+    plan is echoed, realized fault counts are reported, and the online
+    invariant checker runs to completion."""
+    code = main(
+        [
+            "slot",
+            "--nodes", "40",
+            "--reduced", "16",
+            "--seed", "3",
+            "--faults", "loss=0.1,dup=0.05,crash=1@0.5:1.0",
+            "--check-invariants",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "fault plan" in out
+    assert "loss=0.1" in out
+    assert "crash=1@0.5:1" in out
+    assert "link_drop=" in out and "crash=1" in out and "restart=1" in out
+    assert "invariants     ok" in out
+    assert code in (0, 1)
+
+
+def test_slot_with_malformed_faults_rejected():
+    with pytest.raises(ValueError):
+        main(["slot", "--nodes", "10", "--reduced", "16", "--faults", "meteor=1"])
+
+
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "fig99"])

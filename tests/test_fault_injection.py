@@ -1,0 +1,206 @@
+"""Behaviour of the deterministic fault injector inside a scenario.
+
+Static fault models (dead nodes, inconsistent views) live in
+``test_faults.py``; this file covers the dynamic layer added by
+``repro.faults``: link faults, partitions, crash/restart and slow
+responders, all replayable from the scenario seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import CellResponse
+from repro.core.seeding import RedundantSeeding
+from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.faults.plan import CrashWindow, FaultPlan, PartitionWindow, SlowResponders
+from repro.params import PandasParams
+
+
+def dense_params():
+    return PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+    )
+
+
+def make_config(**overrides):
+    defaults = dict(
+        num_nodes=40,
+        params=dense_params(),
+        policy=RedundantSeeding(4),
+        seed=5,
+        slots=1,
+        num_vertices=400,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestLinkFaults:
+    def test_extra_loss_drops_datagrams(self):
+        plan = FaultPlan(loss=0.2)
+        faulty = Scenario(make_config(faults=plan)).run()
+        clean = Scenario(make_config()).run()
+        assert faulty.metrics.fault_counts["link_drop"] > 0
+        assert faulty.network.datagrams_lost > clean.network.datagrams_lost
+
+    def test_duplication_delivers_copies(self):
+        plan = FaultPlan(duplication=0.3)
+        scenario = Scenario(make_config(faults=plan)).run()
+        assert scenario.metrics.fault_counts["duplicate"] > 0
+        assert scenario.network.datagrams_duplicated > 0
+        assert (
+            scenario.network.datagrams_delivered
+            > scenario.network.datagrams_sent - scenario.network.datagrams_lost
+        )
+
+    def test_jitter_still_completes(self):
+        plan = FaultPlan(jitter=0.05)
+        scenario = Scenario(make_config(faults=plan)).run()
+        assert scenario.sampling_distribution().fraction_within(4.0) > 0.9
+
+    def test_empty_plan_leaves_transport_untouched(self):
+        scenario = Scenario(make_config(faults=FaultPlan()))
+        assert scenario.fault_injector is None
+        assert scenario.network.fault_filter is None
+
+    def test_faulty_run_matches_clean_run_protocol_randomness(self):
+        """Fault draws come from dedicated streams: adding a fault plan
+        must not perturb protocol-side randomness such as the dead-node
+        pick or per-node sample choices."""
+        clean = Scenario(make_config(dead_fraction=0.1))
+        faulty = Scenario(make_config(dead_fraction=0.1, faults=FaultPlan(loss=0.3)))
+        assert clean.dead_nodes == faulty.dead_nodes
+        rng_a = clean.rngs.stream("samples", 3, 0)
+        rng_b = faulty.rngs.stream("samples", 3, 0)
+        assert rng_a.sample(range(256), 10) == rng_b.sample(range(256), 10)
+
+
+class TestCrashRestart:
+    def test_crash_and_restart_counted(self):
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.5, restart_at=1.0, count=2),))
+        scenario = Scenario(make_config(faults=plan)).run()
+        assert scenario.metrics.fault_counts["crash"] == 2
+        assert scenario.metrics.fault_counts["restart"] == 2
+        assert len(scenario.crashed_nodes) == 2
+
+    def test_crashed_node_is_dead_then_revived(self):
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.5, restart_at=1.0, count=1),))
+        scenario = Scenario(make_config(faults=plan))
+        (victim,) = scenario.fault_injector.crash_targets
+        observed = {}
+        scenario.sim.call_at(0.7, lambda: observed.update(mid=scenario.network.is_alive(victim)))
+        scenario.sim.call_at(1.2, lambda: observed.update(late=scenario.network.is_alive(victim)))
+        scenario.run()
+        assert observed == {"mid": False, "late": True}
+
+    def test_crash_clears_node_state(self):
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.5, restart_at=None, count=1),))
+        scenario = Scenario(make_config(faults=plan))
+        (victim,) = scenario.fault_injector.crash_targets
+        snapshots = {}
+        scenario.sim.call_at(
+            0.4, lambda: snapshots.update(before=scenario.nodes[victim].slot_cells(0))
+        )
+        scenario.sim.call_at(
+            0.6, lambda: snapshots.update(after=scenario.nodes[victim].slot_cells(0))
+        )
+        scenario.run()
+        assert snapshots["before"] is not None
+        assert snapshots["after"] is None  # volatile state lost at crash
+
+    def test_early_crash_restart_recovers_by_deadline(self):
+        """A node crashing mid-fetch and restarting re-fetches its
+        custody and samples from peers and still meets the deadline."""
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.2, restart_at=0.6, count=2),))
+        scenario = Scenario(make_config(faults=plan)).run()
+        for victim in scenario.crashed_nodes:
+            times = scenario.metrics.phase_times.get((0, victim))
+            assert times is not None and times.sampling is not None
+            assert times.sampling <= 4.0
+
+    def test_victim_choice_is_seed_deterministic(self):
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.5, restart_at=1.0, count=3),))
+        a = Scenario(make_config(faults=plan, seed=5))
+        b = Scenario(make_config(faults=plan, seed=5))
+        c = Scenario(make_config(faults=plan, seed=6))
+        assert a.fault_injector.crash_targets == b.fault_injector.crash_targets
+        assert a.fault_injector.crash_targets != c.fault_injector.crash_targets
+
+    def test_pinned_victims_respected(self):
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.5, nodes=(3, 7)),))
+        scenario = Scenario(make_config(faults=plan))
+        assert scenario.fault_injector.crash_targets == {3, 7}
+
+    def test_too_many_victims_rejected(self):
+        plan = FaultPlan(crashes=(CrashWindow(crash_at=0.5, count=100),))
+        with pytest.raises(ValueError):
+            Scenario(make_config(faults=plan, num_nodes=10))
+
+
+class TestPartitions:
+    def test_cross_partition_traffic_dropped_during_window(self):
+        plan = FaultPlan(
+            partitions=(PartitionWindow(start=0.0, duration=12.0, fraction=0.4),)
+        )
+        scenario = Scenario(make_config(faults=plan))
+        (group,) = scenario.fault_injector.partition_groups
+        crossings = []
+        scenario.network.on_deliver.append(
+            lambda d: crossings.append(d)
+            if (d.src in group) != (d.dst in group) and d.src != scenario.builder_id
+            else None
+        )
+        scenario.run()
+        assert crossings == []
+        assert scenario.metrics.fault_counts["partition_drop"] > 0
+
+    def test_partition_heals_after_window(self):
+        plan = FaultPlan(
+            partitions=(PartitionWindow(start=0.0, duration=0.3, fraction=0.4),)
+        )
+        scenario = Scenario(make_config(faults=plan))
+        late_crossings = []
+        (group,) = scenario.fault_injector.partition_groups
+
+        def watch(dgram):
+            if dgram.sent_at >= 0.3 and (dgram.src in group) != (dgram.dst in group):
+                late_crossings.append(dgram)
+
+        scenario.network.on_deliver.append(watch)
+        scenario.run()
+        assert scenario.metrics.fault_counts["partition_close"] == 1
+        assert late_crossings  # traffic crosses again once healed
+
+    def test_builder_stays_in_majority(self):
+        plan = FaultPlan(
+            partitions=(PartitionWindow(start=0.0, duration=1.0, fraction=0.3),)
+        )
+        scenario = Scenario(make_config(faults=plan))
+        (group,) = scenario.fault_injector.partition_groups
+        assert scenario.builder_id not in group
+
+
+class TestSlowResponders:
+    def test_slow_nodes_delay_their_responses(self):
+        plan = FaultPlan(slow=(SlowResponders(count=3, extra_delay=0.2),))
+        scenario = Scenario(make_config(faults=plan))
+        slow = set(scenario.fault_injector.slow_nodes)
+        assert len(slow) == 3
+        sent_at = {}
+        delays = []
+
+        def on_send(dgram):
+            if isinstance(dgram.payload, CellResponse) and dgram.src in slow:
+                sent_at[id(dgram)] = (dgram, dgram.sent_at)
+
+        def on_deliver(dgram):
+            entry = sent_at.get(id(dgram))
+            if entry is not None and entry[0] is dgram:
+                delays.append(scenario.sim.now - entry[1])
+
+        scenario.network.on_send.append(on_send)
+        scenario.network.on_deliver.append(on_deliver)
+        scenario.run()
+        assert scenario.metrics.fault_counts["slow_delay"] > 0
+        assert delays and min(delays) >= 0.2

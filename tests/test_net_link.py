@@ -79,3 +79,70 @@ def test_reset():
     link.reset()
     assert link.up_busy_until == 0.0
     assert link.up_bytes == 0.0
+
+
+# ----------------------------------------------------------------------
+# edge cases: zero-byte messages, unshaped directions, contention order
+# ----------------------------------------------------------------------
+def test_zero_byte_message_departs_instantly():
+    link = AccessLink(up_rate=1e6, down_rate=1e6)
+    assert link.reserve_uplink(2.0, 0) == pytest.approx(2.0)
+    assert link.reserve_downlink(2.0, 0) == pytest.approx(2.0)
+    assert link.up_bytes == 0
+    assert link.down_bytes == 0
+
+
+def test_zero_byte_message_still_queues_behind_backlog():
+    link = AccessLink(up_rate=1e6, down_rate=None)
+    link.reserve_uplink(0.0, 1_000_000)  # busy until 1.0
+    # a zero-byte datagram cannot overtake queued bytes on a FIFO link
+    assert link.reserve_uplink(0.0, 0) == pytest.approx(1.0)
+
+
+def test_none_rate_one_direction_only():
+    link = AccessLink(up_rate=None, down_rate=1e6)
+    assert link.reserve_uplink(0.0, 10**9) == 0.0  # unshaped direction
+    assert link.reserve_downlink(0.0, 1_000_000) == pytest.approx(1.0)
+
+
+def test_none_rate_accumulates_bytes_without_delay():
+    link = AccessLink(up_rate=None, down_rate=None)
+    link.reserve_uplink(0.0, 123)
+    link.reserve_downlink(0.0, 456)
+    assert link.up_bytes == 123
+    assert link.down_bytes == 456
+    assert link.uplink_backlog(0.0) == 0.0
+    assert link.downlink_backlog(0.0) == 0.0
+
+
+def test_back_to_back_sends_serialize_in_order():
+    """Under contention, departures come out in reservation order and
+    back-to-back with no idle gaps."""
+    link = AccessLink(up_rate=1e6, down_rate=None)
+    sizes = [100_000, 250_000, 50_000, 600_000]
+    departures = [link.reserve_uplink(0.0, size) for size in sizes]
+    assert departures == sorted(departures)
+    expected = 0.0
+    for size, departure in zip(sizes, departures):
+        expected += size / 1e6
+        assert departure == pytest.approx(expected)
+
+
+def test_interleaved_contention_keeps_fifo_order():
+    """A later reservation at an earlier timestamp still queues behind
+    everything reserved before it (no reordering by arrival time)."""
+    link = AccessLink(up_rate=None, down_rate=1e6)
+    first = link.reserve_downlink(0.0, 1_000_000)  # drains at 1.0
+    second = link.reserve_downlink(0.5, 500_000)  # queued: 1.0 -> 1.5
+    third = link.reserve_downlink(0.2, 100_000)  # queued: 1.5 -> 1.6
+    assert first == pytest.approx(1.0)
+    assert second == pytest.approx(1.5)
+    assert third == pytest.approx(1.6)
+
+
+def test_downlink_backlog():
+    link = AccessLink(up_rate=None, down_rate=1e6)
+    link.reserve_downlink(0.0, 2_000_000)
+    assert link.downlink_backlog(0.0) == pytest.approx(2.0)
+    assert link.downlink_backlog(1.5) == pytest.approx(0.5)
+    assert link.downlink_backlog(10.0) == 0.0

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the codec and the assignment.
+
+These complement the example-based suites with randomized coverage of
+the two components whose correctness the whole protocol leans on:
+
+- ``ReedSolomon``: any >= k surviving symbols reconstruct the exact
+  codeword; any < k symbols are rejected (the information-theoretic
+  threshold behind the withholding analysis);
+- ``CellAssignment``: ``S(node, epoch)`` is a pure function of
+  ``(epoch_seed, node_id)`` — view-independent, distinct, in-range —
+  and a realistic node population covers every line of the grid.
+
+Kept in its own file so CI can run it as a separate (non-blocking)
+job: hypothesis shrinks aggressively on failure and example-based
+tier-1 signal should not wait on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.core.assignment import CellAssignment, cells_of_line, lines_of_cell
+from repro.crypto.randao import RandaoBeacon
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.params import PandasParams
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Reed-Solomon round trips
+# ----------------------------------------------------------------------
+@st.composite
+def codeword_with_erasures(draw):
+    """A random RS(k, 2k) codeword plus a survivor set of >= k positions."""
+    k = draw(st.integers(min_value=1, max_value=16))
+    data = draw(st.lists(st.integers(0, 255), min_size=k, max_size=k))
+    n = 2 * k
+    survivors = draw(
+        st.sets(st.integers(0, n - 1), min_size=k, max_size=n).map(sorted)
+    )
+    return k, data, survivors
+
+
+class TestReedSolomonProperties:
+    @FAST
+    @given(codeword_with_erasures())
+    def test_any_k_survivors_reconstruct_exactly(self, case):
+        k, data, survivors = case
+        rs = ReedSolomon(k, 2 * k)
+        codeword = rs.encode(data)
+        known = {pos: codeword[pos] for pos in survivors}
+        assert rs.decode(known) == codeword
+
+    @FAST
+    @given(codeword_with_erasures())
+    def test_systematic_prefix_is_the_data(self, case):
+        k, data, _ = case
+        rs = ReedSolomon(k, 2 * k)
+        assert rs.encode(data)[:k] == data
+
+    @FAST
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.data(),
+    )
+    def test_below_threshold_is_rejected(self, k, data):
+        rs = ReedSolomon(k, 2 * k)
+        codeword = rs.encode([0] * k)
+        count = data.draw(st.integers(0, k - 1))
+        survivors = data.draw(
+            st.sets(st.integers(0, 2 * k - 1), min_size=count, max_size=count)
+        )
+        with pytest.raises(ValueError):
+            rs.decode({pos: codeword[pos] for pos in survivors})
+
+    @FAST
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    def test_encode_is_deterministic(self, data):
+        rs = ReedSolomon(4, 8)
+        assert rs.encode(data) == rs.encode(data)
+
+
+# ----------------------------------------------------------------------
+# Assignment purity and coverage
+# ----------------------------------------------------------------------
+def small_params() -> PandasParams:
+    return PandasParams(
+        base_rows=4, base_cols=4, custody_rows=2, custody_cols=2, samples=5
+    )
+
+
+class TestAssignmentProperties:
+    @FAST
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_custody_is_pure_in_seed_and_node(self, genesis, node, epoch):
+        """Two independent instances agree: no hidden view/order state."""
+        params = small_params()
+        a = CellAssignment(params, RandaoBeacon(genesis))
+        b = CellAssignment(params, RandaoBeacon(genesis))
+        assert a.custody(node, epoch) == b.custody(node, epoch)
+
+    @FAST
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_custody_lines_distinct_sorted_in_range(self, node, epoch):
+        params = small_params()
+        assignment = CellAssignment(params, RandaoBeacon(7))
+        custody = assignment.custody(node, epoch)
+        assert len(set(custody.rows)) == params.custody_rows
+        assert len(set(custody.cols)) == params.custody_cols
+        assert list(custody.rows) == sorted(custody.rows)
+        assert list(custody.cols) == sorted(custody.cols)
+        assert all(0 <= r < params.ext_rows for r in custody.rows)
+        assert all(0 <= c < params.ext_cols for c in custody.cols)
+
+    @FAST
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_custody_cells_match_lines(self, node, epoch):
+        params = small_params()
+        assignment = CellAssignment(params, RandaoBeacon(7))
+        lines = assignment.lines(node, epoch)
+        expected = set()
+        for line in lines:
+            expected.update(cells_of_line(line, params.ext_rows, params.ext_cols))
+        assert assignment.custody_cells(node, epoch) == expected
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_population_covers_every_line(self, genesis):
+        """200 nodes leave no line of the small grid uncustodied."""
+        params = small_params()
+        assignment = CellAssignment(params, RandaoBeacon(genesis))
+        covered = set()
+        for node in range(200):
+            covered.update(assignment.lines(node, epoch=0))
+        assert covered == set(range(params.ext_rows + params.ext_cols))
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=63))
+    def test_cell_line_duality(self, cid):
+        params = small_params()
+        row_line, col_line = lines_of_cell(cid, params.ext_rows, params.ext_cols)
+        assert cid in cells_of_line(row_line, params.ext_rows, params.ext_cols)
+        assert cid in cells_of_line(col_line, params.ext_rows, params.ext_cols)

@@ -12,6 +12,7 @@ import pytest
 from repro.core.messages import CellRequest, CellResponse, SeedMessage
 from repro.core.seeding import RedundantSeeding
 from repro.experiments.scenario import Scenario, ScenarioConfig
+from repro.faults.plan import CrashWindow, FaultPlan
 from repro.params import PandasParams
 
 
@@ -102,6 +103,43 @@ def test_sample_choices_rotate_across_slots():
     rng0 = scenario.rngs.stream("samples", 5, 0)
     rng1 = scenario.rngs.stream("samples", 5, 1)
     assert rng0.sample(range(256), 10) != rng1.sample(range(256), 10)
+
+
+def test_message_invariants_survive_faults():
+    """The message-level properties above plus the online checker from
+    ``repro.faults.invariants`` all hold on a faulted run: faults may
+    delay or destroy traffic but never produce protocol-violating
+    messages or dishonest completion marks."""
+    config = ScenarioConfig(
+        num_nodes=40,
+        params=PandasParams(
+            base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10
+        ),
+        policy=RedundantSeeding(4),
+        seed=12,
+        slots=1,
+        num_vertices=400,
+        faults=FaultPlan(
+            loss=0.1,
+            duplication=0.05,
+            crashes=(CrashWindow(crash_at=0.4, restart_at=0.9, count=2),),
+        ),
+        check_invariants=True,
+    )
+    scenario = Scenario(config)
+    sent = []
+    scenario.network.on_send.append(lambda d: sent.append(d))
+    scenario.run()  # online checker raises on any I1-I4 violation
+
+    assignment = scenario.assignment
+    for dgram in sent:
+        if isinstance(dgram.payload, CellRequest):
+            assert dgram.src != dgram.dst
+            for cid in dgram.payload.cells:
+                assert assignment.is_custodian(dgram.dst, 0, cid)
+        elif isinstance(dgram.payload, SeedMessage):
+            assert dgram.src == scenario.builder_id
+    assert scenario.invariants.checks_run > len(sent)
 
 
 def test_wire_byte_accounting_consistent(observed_run):

@@ -150,6 +150,34 @@ def test_zero_delay_event_fires_at_current_time(sim):
     assert fired == [1.0]
 
 
+def test_reset_restarts_sequence_counter(sim):
+    """Regression: ``reset()`` used to keep the old ``_seq`` counter,
+    so a reset simulator broke timestamp ties differently from a fresh
+    one and replays after reset were not bit-identical."""
+    for _ in range(5):
+        sim.call_after(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    event = sim.call_after(1.0, lambda: None)
+    assert event.seq == 0
+
+
+def test_reset_simulator_matches_fresh_simulator():
+    def trace_of(sim: Simulator) -> list:
+        trace = []
+        for tag in ("a", "b", "c"):
+            sim.call_at(1.0, lambda t=tag: trace.append((t, sim.events_processed)))
+        sim.run()
+        return trace
+
+    fresh = Simulator()
+    reused = Simulator()
+    reused.call_after(0.5, lambda: None)
+    reused.run()
+    reused.reset()
+    assert trace_of(reused) == trace_of(fresh)
+
+
 def test_determinism_across_instances():
     def run_once() -> list:
         sim = Simulator()
