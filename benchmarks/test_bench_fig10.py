@@ -30,7 +30,10 @@ def policy_results():
 def test_fig10_messages_and_traffic(benchmark, policy_results):
     results = run_once(benchmark, lambda: policy_results)
     print_header(f"Figure 10 — fetch messages & traffic per node ({bench_nodes()} nodes)")
-    print_row(f"{'policy':<12} {'msgs median':>12} {'msgs max':>10} {'MB median':>10} {'MB max':>8} | paper max MB")
+    print_row(
+        f"{'policy':<12} {'msgs median':>12} {'msgs max':>10} "
+        f"{'MB median':>10} {'MB max':>8} | paper max MB"
+    )
     for name in POLICIES:
         messages = results[name].fetch_messages
         volume = results[name].fetch_bytes

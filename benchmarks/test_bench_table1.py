@@ -49,7 +49,9 @@ def test_table1_fetching_rounds(benchmark):
         [
             (
                 "requested cells shrink round over round (coverage grows)",
-                mean(1, "cells_requested") > mean(2, "cells_requested") > mean(3, "cells_requested"),
+                mean(1, "cells_requested")
+                > mean(2, "cells_requested")
+                > mean(3, "cells_requested"),
             ),
             (
                 "most replies arrive within their round",

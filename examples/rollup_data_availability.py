@@ -55,14 +55,20 @@ def main() -> None:
     # -- 2. commitment + extension ------------------------------------
     extended = blob.extend()
     commitment = commit_blob(extended)
-    print(f"extended to {extended.ext_rows}x{extended.ext_cols}; commitment {commitment.digest.hex()[:16]}...")
+    print(
+        f"extended to {extended.ext_rows}x{extended.ext_cols}; "
+        f"commitment {commitment.digest.hex()[:16]}..."
+    )
 
     # -- 3. scatter cells; the network loses 30% of them --------------
     surviving = {}
     for cid in range(extended.ext_rows * extended.ext_cols):
         if rng.random() > 0.30:
             surviving[cid] = extended.cell_by_id(cid)
-    print(f"network holds {len(surviving)} of {extended.ext_rows * extended.ext_cols} cells after losses")
+    print(
+        f"network holds {len(surviving)} of "
+        f"{extended.ext_rows * extended.ext_cols} cells after losses"
+    )
 
     # each surviving cell is individually verifiable against the
     # commitment before a node accepts it (no corrupted data spreads)
@@ -78,7 +84,10 @@ def main() -> None:
     assert recovered == payload
     batches = json.loads(recovered)
     print(f"rollup node recovered all {len(batches)} batches despite 30% cell loss")
-    print(f"  (can now verify state root {batches[0]['state_root'][:16]}... or raise a fraud proof)")
+    print(
+        f"  (can now verify state root {batches[0]['state_root'][:16]}... "
+        "or raise a fraud proof)"
+    )
 
     # -- 5. a withholding builder is caught by sampling ---------------
     print()

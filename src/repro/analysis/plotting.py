@@ -8,7 +8,6 @@ steps, tails, crossovers between series — is visible directly in
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import Distribution

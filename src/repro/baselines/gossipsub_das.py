@@ -15,15 +15,14 @@ custodians.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
 
 from repro.core.assignment import Custody, cells_of_line
 from repro.core.custody import SlotCellState
 from repro.core.fetching import AdaptiveFetcher
 from repro.core.messages import CellRequest, CellResponse
-from repro.experiments.scenario import BaseScenario, ScenarioConfig
+from repro.experiments.scenario import BaseScenario
 from repro.gossip.pubsub import GossipMessage, GossipOverlay
 from repro.net.transport import Datagram
 from repro.sim.rng import derive_seed

@@ -7,13 +7,16 @@ original system's reproducibility material drives its simulator:
 - ``figure``     regenerate one of the paper's figures/tables;
 - ``baselines``  the three-system comparison at one scale;
 - ``faults``     dead-node / out-of-view sweeps;
+- ``adversary``  Byzantine-fraction degradation sweeps;
 - ``security``   the Section 3 sampling math for a given grid.
 
 Examples::
 
     python -m repro slot --nodes 350 --policy redundant --slots 2
+    python -m repro slot --nodes 200 --faults 'corrupt=0.1,flood=2@20'
     python -m repro figure fig9 --nodes 300
     python -m repro faults --fault dead --nodes 300
+    python -m repro adversary --behavior corrupt --fractions 0,0.1,0.2
     python -m repro security --grid 512 --target 1e-9
 """
 
@@ -55,7 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
             "deterministic fault plan, e.g. "
             "'loss=0.05,crash=2@1.0:2.0,partition=0.2@1.0+0.5' "
             "(kinds: loss, dup, jitter, crash=N@T1[:T2], "
-            "partition=F@T+D, slow=N@D)"
+            "partition=F@T+D, slow=N@D; Byzantine: corrupt=X, "
+            "flood=X@R, withhold=X, equivocate=X@K, stall=X@D — "
+            "X below 1 is a fraction, otherwise a node count)"
         ),
     )
     slot.add_argument(
@@ -79,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     _common_scale_args(faults)
     faults.add_argument("--fault", choices=["dead", "out_of_view"], default="dead")
     faults.add_argument("--fractions", default="0,0.2,0.4,0.6,0.8")
+
+    adversary = sub.add_parser(
+        "adversary", help="Byzantine-fraction degradation sweep (Section 9)"
+    )
+    _common_scale_args(adversary)
+    adversary.add_argument(
+        "--behavior",
+        default="mix",
+        choices=["mix", "corrupt", "flood", "withhold", "equivocate", "stall"],
+        help="one behavior, or 'mix' to split the fraction across all five",
+    )
+    adversary.add_argument("--fractions", default="0,0.05,0.1,0.2,0.3")
+    adversary.add_argument("--slots", type=int, default=1)
+    adversary.add_argument(
+        "--details", action="store_true",
+        help="also print realized adversary and defense counters",
+    )
 
     security = sub.add_parser("security", help="Section 3 sampling math")
     security.add_argument("--grid", type=int, default=512, help="extended grid dimension")
@@ -137,6 +159,12 @@ def _cmd_slot(args) -> int:
             for kind, count in sorted(scenario.metrics.fault_counts.items())
         )
         print(f"  faults         {realized}")
+    if scenario.metrics.defense_counts:
+        triggered = ", ".join(
+            f"{kind}={int(count)}"
+            for kind, count in sorted(scenario.metrics.defense_counts.items())
+        )
+        print(f"  defenses       {triggered}")
     if scenario.invariants is not None:
         print(f"  invariants     ok ({scenario.invariants.checks_run} checks)")
     if args.plot:
@@ -162,11 +190,15 @@ def _cmd_figure(args) -> int:
             stats = {k: round(v[0], 1) for k, v in sorted(table[rnd].items())}
             print(f"round {rnd}: {stats}")
     elif args.which == "fig11":
-        results = figures.run_adaptive_vs_constant(num_nodes=args.nodes, seed=args.seed, params=params)
+        results = figures.run_adaptive_vs_constant(
+            num_nodes=args.nodes, seed=args.seed, params=params
+        )
         for name, result in results.items():
             print(f"{name:<10} {summarize(result.sampling, 4.0)}")
     elif args.which == "fig12":
-        results = figures.run_baseline_comparison(num_nodes=args.nodes, seed=args.seed, params=params)
+        results = figures.run_baseline_comparison(
+            num_nodes=args.nodes, seed=args.seed, params=params
+        )
         for name, result in results.items():
             print(f"{name:<10} {summarize(result.sampling, 4.0)}")
     elif args.which in ("fig13", "fig14"):
@@ -216,6 +248,40 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_adversary(args) -> int:
+    from repro.experiments import figures
+
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    results = figures.run_adversarial_sweep(
+        fractions=fractions,
+        behavior=args.behavior,
+        num_nodes=args.nodes,
+        slots=args.slots,
+        seed=args.seed,
+        params=_params(args),
+    )
+    print(f"{args.behavior} sweep over {args.nodes} nodes "
+          "(measured honest completion vs sybil-model bound)")
+    for fraction, point in results.items():
+        print(
+            f"  {fraction:>4.0%} byzantine ({point.byzantine_count:>3} nodes)  "
+            f"sampling {point.sampling_within_deadline:>6.1%} <=4s "
+            f"(analytic >= {point.analytic_success:.1%})  "
+            f"consolidation {point.consolidation_within_deadline:>6.1%}"
+        )
+        if args.details:
+            for label, counts in (
+                ("adversary", point.fault_counts),
+                ("defenses", point.defense_counts),
+            ):
+                if counts:
+                    line = ", ".join(
+                        f"{kind}={int(count)}" for kind, count in sorted(counts.items())
+                    )
+                    print(f"       {label:<9} {line}")
+    return 0
+
+
 def _cmd_security(args) -> int:
     from repro.das.security import false_positive_probability, required_samples
 
@@ -235,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "baselines": _cmd_baselines,
         "faults": _cmd_faults,
+        "adversary": _cmd_adversary,
         "security": _cmd_security,
     }
     return handlers[args.command](args)

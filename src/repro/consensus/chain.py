@@ -8,7 +8,7 @@ Sizes are modelled for gossip accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.crypto.keys import Signature

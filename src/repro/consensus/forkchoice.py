@@ -19,7 +19,7 @@ is how the examples demonstrate the end-to-end claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.consensus.chain import AggregateDecision, Attestation
 

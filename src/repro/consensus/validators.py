@@ -12,8 +12,8 @@ resolve a validator to its node.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.crypto.randao import RandaoBeacon
 from repro.sim.rng import derive_seed

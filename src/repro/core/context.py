@@ -9,7 +9,7 @@ by the experiment driver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.core.assignment import AssignmentIndex, CellAssignment
 from repro.net.transport import Network
@@ -33,6 +33,10 @@ class ProtocolContext:
     rngs: RngRegistry
     index_for_epoch: Callable[[int], AssignmentIndex]
     slot_starts: Dict[int, float] = field(default_factory=dict)
+    # The slot builder's address, when globally known (the proposer's
+    # signature binds it — Section 6.1). Nodes reject seed parcels from
+    # any other source; ``None`` disables the check (unit harnesses).
+    builder_id: Optional[int] = None
 
     def epoch_of(self, slot: int) -> int:
         return slot // self.params.slots_per_epoch

@@ -78,14 +78,24 @@ def score_peers(
     candidate_cells: Dict[int, Set[int]],
     boost: Dict[int, Set[int]],
     cb_boost: float,
+    weights: Optional[Dict[int, float]] = None,
 ) -> Dict[int, float]:
-    """Algorithm 1 lines 4-9: cells-of-interest count plus boost."""
+    """Algorithm 1 lines 4-9: cells-of-interest count plus boost.
+
+    ``weights`` (peer -> multiplier in ``(0, 1]``, default 1.0) folds
+    per-peer reputation into the score: a peer that served corrupt
+    cells or stalled past round deadlines is out-scored by clean peers
+    holding the same cells, so queries drain away from it even before
+    quarantine removes it outright.
+    """
     scores: Dict[int, float] = {}
     for peer, cells in candidate_cells.items():
         score = float(len(cells))
         boosted = boost.get(peer)
         if boosted:
             score += len(boosted & targets) * cb_boost
+        if weights is not None:
+            score *= weights.get(peer, 1.0)
         scores[peer] = score
     return scores
 
@@ -151,6 +161,10 @@ class AdaptiveFetcher:
         fetch_custody: bool = True,
         is_complete: Optional[Callable[[], bool]] = None,
         max_cells_per_query: Optional[int] = 16,
+        peer_weight: Optional[Callable[[int], float]] = None,
+        exclude_peer: Optional[Callable[[int], bool]] = None,
+        on_peer_timeout: Optional[Callable[[int], None]] = None,
+        retry_unresponsive: bool = False,
     ) -> None:
         self.sim = sim
         self.state = state
@@ -166,6 +180,19 @@ class AdaptiveFetcher:
         # consider the slot done once sampling completes
         self.fetch_custody = fetch_custody
         self._is_complete = is_complete
+        # reputation hooks (repro.core.reputation): score multiplier,
+        # quarantine filter, and the timeout-evidence sink
+        self.peer_weight = peer_weight
+        self.exclude_peer = exclude_peer
+        self.on_peer_timeout = on_peer_timeout
+        # Robustness extension to Algorithm 1 (off by default): once the
+        # candidate pool is exhausted, peers whose round expired with no
+        # reply may be queried a second time. Without it, loss bursts,
+        # partitions or withholding peers can permanently starve a node
+        # that has already spent its one query per custodian.
+        self.retry_unresponsive = retry_unresponsive
+        self.responded: Set[int] = set()
+        self._timeouts_reported: Set[int] = set()
 
         self.boost: Dict[int, Set[int]] = {}
         self._boost_cells: Set[int] = set()
@@ -275,6 +302,8 @@ class AdaptiveFetcher:
             self._give_up()
             return
 
+        self._report_timeouts()
+
         stats = RoundStats(index=index, started_at=self.sim.now)
         stats.deadline = self.sim.now + self.schedule.timeout(index)
         self.rounds.append(stats)
@@ -282,15 +311,33 @@ class AdaptiveFetcher:
         targets = self.round_targets(index)
         stats.targets = len(targets)
         candidate_cells = self._candidate_cells(targets)
+        if not candidate_cells and targets and index >= 3 and self.retry_unresponsive:
+            # Every custodian of the remaining targets has been queried
+            # once already. Under loss, partitions or withholding peers
+            # that is not the end: peers whose round expired without any
+            # reply are returned to the candidate pool for one more try
+            # (their earlier query or reply was probably lost). Peers
+            # that *did* reply stay consumed — re-asking a peer that
+            # answered only manufactures duplicates.
+            if self._recycle_unresponsive():
+                candidate_cells = self._candidate_cells(targets)
+            if not candidate_cells and self._recycle_responded():
+                # Still nothing: the remaining targets' custodians all
+                # *answered*, yet the cells never materialized — corrupt
+                # responders whose payloads failed verification, or
+                # replies that did not cover these cells. Re-open them
+                # too; reputation weighting and quarantine steer the
+                # retry toward whoever served honestly.
+                candidate_cells = self._candidate_cells(targets)
         if not candidate_cells:
             if self.on_round is not None:
                 self.on_round(stats)
             if index >= 3:
-                # Inbound cells are no longer trusted from round 3, so
-                # the target set is maximal and custodian lists are
-                # static within a slot: no future round can plan
-                # anything. Stop scheduling; buffered replies already
-                # in flight may still complete the state.
+                # Inbound cells are no longer trusted from round 3 and
+                # even already-queried peers are recycled above, so an
+                # empty plan here means nobody reachable can serve the
+                # remaining targets. Stop scheduling; buffered replies
+                # already in flight may still complete the state.
                 return
             # rounds 1-2 may have empty plans only because lost inbound
             # cells are still trusted; keep ticking so round 3 retries
@@ -299,7 +346,10 @@ class AdaptiveFetcher:
             )
             return
 
-        scores = score_peers(targets, candidate_cells, self.boost, self.cb_boost)
+        weights = None
+        if self.peer_weight is not None:
+            weights = {peer: self.peer_weight(peer) for peer in candidate_cells}
+        scores = score_peers(targets, candidate_cells, self.boost, self.cb_boost, weights)
         peers = list(candidate_cells)
         self.rng.shuffle(peers)  # unbiased tie-break among equal scores
         peers.sort(key=lambda p: scores[p], reverse=True)
@@ -339,9 +389,12 @@ class AdaptiveFetcher:
             missing_by_line.setdefault(row, set()).add(cid)
             missing_by_line.setdefault(params.ext_rows + col, set()).add(cid)
         candidates: Dict[int, Set[int]] = {}
+        exclude = self.exclude_peer
         for line, cells in missing_by_line.items():
             for peer in self.line_custodians(line):
                 if peer == self.self_id or peer in self.queried:
+                    continue
+                if exclude is not None and peer not in candidates and exclude(peer):
                     continue
                 bucket = candidates.get(peer)
                 if bucket is None:
@@ -355,15 +408,86 @@ class AdaptiveFetcher:
                     candidates[peer] = seeded_targets
         return candidates
 
+    def _recycle_unresponsive(self) -> int:
+        """Return queried-but-silent peers to the candidate pool.
+
+        A peer is recycled only after the round it was queried in has
+        expired with no reply at all; quarantined peers remain excluded
+        by ``_candidate_cells``. Returns how many peers were recycled.
+        (Rounds fire exactly at the previous deadline, so expiry is
+        ``deadline <= now``, not strict.)
+        """
+        now = self.sim.now
+        stale = {
+            peer
+            for peer, rnd in self.query_round.items()
+            if peer in self.queried
+            and peer not in self.responded
+            and rnd <= len(self.rounds)
+            and self.rounds[rnd - 1].deadline <= now
+        }
+        self.queried -= stale
+        return len(stale)
+
+    def _recycle_responded(self) -> int:
+        """Last resort: re-open peers that replied but left targets unmet.
+
+        Used only when even recycling silent peers yields no candidates:
+        every custodian of the remaining targets answered something, yet
+        the cells never verified or were not covered by the reply. Peers
+        become eligible once the round they were queried in has expired;
+        quarantined peers stay excluded by ``_candidate_cells``, and the
+        reputation weight makes honest servers out-score the liars that
+        forced this retry in the first place.
+        """
+        now = self.sim.now
+        stale = {
+            peer
+            for peer, rnd in self.query_round.items()
+            if peer in self.queried
+            and rnd <= len(self.rounds)
+            and self.rounds[rnd - 1].deadline <= now
+        }
+        self.queried -= stale
+        return len(stale)
+
+    def _report_timeouts(self) -> None:
+        """Feed peers that missed their round deadline to the reputation sink.
+
+        A peer is reported at most once per slot, and only once the
+        round it was queried in has expired without any reply from it.
+        Late (deferred) replies are legitimate protocol behaviour, which
+        is why timeout evidence carries the lowest reputation weight.
+        """
+        if self.on_peer_timeout is None:
+            return
+        now = self.sim.now
+        for peer, round_index in self.query_round.items():
+            if peer in self.responded or peer in self._timeouts_reported:
+                continue
+            if round_index <= len(self.rounds) and self.rounds[round_index - 1].deadline <= now:
+                self._timeouts_reported.add(peer)
+                self.on_peer_timeout(peer)
+
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
+    def note_reply(self, peer: int) -> None:
+        """Mark ``peer`` as having answered (even with no usable cells).
+
+        The node calls this before dropping invalid/duplicate payloads
+        so a peer that *replied* is never also reported as timed out —
+        corrupt responders are punished once, as corrupt, not twice.
+        """
+        self.responded.add(peer)
+
     def on_response(self, peer: int, cells: Tuple[int, ...]) -> Tuple[int, int]:
         """Account a CellResponse; returns (new_cells, reconstructed).
 
         Updates the custody state so duplicate accounting and round
         attribution stay consistent.
         """
+        self.responded.add(peer)
         new_count, reconstructed = self.state.add_cells(cells)
         round_index = self.query_round.get(peer)
         if round_index is not None and round_index <= len(self.rounds):

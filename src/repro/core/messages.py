@@ -14,7 +14,7 @@ headers plus the signature.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Tuple
 
 from repro.params import PandasParams
@@ -73,11 +73,19 @@ class CellRequest:
 
 @dataclass(frozen=True)
 class CellResponse:
-    """Reply carrying the requested cells (sent only when all are held)."""
+    """Reply carrying the requested cells (sent only when all are held).
+
+    ``invalid`` is a *modeling* flag, not wire data: the simulation
+    tracks cell identity rather than bytes, so a Byzantine responder
+    marks here which of its carried cells would fail KZG verification
+    against the slot commitment. Honest code never sets it; receiving
+    nodes must verify every cell on ingest and drop the marked ones.
+    """
 
     slot: int
     epoch: int
     cells: Tuple[int, ...]
+    invalid: FrozenSet[int] = frozenset()
 
     def wire_size(self, params: PandasParams) -> int:
         return params.message_overhead_bytes + len(self.cells) * params.cell_bytes

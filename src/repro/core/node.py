@@ -16,11 +16,26 @@ queries. All behaviour is reactive:
 - a **cell response** feeds the fetcher and may complete
   consolidation/sampling, which is recorded in the metrics relative
   to the slot start.
+
+Because transport is one-way UDP with no authentication beyond the
+proposer's seed signature, every inbound message crosses a validation
+layer before touching protocol state (the Byzantine defenses of the
+threat model):
+
+- seed parcels must come from the slot's builder;
+- requests and responses pass a per-peer token bucket;
+- every ingested cell is verified against the slot's KZG commitment
+  (the verify cost is charged to this node's clock before the message
+  is processed) and corrupt cells are dropped, never stored;
+- responses must match an outstanding query — right peer, right slot,
+  right cells — or they are discarded as unsolicited;
+- all of the above feeds a per-peer :class:`ReputationLedger` whose
+  score steers Algorithm 1's peer scoring and quarantines the worst
+  offenders for the rest of the epoch.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -28,6 +43,7 @@ from repro.core.context import ProtocolContext
 from repro.core.custody import SlotCellState
 from repro.core.fetching import AdaptiveFetcher
 from repro.core.messages import CellRequest, CellResponse, SeedMessage
+from repro.core.reputation import ReputationLedger, TokenBucket
 from repro.net.transport import Datagram
 from repro.sim.engine import Event
 
@@ -52,6 +68,13 @@ class _SlotState:
     # cell id -> buffered requests still waiting on it; each stored
     # cell resolves its waiters in O(waiters), never a full rescan
     waiting_by_cell: Dict[int, List[_PendingRequest]] = field(default_factory=dict)
+    # peer -> cells we asked it for this slot; a CellResponse is only
+    # accepted when its source and cells match an entry here
+    outstanding: Dict[int, Set[int]] = field(default_factory=dict)
+    # fires at the sampling deadline: buffered request remainders for
+    # this slot can no longer be answered usefully, so they are dropped
+    # instead of accumulating for the rest of the run
+    expiry_timer: Optional[Event] = None
     seed_received: bool = False
     seed_messages_seen: int = 0
     seed_messages_expected: Optional[int] = None
@@ -74,6 +97,19 @@ class PandasNode:
         self.node_id = node_id
         self.view = view  # None means a complete, consistent view
         self._slots: Dict[int, _SlotState] = {}
+        # Byzantine defenses (module docstring): reputation, per-peer
+        # inbound rate limiting, and slots already retired by drop_slot
+        # (late replies for those are stale, not hostile).
+        params = ctx.params
+        self.reputation = ReputationLedger(
+            decay=params.reputation_decay,
+            quarantine_threshold=params.quarantine_threshold,
+        )
+        self._buckets: Dict[int, TokenBucket] = {}
+        self._retired: Set[int] = set()
+        # bumped on crash so delayed verify callbacks from a previous
+        # incarnation never touch post-restart state
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # slot state
@@ -105,6 +141,8 @@ class PandasNode:
         def line_custodians(line: int):
             return index.custodians(line, view)
 
+        # epoch rollover: decay reputation counters, end quarantines
+        self.reputation.observe_epoch(epoch)
         fetcher = AdaptiveFetcher(
             sim=ctx.sim,
             state=cells,
@@ -114,20 +152,68 @@ class PandasNode:
             rng=ctx.rngs.stream("fetch", self.node_id, slot),
             cb_boost=params.cb_boost,
             self_id=self.node_id,
+            peer_weight=self.reputation.weight,
+            exclude_peer=self.reputation.quarantined,
+            on_peer_timeout=self._on_peer_timeout,
+            retry_unresponsive=params.fetch_retry_unresponsive,
         )
         return _SlotState(cells=cells, fetcher=fetcher)
 
     # ------------------------------------------------------------------
-    # message dispatch
+    # message dispatch (validation layer)
     # ------------------------------------------------------------------
     def on_datagram(self, dgram: Datagram) -> None:
         payload = dgram.payload
+        ctx = self.ctx
         if isinstance(payload, SeedMessage):
-            self._on_seed(dgram.src, payload)
+            # the proposer's signature binds the builder identity
+            # (Section 6.1): a seed parcel from anyone else is forged
+            if ctx.builder_id is not None and dgram.src != ctx.builder_id:
+                self.reputation.record_unsolicited(dgram.src)
+                ctx.metrics.record_defense("seed_forged")
+                return
+            self._dispatch_verified(dgram.src, payload, len(payload.cells), self._on_seed)
         elif isinstance(payload, CellRequest):
+            if not self._admit(dgram.src):
+                ctx.metrics.record_defense("rate_limited")
+                return
             self._on_request(dgram.src, payload)
         elif isinstance(payload, CellResponse):
-            self._on_response(dgram.src, payload)
+            if not self._admit(dgram.src):
+                ctx.metrics.record_defense("rate_limited")
+                return
+            self._dispatch_verified(dgram.src, payload, len(payload.cells), self._on_response)
+
+    def _admit(self, src: int) -> bool:
+        """Per-peer token bucket over inbound request/response traffic."""
+        bucket = self._buckets.get(src)
+        if bucket is None:
+            params = self.ctx.params
+            bucket = TokenBucket(params.inbound_msg_rate, params.inbound_msg_burst)
+            self._buckets[src] = bucket
+        return bucket.allow(self.ctx.sim.now)
+
+    def _dispatch_verified(self, src: int, msg, cell_count: int, handler) -> None:
+        """Charge KZG verification time, then deliver to ``handler``.
+
+        Every carried cell is checked against the slot commitment before
+        any of the message is acted on; the check costs
+        ``cell_verify_seconds`` of *this node's* clock per cell, so a
+        node being fed garbage pays in latency as well as bandwidth.
+        The delayed callback is generation-guarded: a crash between
+        arrival and verification discards the message.
+        """
+        delay = self.ctx.params.cell_verify_seconds * cell_count
+        if delay <= 0.0:
+            handler(src, msg)
+            return
+        generation = self._generation
+
+        def deliver() -> None:
+            if self._generation == generation:
+                handler(src, msg)
+
+        self.ctx.sim.call_after(delay, deliver)
 
     # ------------------------------------------------------------------
     # seeding
@@ -189,9 +275,34 @@ class PandasNode:
             self._respond(slot, msg.epoch, src, tuple(sorted(held)))
         remainder = msg.cells - held
         if remainder:
+            # buffer the remainder for a deferred reply — but only
+            # until the sampling deadline: after it, the requester has
+            # already failed or succeeded for this slot, so the buffer
+            # would be dead weight until the end of the run
+            params = self.ctx.params
+            elapsed = self.ctx.since_slot_start(slot)
+            if elapsed >= params.deadline:
+                self.ctx.metrics.record_defense("pending_expired", len(remainder))
+                return
+            if state.expiry_timer is None:
+                state.expiry_timer = self.ctx.sim.call_after(
+                    params.deadline - elapsed, lambda: self._expire_pending(slot)
+                )
             record = _PendingRequest(src, remainder, len(remainder))
             for cid in remainder:
                 state.waiting_by_cell.setdefault(cid, []).append(record)
+
+    def _expire_pending(self, slot: int) -> None:
+        """Drop buffered request remainders at the sampling deadline."""
+        state = self._slots.get(slot)
+        if state is None:
+            return
+        state.expiry_timer = None
+        if not state.waiting_by_cell:
+            return
+        expired = {id(rec): rec for recs in state.waiting_by_cell.values() for rec in recs}
+        self.ctx.metrics.record_defense("pending_expired", len(expired))
+        state.waiting_by_cell.clear()
 
     def _fallback_start(self, slot: int) -> None:
         state = self._slot_state(slot)
@@ -208,19 +319,69 @@ class PandasNode:
     # responses
     # ------------------------------------------------------------------
     def _on_response(self, src: int, msg: CellResponse) -> None:
+        """Validate, verify and ingest one CellResponse.
+
+        The acceptance chain (each step feeds the reputation ledger):
+
+        1. the slot must have live state *and* the source must hold an
+           outstanding query for it — anything else is unsolicited and
+           never creates slot state;
+        2. cells we never asked this peer for are discarded;
+        3. cells failing KZG verification (the ``invalid`` modeling
+           flag) are discarded — corrupt cells are never stored;
+        4. what survives is credited to the peer and fed to the fetcher.
+        """
         slot = msg.slot
-        state = self._slot_state(slot)
-        state.fetcher.on_response(src, msg.cells)
+        metrics = self.ctx.metrics
+        state = self._slots.get(slot)
+        if state is None:
+            if slot in self._retired:
+                # deferred reply landing after drop_slot: stale, not hostile
+                metrics.record_defense("resp_stale")
+            else:
+                self.reputation.record_unsolicited(src)
+                metrics.record_defense("resp_unsolicited")
+            return
+        outstanding = state.outstanding.get(src)
+        if not outstanding:
+            self.reputation.record_unsolicited(src)
+            metrics.record_defense("resp_unsolicited")
+            return
+        # the peer *answered*: whatever else is wrong with the payload,
+        # it must not additionally be reported as timed out
+        state.fetcher.note_reply(src)
+        requested = [cid for cid in msg.cells if cid in outstanding]
+        unrequested = len(msg.cells) - len(requested)
+        if unrequested:
+            self.reputation.record_unrequested(src, unrequested)
+            metrics.record_defense("cells_unrequested", unrequested)
+        invalid = msg.invalid
+        good = tuple(cid for cid in requested if cid not in invalid)
+        bad = len(requested) - len(good)
+        if bad:
+            self.reputation.record_invalid(src, bad)
+            metrics.record_defense("cells_invalid", bad)
+        if not good:
+            return
+        self.reputation.record_valid(src, len(good))
+        state.fetcher.on_response(src, good)
         self._after_cells_changed(slot, state)
 
     # ------------------------------------------------------------------
     # outgoing queries
     # ------------------------------------------------------------------
     def _send_query(self, slot: int, epoch: int, peer: int, cells: FrozenSet[int]) -> None:
+        state = self._slots.get(slot)
+        if state is not None:
+            state.outstanding.setdefault(peer, set()).update(cells)
         request = CellRequest(slot=slot, epoch=epoch, cells=cells)
         self.ctx.network.send(
             self.node_id, peer, request, request.wire_size(self.ctx.params)
         )
+
+    def _on_peer_timeout(self, peer: int) -> None:
+        self.reputation.record_timeout(peer)
+        self.ctx.metrics.record_defense("peer_timeout")
 
     # ------------------------------------------------------------------
     # bookkeeping after any cell arrival
@@ -266,8 +427,21 @@ class PandasNode:
             if state.fallback_timer is not None:
                 state.fallback_timer.cancel()
                 state.fallback_timer = None
+            if state.expiry_timer is not None:
+                state.expiry_timer.cancel()
+                state.expiry_timer = None
             state.fetcher.stop()
         self._slots.clear()
+        # volatile defense state is lost with the process: in-flight
+        # verify callbacks are invalidated, reputation and rate-limit
+        # memory start fresh
+        self._generation += 1
+        params = self.ctx.params
+        self.reputation = ReputationLedger(
+            decay=params.reputation_decay,
+            quarantine_threshold=params.quarantine_threshold,
+        )
+        self._buckets.clear()
 
     def restart(self, slot: int) -> None:
         """Recover with empty storage and immediately re-fetch ``slot``.
@@ -299,6 +473,7 @@ class PandasNode:
         until the end of the slot (Table 1's in/after-round split).
         """
         state = self._slots.pop(slot, None)
+        self._retired.add(slot)
         if state is not None:
             for stats in state.fetcher.rounds:
                 self.ctx.metrics.record_round(
@@ -317,3 +492,5 @@ class PandasNode:
             state.fetcher.stop()
             if state.fallback_timer is not None:
                 state.fallback_timer.cancel()
+            if state.expiry_timer is not None:
+                state.expiry_timer.cancel()

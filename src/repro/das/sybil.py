@@ -17,13 +17,12 @@ sampling in the tests.
 
 from __future__ import annotations
 
-import math
-
 __all__ = [
     "line_assignment_probability",
     "line_without_honest_custodian_probability",
     "cell_censorship_probability",
     "expected_censorable_cells",
+    "sampling_success_probability",
     "rotation_safety_factor",
 ]
 
@@ -82,6 +81,31 @@ def expected_censorable_cells(
     return total_cells * cell_censorship_probability(
         honest_nodes, custody_lines, total_lines
     )
+
+
+def sampling_success_probability(
+    honest_nodes: int,
+    samples: int = 73,
+    custody_lines: int = 16,
+    total_lines: int = 1024,
+) -> float:
+    """P[all ``samples`` random sample cells have an honest custodian].
+
+    The analytic cross-check for the adversarial degradation sweeps
+    (``experiments.figures.run_adversarial_sweep``): it models the
+    case where every Byzantine custodian serves *nothing*, which the
+    node-side defenses reduce the real behaviors to (corrupt cells
+    are dropped on verification, withheld cells never arrive). The
+    measured honest completion rate tracks this prediction in
+    expectation; any single seed deviates because honest-free lines
+    arrive in lumps (one empty row censors a cell with every empty
+    column). Sample cells are treated as independent uniform draws,
+    validated by Monte-Carlo in the tests.
+    """
+    if samples < 0:
+        raise ValueError("samples must be non-negative")
+    p_cell = cell_censorship_probability(honest_nodes, custody_lines, total_lines)
+    return (1.0 - p_cell) ** samples
 
 
 def rotation_safety_factor(

@@ -278,7 +278,9 @@ class KademliaNode:
             self.network.send(self.address, dgram.src, reply, reply.size)
         elif isinstance(payload, FindValue):
             if payload.key in self.storage:
-                value = Value(payload.key, payload.lookup_id, self.storage[payload.key], payload.slot)
+                value = Value(
+                    payload.key, payload.lookup_id, self.storage[payload.key], payload.slot
+                )
                 self.network.send(self.address, dgram.src, value, value.size)
             else:
                 contacts = tuple(self.table.closest(payload.key, self.k))

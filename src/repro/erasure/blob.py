@@ -18,7 +18,7 @@ order — holds because the code is linear; a regression test pins it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

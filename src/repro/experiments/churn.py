@@ -22,12 +22,11 @@ dynamic regime the paper leaves as discussion.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.assignment import AssignmentIndex
 from repro.core.node import PandasNode
 from repro.experiments.scenario import Scenario, ScenarioConfig
-from repro.net.transport import Datagram
 
 __all__ = ["ChurnScenario"]
 

@@ -23,7 +23,7 @@ Fig. 15   dead-node and out-of-view fault sweeps
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.stats import Distribution
 from repro.core.seeding import MinimalSeeding, RedundantSeeding, SeedingPolicy, SingleSeeding
@@ -31,6 +31,7 @@ from repro.experiments.scenario import BaseScenario, Scenario, ScenarioConfig
 from repro.params import FetchSchedule, PandasParams
 
 __all__ = [
+    "AdversarialPoint",
     "PolicyPhases",
     "run_policy_comparison",
     "run_table1",
@@ -38,6 +39,7 @@ __all__ = [
     "run_baseline_comparison",
     "run_scaling",
     "run_fault_sweep",
+    "run_adversarial_sweep",
     "SEEDING_POLICIES",
 ]
 
@@ -261,4 +263,101 @@ def run_fault_sweep(
         )
         scenario = Scenario(config).run()
         results[fraction] = _phase_result(scenario, f"{fault}@{fraction:.0%}")
+    return results
+
+
+@dataclass
+class AdversarialPoint:
+    """One point of the Byzantine-fraction degradation sweep.
+
+    ``analytic_success`` is the :mod:`repro.das.sybil` prediction of a
+    single honest node's sampling success if every Byzantine custodian
+    served *nothing*. The measured per-node completion rate
+    (``sampling_within_deadline``) tracks it: with the node-side
+    defenses active, the only honest nodes that miss the deadline are
+    those sampling a cell with no honest custodian on either line —
+    the censorship event the formula counts. Single-seed runs deviate
+    in either direction because honest-free lines arrive in lumps
+    (one empty row censors a cell with *every* empty column).
+    """
+
+    fraction: float
+    behavior: str
+    byzantine_count: int
+    honest_count: int
+    phases: PolicyPhases
+    sampling_within_deadline: float
+    consolidation_within_deadline: float
+    analytic_success: float
+    fault_counts: Dict[str, float] = field(default_factory=dict)
+    defense_counts: Dict[str, float] = field(default_factory=dict)
+
+
+def run_adversarial_sweep(
+    fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    behavior: str = "mix",
+    num_nodes: int = 300,
+    slots: int = 1,
+    seed: int = 7,
+    params: Optional[PandasParams] = None,
+    deadline: float = 4.0,
+) -> Dict[float, AdversarialPoint]:
+    """Honest completion vs Byzantine fraction (Section 9 threat model).
+
+    ``behavior`` is one of :data:`repro.faults.plan.BEHAVIORS` or
+    ``"mix"``, which splits the fraction evenly across all five
+    behaviors. Each point runs the same seeded scenario with that
+    share of nodes replaced by :class:`~repro.faults.adversary.
+    ByzantineNode` instances; honest-node phase distributions, the
+    realized ``byz_*`` fault counters and the triggered defense
+    counters are reported next to the analytic bound from
+    :func:`repro.das.sybil.sampling_success_probability`.
+    """
+    from repro.das.sybil import sampling_success_probability
+    from repro.faults.plan import BEHAVIORS, AdversarySpec, FaultPlan
+
+    if behavior != "mix" and behavior not in BEHAVIORS:
+        raise ValueError(f"unknown adversary behavior {behavior!r}")
+    base = params if params is not None else PandasParams.full()
+    results: Dict[float, AdversarialPoint] = {}
+    for fraction in fractions:
+        plan = None
+        if fraction > 0.0:
+            if behavior == "mix":
+                specs = tuple(
+                    AdversarySpec(behavior=name, share=fraction / len(BEHAVIORS))
+                    for name in BEHAVIORS
+                )
+            else:
+                specs = (AdversarySpec(behavior=behavior, share=fraction),)
+            plan = FaultPlan(adversaries=specs)
+        config = ScenarioConfig(
+            num_nodes=num_nodes,
+            slots=slots,
+            seed=seed,
+            policy=RedundantSeeding(8),
+            params=base,
+            faults=plan,
+        )
+        scenario = Scenario(config).run()
+        honest = scenario.honest_live_count
+        analytic = sampling_success_probability(
+            honest_nodes=honest,
+            samples=base.samples,
+            custody_lines=base.custody_rows + base.custody_cols,
+            total_lines=base.ext_rows + base.ext_cols,
+        )
+        phases = _phase_result(scenario, f"{behavior}@{fraction:.0%}")
+        results[fraction] = AdversarialPoint(
+            fraction=fraction,
+            behavior=behavior,
+            byzantine_count=len(scenario.byzantine),
+            honest_count=honest,
+            phases=phases,
+            sampling_within_deadline=phases.sampling.fraction_within(deadline),
+            consolidation_within_deadline=phases.consolidation.fraction_within(deadline),
+            analytic_success=analytic,
+            fault_counts=dict(scenario.metrics.fault_counts),
+            defense_counts=dict(scenario.metrics.defense_counts),
+        )
     return results

@@ -14,7 +14,14 @@ from typing import Dict, Iterable, Optional
 
 from repro.analysis.stats import Distribution
 
-__all__ = ["PAPER", "format_distribution_row", "print_header", "print_row", "print_block", "shape_checks"]
+__all__ = [
+    "PAPER",
+    "format_distribution_row",
+    "print_header",
+    "print_row",
+    "print_block",
+    "shape_checks",
+]
 
 
 # Reference values transcribed from the paper (1,000-node deployment

@@ -24,7 +24,7 @@ from repro.core.seeding import RedundantSeeding, SeedingPolicy
 from repro.crypto.randao import RandaoBeacon
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import AdversarySpec, FaultPlan
 from repro.net.latency import ClusteredWanModel, LatencyModel
 from repro.net.topology import DEFAULT_BUILDER_PROFILE, DEFAULT_NODE_PROFILE, NodeProfile, Topology
 from repro.net.transport import DEFAULT_LOSS_RATE, Datagram, Network
@@ -110,10 +110,12 @@ class BaseScenario:
             metrics=self.metrics,
             rngs=self.rngs,
             index_for_epoch=self._index_for_epoch,
+            builder_id=self.builder_id,
         )
 
         self._place_participants()
         self.dead_nodes = self._pick_dead_nodes()
+        self.byzantine = self._pick_adversaries()
         self._build_participants()
         self._wire_metrics()
         for dead in self.dead_nodes:
@@ -191,13 +193,39 @@ class BaseScenario:
         view.add(node_id)
         return view
 
+    def _pick_adversaries(self) -> Dict[int, AdversarySpec]:
+        """Resolve the fault plan's Byzantine roster (node -> spec).
+
+        Resolution uses dedicated ``("faults", "adversary", i)`` RNG
+        streams, so an adversarial plan never perturbs the clean run's
+        draws. Statically dead nodes are not eligible — a dead
+        adversary attacks nobody.
+        """
+        plan = self.config.faults
+        if plan is None or not plan.adversaries:
+            return {}
+        from repro.faults.adversary import resolve_adversaries
+
+        candidates = [n for n in self.node_ids if n not in self.dead_nodes]
+        return resolve_adversaries(plan, self.rngs, candidates)
+
+    @property
+    def byzantine_nodes(self) -> Set[int]:
+        return set(self.byzantine)
+
     def _install_faults(self) -> Optional[FaultInjector]:
         """Attach the configured fault plan (dead nodes are immune —
         they are a separate, static fault dimension)."""
         plan = self.config.faults
         if plan is None or plan.is_empty:
             return None
-        candidates = [n for n in self.node_ids if n not in self.dead_nodes]
+        # Byzantine nodes are not crash/slow candidates: each node runs
+        # exactly one fault dimension, keeping realized mixes legible.
+        candidates = [
+            n
+            for n in self.node_ids
+            if n not in self.dead_nodes and n not in self.byzantine
+        ]
         injector = FaultInjector(
             plan,
             sim=self.sim,
@@ -287,15 +315,27 @@ class BaseScenario:
     def live_node_count(self) -> int:
         return len(self.node_ids) - len(self.dead_nodes)
 
+    @property
+    def honest_live_count(self) -> int:
+        """Live nodes that are not running a Byzantine behavior."""
+        return len(self.node_ids) - len(self.dead_nodes | set(self.byzantine))
+
     def _alive_phase(self, phase: str) -> List[Optional[float]]:
-        """Phase times over live nodes only; absent entries are misses."""
+        """Phase times over live *honest* nodes; absent entries are misses.
+
+        Byzantine nodes are excluded: they run the protocol too (which
+        is what makes them hard to spot), but the paper's question —
+        and the adversarial sweeps' — is whether honest nodes finish
+        in time, not whether the attackers do.
+        """
         values: List[Optional[float]] = []
+        byzantine = self.byzantine
         for (slot, node), times in self.metrics.phase_times.items():
-            if node in self.dead_nodes:
+            if node in self.dead_nodes or node in byzantine:
                 continue
             values.append(getattr(times, phase))
         slots_run = len(self.ctx.slot_starts)
-        expected = slots_run * self.live_node_count
+        expected = slots_run * self.honest_live_count
         values.extend([None] * max(0, expected - len(values)))
         return values
 
@@ -313,7 +353,7 @@ class BaseScenario:
         values = [
             value
             for (slot, node), value in self.metrics.fetch_messages._data.items()
-            if node not in self.dead_nodes
+            if node not in self.dead_nodes and node not in self.byzantine
         ]
         return Distribution(sorted(values))
 
@@ -321,7 +361,7 @@ class BaseScenario:
         values = [
             value
             for (slot, node), value in self.metrics.fetch_bytes._data.items()
-            if node not in self.dead_nodes
+            if node not in self.dead_nodes and node not in self.byzantine
         ]
         return Distribution(sorted(values))
 
@@ -333,10 +373,23 @@ class Scenario(BaseScenario):
     """The PANDAS protocol scenario (builder seeding + adaptive fetch)."""
 
     def _build_participants(self) -> None:
-        self.nodes: Dict[int, PandasNode] = {
-            node_id: PandasNode(self.ctx, node_id, self._node_view(node_id))
-            for node_id in self.node_ids
-        }
+        self.nodes: Dict[int, PandasNode] = {}
+        for node_id in self.node_ids:
+            spec = self.byzantine.get(node_id)
+            if spec is None:
+                self.nodes[node_id] = PandasNode(
+                    self.ctx, node_id, self._node_view(node_id)
+                )
+            else:
+                from repro.faults.adversary import ByzantineNode
+
+                self.nodes[node_id] = ByzantineNode(
+                    self.ctx,
+                    node_id,
+                    spec,
+                    victims=[n for n in self.node_ids if n not in self.dead_nodes],
+                    view=self._node_view(node_id),
+                )
         self.builder = Builder(self.ctx, self.builder_id, self.config.policy)
         self.block_overlay: Optional["GossipOverlay"] = None
         if self.config.include_block_gossip:
@@ -381,6 +434,10 @@ class Scenario(BaseScenario):
                 slot=slot,
             )
         self.builder.seed_slot(slot)
+        for node_id in self.byzantine:
+            node = self.nodes[node_id]
+            if hasattr(node, "on_slot_begin"):
+                node.on_slot_begin(slot)
 
     def _end_slot(self, slot: int) -> None:
         for node in self.nodes.values():

@@ -2,18 +2,31 @@
 
 - :mod:`repro.faults.plan` — declarative, seed-replayable fault plans
   (link loss/duplication/jitter, partitions, crash/restart, slow
-  responders);
+  responders, Byzantine adversaries);
 - :mod:`repro.faults.injector` — executes a plan against a live
   simulator/network through dedicated RNG streams;
+- :mod:`repro.faults.adversary` — Byzantine node behaviors (corrupt,
+  flood, withhold, equivocate, stall) as PandasNode subclasses;
 - :mod:`repro.faults.invariants` — online protocol-invariant checker
   that must hold under any fault mix.
 """
 
+from repro.faults.adversary import ByzantineNode, resolve_adversaries
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker, InvariantViolation
-from repro.faults.plan import CrashWindow, FaultPlan, PartitionWindow, SlowResponders
+from repro.faults.plan import (
+    BEHAVIORS,
+    AdversarySpec,
+    CrashWindow,
+    FaultPlan,
+    PartitionWindow,
+    SlowResponders,
+)
 
 __all__ = [
+    "AdversarySpec",
+    "BEHAVIORS",
+    "ByzantineNode",
     "CrashWindow",
     "FaultInjector",
     "FaultPlan",
@@ -21,4 +34,5 @@ __all__ = [
     "InvariantViolation",
     "PartitionWindow",
     "SlowResponders",
+    "resolve_adversaries",
 ]

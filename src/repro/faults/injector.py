@@ -96,7 +96,9 @@ class FaultInjector:
             self.network.fault_filter = self._filter
         return self
 
-    def _draw_victims(self, rng, count: int, pinned: Tuple[int, ...], exclude: Set[int]) -> List[int]:
+    def _draw_victims(
+        self, rng, count: int, pinned: Tuple[int, ...], exclude: Set[int]
+    ) -> List[int]:
         if pinned:
             return list(pinned)
         pool = [node for node in self.candidates if node not in exclude]

@@ -15,12 +15,17 @@ pure data:
 - **crash windows**: nodes fail-stop at ``crash_at`` and, optionally,
   restart with empty volatile state at ``restart_at``;
 - **slow responders**: nodes whose outgoing datagrams suffer a fixed
-  extra delay (overloaded peers, the paper's "late builder" analogue).
+  extra delay (overloaded peers, the paper's "late builder" analogue);
+- **adversaries**: Byzantine per-node behaviors (corrupt responders,
+  garbage flooders, selective withholders, equivocators, stalling
+  responders) executed by :mod:`repro.faults.adversary`.
 
 The plan itself contains no randomness. Victim selection and every
 probabilistic draw happen inside :class:`repro.faults.injector.
-FaultInjector` using dedicated :class:`repro.sim.rng.RngRegistry`
-streams, so a faulty run replays bit-identically from its seed.
+FaultInjector` / :func:`repro.faults.adversary.resolve_adversaries`
+using dedicated :class:`repro.sim.rng.RngRegistry` streams, so a
+faulty run replays bit-identically from its seed and never perturbs
+the clean run's protocol draws.
 """
 
 from __future__ import annotations
@@ -28,7 +33,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-__all__ = ["CrashWindow", "PartitionWindow", "SlowResponders", "FaultPlan"]
+__all__ = [
+    "AdversarySpec",
+    "BEHAVIORS",
+    "CrashWindow",
+    "PartitionWindow",
+    "SlowResponders",
+    "FaultPlan",
+]
+
+BEHAVIORS = ("corrupt", "flood", "withhold", "equivocate", "stall")
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,59 @@ class SlowResponders:
 
 
 @dataclass(frozen=True)
+class AdversarySpec:
+    """Byzantine behavior for a group of nodes (Section 9 threat model).
+
+    ``share`` selects how many nodes run the behavior: a value below
+    1.0 is a fraction of the eligible pool, 1.0 and above is an
+    absolute count. ``nodes`` pins explicit victims instead. The
+    behaviors (executed by :class:`repro.faults.adversary.
+    ByzantineNode`):
+
+    - ``corrupt``    — serve requested cells whose proofs fail KZG
+      verification against the slot commitment;
+    - ``flood``      — push ``rate`` unsolicited garbage responses per
+      second at random honest nodes throughout the slot;
+    - ``withhold``   — serve normally except for one custody line per
+      epoch, starving co-custodians' consolidation of that line while
+      still answering sampling-sized queries elsewhere;
+    - ``equivocate`` — answer only the first ``first_k`` requesters of
+      a slot, ghosting everyone else;
+    - ``stall``      — defer every reply by ``delay`` seconds, landing
+      it just after the fetching round deadlines.
+    """
+
+    behavior: str
+    share: float = 0.0
+    nodes: Tuple[int, ...] = ()
+    rate: float = 20.0  # flood: garbage datagrams per second
+    first_k: int = 1  # equivocate: requesters served per slot
+    delay: float = 0.5  # stall: seconds between request and reply
+
+    def __post_init__(self) -> None:
+        if self.behavior not in BEHAVIORS:
+            raise ValueError(
+                f"unknown adversary behavior {self.behavior!r}; expected one of {BEHAVIORS}"
+            )
+        if not self.nodes and self.share <= 0.0:
+            raise ValueError("an adversary spec needs share > 0 or explicit nodes")
+        if self.rate <= 0.0:
+            raise ValueError(f"flood rate must be positive, got {self.rate}")
+        if self.first_k < 1:
+            raise ValueError(f"first_k must be >= 1, got {self.first_k}")
+        if self.delay <= 0.0:
+            raise ValueError(f"stall delay must be positive, got {self.delay}")
+
+    def resolve_count(self, pool_size: int) -> int:
+        """How many victims this spec wants from a pool of ``pool_size``."""
+        if self.nodes:
+            return len(self.nodes)
+        if self.share >= 1.0:
+            return int(round(self.share))
+        return max(1, int(round(self.share * pool_size)))
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full fault mix for one run. Pure data; see module docstring."""
 
@@ -114,6 +181,7 @@ class FaultPlan:
     crashes: Tuple[CrashWindow, ...] = ()
     partitions: Tuple[PartitionWindow, ...] = ()
     slow: Tuple[SlowResponders, ...] = ()
+    adversaries: Tuple[AdversarySpec, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("loss", "duplication"):
@@ -132,6 +200,7 @@ class FaultPlan:
             or self.crashes
             or self.partitions
             or self.slow
+            or self.adversaries
         )
 
     # ------------------------------------------------------------------
@@ -149,13 +218,22 @@ class FaultPlan:
             crash=N@T1[:T2]            N nodes crash at T1, restart at T2
             partition=F@T+D            fraction F split off at T for D seconds
             slow=N@D                   N nodes answer D seconds late
+            corrupt=X                  X nodes serve cells failing KZG checks
+            flood=X@R                  X nodes push R garbage responses/s
+            withhold=X                 X nodes starve one custody line/epoch
+            equivocate=X@K             X nodes answer only K requesters/slot
+            stall=X@D                  X nodes reply D seconds late
 
-        Example: ``loss=0.05,crash=2@1.0:2.0,partition=0.2@1.0+0.5``.
+        For the adversary entries, ``X`` below 1 is a fraction of the
+        eligible nodes, 1 and above an absolute count.
+
+        Example: ``loss=0.05,crash=2@1.0:2.0,corrupt=0.1,flood=2@20``.
         """
         loss = duplication = jitter = 0.0
         crashes = []
         partitions = []
         slow = []
+        adversaries = []
         for entry in spec.split(","):
             entry = entry.strip()
             if not entry:
@@ -203,6 +281,28 @@ class FaultPlan:
                     slow.append(
                         SlowResponders(count=int(count), extra_delay=float(delay))
                     )
+                elif key in ("corrupt", "withhold"):
+                    adversaries.append(AdversarySpec(behavior=key, share=float(value)))
+                elif key == "flood":
+                    share, _, rate = value.partition("@")
+                    spec = AdversarySpec(behavior=key, share=float(share))
+                    if rate:
+                        spec = AdversarySpec(behavior=key, share=float(share), rate=float(rate))
+                    adversaries.append(spec)
+                elif key == "equivocate":
+                    share, _, first_k = value.partition("@")
+                    spec = AdversarySpec(behavior=key, share=float(share))
+                    if first_k:
+                        spec = AdversarySpec(
+                            behavior=key, share=float(share), first_k=int(first_k)
+                        )
+                    adversaries.append(spec)
+                elif key == "stall":
+                    share, _, delay = value.partition("@")
+                    spec = AdversarySpec(behavior=key, share=float(share))
+                    if delay:
+                        spec = AdversarySpec(behavior=key, share=float(share), delay=float(delay))
+                    adversaries.append(spec)
                 else:
                     raise ValueError(f"unknown fault kind {key!r}")
             except ValueError:
@@ -216,6 +316,7 @@ class FaultPlan:
             crashes=tuple(crashes),
             partitions=tuple(partitions),
             slow=tuple(slow),
+            adversaries=tuple(adversaries),
         )
 
     def describe(self) -> str:
@@ -237,4 +338,14 @@ class FaultPlan:
         for lag in self.slow:
             victims = len(lag.nodes) or lag.count
             parts.append(f"slow={victims}@{lag.extra_delay:g}")
+        for spec in self.adversaries:
+            share = len(spec.nodes) or spec.share
+            extra = ""
+            if spec.behavior == "flood":
+                extra = f"@{spec.rate:g}"
+            elif spec.behavior == "equivocate":
+                extra = f"@{spec.first_k}"
+            elif spec.behavior == "stall":
+                extra = f"@{spec.delay:g}"
+            parts.append(f"{spec.behavior}={share:g}{extra}")
         return ",".join(parts) if parts else "none"

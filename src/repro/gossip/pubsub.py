@@ -22,7 +22,7 @@ static within a run, as in PeerSim-style evaluations.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.net.transport import Datagram, Network

@@ -27,7 +27,7 @@ false-positive bound so the security semantics are preserved (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import Tuple
 
 __all__ = ["PandasParams", "FetchSchedule", "SLOT_SECONDS", "DEADLINE_SECONDS"]
 
@@ -60,7 +60,9 @@ class FetchSchedule:
         return self.redundancy[min(round_index, len(self.redundancy)) - 1]
 
     @staticmethod
-    def constant(timeout: float = 0.4, redundancy: int = 1, max_rounds: int = 50) -> "FetchSchedule":
+    def constant(
+        timeout: float = 0.4, redundancy: int = 1, max_rounds: int = 50
+    ) -> "FetchSchedule":
         """The non-adaptive baseline of Figure 11 (fixed t, fixed k)."""
         return FetchSchedule((timeout,), (redundancy,), max_rounds)
 
@@ -90,6 +92,30 @@ class PandasParams:
     # Overhead per UDP message: headers + proposer signature binding the
     # builder identity (Section 6.1).
     message_overhead_bytes: int = 120
+    # --- node-side defenses (Section 9 threat model) ---------------------
+    # CPU time to verify one cell's KZG proof on ingest; every peer- or
+    # builder-supplied cell is checked before storage and the cost is
+    # charged to the receiving node's clock (order of magnitude of a
+    # real pairing check; see repro.crypto.kzg.CELL_VERIFY_SECONDS).
+    cell_verify_seconds: float = 0.0002
+    # Per-peer token bucket on inbound request/response datagrams. An
+    # honest peer sends a handful of messages per slot (one query, the
+    # immediate reply plus one deferred reply), so these defaults only
+    # ever bite flooders.
+    inbound_msg_rate: float = 50.0
+    inbound_msg_burst: float = 100.0
+    # Reputation: counters decay by this factor at every epoch
+    # rollover; a peer whose score falls below the threshold is
+    # quarantined (excluded from query plans) for the rest of the epoch.
+    reputation_decay: float = 0.5
+    quarantine_threshold: float = 0.25
+    # Once every custodian of the remaining targets has been queried,
+    # allow one more query to peers that never replied (their query or
+    # reply was probably lost, or they are withholding). Pure
+    # Algorithm 1 queries each peer at most once per slot; without this
+    # escape hatch a loss burst or Byzantine withholding can
+    # permanently starve a node.
+    fetch_retry_unresponsive: bool = True
 
     # ------------------------------------------------------------------
     # derived geometry

@@ -79,12 +79,19 @@ class MetricsRecorder:
     fetch_bytes: Counter2D = field(default_factory=Counter2D)
     builder_bytes_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
     builder_messages_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
-    round_stats: Dict[Tuple[Hashable, Hashable, int], Dict[str, float]] = field(default_factory=dict)
+    round_stats: Dict[Tuple[Hashable, Hashable, int], Dict[str, float]] = field(
+        default_factory=dict
+    )
     custom: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
     # realized fault events by kind (link_drop, duplicate, crash, ...),
     # recorded by the fault injector so fault figures report the actual
     # injected load, not just the configured probabilities
     fault_counts: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    # node-side defense events by kind (resp_unsolicited, cells_invalid,
+    # rate_limited, quarantine, ...), recorded by PandasNode's
+    # validation layer; adversarial experiments report these alongside
+    # fault_counts to show how much hostile traffic was absorbed
+    defense_counts: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
     # ------------------------------------------------------------------
     # phase completion marks
@@ -136,6 +143,10 @@ class MetricsRecorder:
         """Count one injected fault event of ``kind``."""
         self.fault_counts[kind] += amount
 
+    def record_defense(self, kind: str, amount: float = 1.0) -> None:
+        """Count one node-side defense event of ``kind``."""
+        self.defense_counts[kind] += amount
+
     # ------------------------------------------------------------------
     # fetching round telemetry (Table 1)
     # ------------------------------------------------------------------
@@ -150,7 +161,9 @@ class MetricsRecorder:
     # ------------------------------------------------------------------
     # extraction helpers
     # ------------------------------------------------------------------
-    def phase_series(self, phase: str, slots: Optional[Iterable[Hashable]] = None) -> List[Optional[float]]:
+    def phase_series(
+        self, phase: str, slots: Optional[Iterable[Hashable]] = None
+    ) -> List[Optional[float]]:
         """All completion times for ``phase`` across (slot, node) pairs.
 
         Missing completions are returned as ``None`` so callers can
@@ -199,6 +212,7 @@ class MetricsRecorder:
             ),
             tuple(sorted(self.custom.items())),
             tuple(sorted(self.fault_counts.items())),
+            tuple(sorted(self.defense_counts.items())),
         )
 
     def fingerprint(self) -> str:

@@ -8,7 +8,6 @@ paths.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -83,6 +82,7 @@ def make_world(
         metrics=metrics,
         rngs=rngs,
         index_for_epoch=index_for_epoch,
+        builder_id=num_nodes,
     )
     nodes: Dict[int, PandasNode] = {}
     for node_id in node_ids:

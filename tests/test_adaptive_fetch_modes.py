@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.assignment import Custody, cells_of_line
 from repro.core.custody import SlotCellState

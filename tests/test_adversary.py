@@ -1,0 +1,207 @@
+"""Byzantine adversary models: spec grammar, victim draws, behaviors.
+
+Behavior tests run a MiniWorld with one node swapped for a
+:class:`ByzantineNode` and assert the attack's observable effect plus
+the defense counters it trips — corrupt cells are dropped, floods are
+rejected as unsolicited, withheld cells starve, equivocators ghost all
+but the first requesters, stallers land late.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.adversary import ByzantineNode, resolve_adversaries
+from repro.faults.plan import BEHAVIORS, AdversarySpec, FaultPlan
+from repro.sim.rng import RngRegistry
+from tests.helpers import make_world
+
+
+class TestSpecGrammar:
+    def test_parse_all_behaviors(self):
+        plan = FaultPlan.parse(
+            "corrupt=0.1,flood=2@30,withhold=0.05,equivocate=3@2,stall=2@0.8"
+        )
+        by_behavior = {spec.behavior: spec for spec in plan.adversaries}
+        assert set(by_behavior) == set(BEHAVIORS)
+        assert by_behavior["corrupt"].share == pytest.approx(0.1)
+        assert by_behavior["flood"].share == 2.0
+        assert by_behavior["flood"].rate == pytest.approx(30.0)
+        assert by_behavior["equivocate"].first_k == 2
+        assert by_behavior["stall"].delay == pytest.approx(0.8)
+
+    def test_parse_defaults_for_optional_params(self):
+        plan = FaultPlan.parse("flood=1,equivocate=1,stall=1")
+        by_behavior = {spec.behavior: spec for spec in plan.adversaries}
+        assert by_behavior["flood"].rate == 20.0
+        assert by_behavior["equivocate"].first_k == 1
+        assert by_behavior["stall"].delay == 0.5
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan.parse("corrupt=0.1,flood=2@30,stall=2@0.8")
+        text = plan.describe()
+        assert "corrupt=0.1" in text
+        assert "flood=2@30" in text
+        assert "stall=2@0.8" in text
+
+    def test_adversaries_count_toward_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan.parse("corrupt=1").is_empty
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(behavior="teleport", share=0.1)
+        with pytest.raises(ValueError):
+            AdversarySpec(behavior="corrupt")  # no share, no nodes
+        with pytest.raises(ValueError):
+            AdversarySpec(behavior="flood", share=0.1, rate=0.0)
+        with pytest.raises(ValueError):
+            AdversarySpec(behavior="equivocate", share=0.1, first_k=0)
+        with pytest.raises(ValueError):
+            AdversarySpec(behavior="stall", share=0.1, delay=0.0)
+
+    def test_resolve_count(self):
+        spec = AdversarySpec(behavior="corrupt", share=0.1)
+        assert spec.resolve_count(100) == 10
+        assert spec.resolve_count(3) == 1  # at least one victim
+        assert AdversarySpec(behavior="corrupt", share=5.0).resolve_count(100) == 5
+        assert AdversarySpec(behavior="corrupt", nodes=(1, 2)).resolve_count(100) == 2
+
+
+class TestResolveAdversaries:
+    def test_deterministic_from_seed(self):
+        plan = FaultPlan.parse("corrupt=0.2,flood=2@20")
+        pool = list(range(50))
+        a = resolve_adversaries(plan, RngRegistry(9), pool)
+        b = resolve_adversaries(plan, RngRegistry(9), pool)
+        assert a == b
+
+    def test_different_seed_different_victims(self):
+        plan = FaultPlan.parse("corrupt=0.2")
+        pool = list(range(50))
+        a = resolve_adversaries(plan, RngRegistry(9), pool)
+        b = resolve_adversaries(plan, RngRegistry(10), pool)
+        assert set(a) != set(b)
+
+    def test_one_behavior_per_node(self):
+        plan = FaultPlan.parse("corrupt=0.3,flood=0.3@20,withhold=0.3")
+        assigned = resolve_adversaries(plan, RngRegistry(9), list(range(40)))
+        # disjoint draws: every node got exactly one spec
+        assert len(assigned) == 12 * 3
+
+    def test_pinned_nodes_respected(self):
+        plan = FaultPlan(adversaries=(AdversarySpec(behavior="stall", nodes=(3, 7)),))
+        assigned = resolve_adversaries(plan, RngRegistry(9), list(range(10)))
+        assert set(assigned) == {3, 7}
+
+    def test_overcommitted_pool_rejected(self):
+        plan = FaultPlan.parse("corrupt=0.8,flood=0.8@20")
+        with pytest.raises(ValueError):
+            resolve_adversaries(plan, RngRegistry(9), list(range(10)))
+
+
+def make_byzantine_world(behavior: str, node_id: int = 3, seed: int = 2, **spec_kw):
+    world = make_world(num_nodes=30, seed=seed)
+    spec = AdversarySpec(behavior=behavior, nodes=(node_id,), **spec_kw)
+    victims = [n for n in world.nodes if n != node_id]
+    world.nodes[node_id] = ByzantineNode(world.ctx, node_id, spec, victims=victims)
+    return world, world.nodes[node_id]
+
+
+class TestBehaviors:
+    def test_corrupt_cells_counted_and_dropped(self):
+        world, _byz = make_byzantine_world("corrupt")
+        world.run_slot(0)
+        faults = world.ctx.metrics.fault_counts
+        defenses = world.ctx.metrics.defense_counts
+        assert faults["byz_corrupt_cells"] > 0
+        # receivers verified and dropped them (never fed to the fetcher)
+        assert defenses["cells_invalid"] > 0
+        # the lies are remembered: someone's ledger penalized node 3
+        assert any(
+            node.reputation.weight(3) < 1.0
+            for nid, node in world.nodes.items()
+            if nid != 3
+        )
+
+    def test_corruption_does_not_stop_honest_sampling(self):
+        world, _byz = make_byzantine_world("corrupt")
+        world.run_slot(0)
+        sampled = {
+            node
+            for (slot, node), times in world.ctx.metrics.phase_times.items()
+            if slot == 0 and times.sampling is not None
+        }
+        honest = set(world.nodes) - {3}
+        assert honest <= sampled
+
+    def test_flood_rejected_as_unsolicited(self):
+        world, byz = make_byzantine_world("flood", rate=50.0)
+        start = world.sim.now
+        world.ctx.begin_slot(0)
+        world.builder.seed_slot(0)
+        byz.on_slot_begin(0)
+        world.sim.run(until=start + 8.0)
+        faults = world.ctx.metrics.fault_counts
+        defenses = world.ctx.metrics.defense_counts
+        assert faults["byz_flood"] > 100  # 50/s over a 12 s slot
+        rejected = (
+            defenses.get("resp_unsolicited", 0)
+            + defenses.get("cells_unrequested", 0)
+            + defenses.get("cells_invalid", 0)
+        )
+        assert rejected > 100
+
+    def test_flood_stops_at_crash(self):
+        world, byz = make_byzantine_world("flood", rate=50.0)
+        world.ctx.begin_slot(0)
+        world.builder.seed_slot(0)
+        byz.on_slot_begin(0)
+        world.sim.run(until=1.0)
+        sent_before = world.ctx.metrics.fault_counts["byz_flood"]
+        byz.crash()
+        world.sim.run(until=3.0)
+        assert world.ctx.metrics.fault_counts["byz_flood"] == sent_before
+
+    def test_equivocator_serves_only_first_k(self):
+        world, _byz = make_byzantine_world("equivocate", first_k=1)
+        world.run_slot(0)
+        assert world.ctx.metrics.fault_counts["byz_equivocate_drop"] > 0
+        assert len(world.nodes[3]._served_requesters.get(0, ())) <= 1
+
+    def test_withholder_starves_one_line(self):
+        world, byz = make_byzantine_world("withhold")
+        world.run_slot(0)
+        withheld = byz._withheld_cells(0)
+        # the withheld cells all belong to one custody line of node 3
+        custody = world.ctx.assignment.custody(3, 0)
+        lines = custody.lines(world.params.ext_rows)
+        from repro.core.assignment import cells_of_line
+
+        assert any(
+            withheld == set(cells_of_line(line, world.params.ext_rows, world.params.ext_cols))
+            for line in lines
+        )
+        assert world.ctx.metrics.fault_counts["byz_withhold_cells"] > 0
+
+    def test_withheld_line_is_deterministic(self):
+        _, byz_a = make_byzantine_world("withhold", seed=5)
+        _, byz_b = make_byzantine_world("withhold", seed=5)
+        assert byz_a._withheld_cells(0) == byz_b._withheld_cells(0)
+
+    def test_staller_replies_late(self):
+        world, _byz = make_byzantine_world("stall", delay=0.7)
+        world.run_slot(0)
+        assert world.ctx.metrics.fault_counts["byz_stall"] > 0
+
+    def test_byzantine_run_replays_bit_identically(self):
+        def run(behavior: str):
+            world, byz = make_byzantine_world(behavior, seed=4)
+            world.ctx.begin_slot(0)
+            world.builder.seed_slot(0)
+            byz.on_slot_begin(0)
+            world.sim.run(until=8.0)
+            return world.ctx.metrics.fingerprint()
+
+        for behavior in BEHAVIORS:
+            assert run(behavior) == run(behavior)

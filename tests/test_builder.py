@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.messages import SeedMessage
 from repro.core.seeding import MinimalSeeding, RedundantSeeding, SingleSeeding

@@ -96,7 +96,7 @@ class TestPlanning:
 
 
 def make_fetcher(params=None, custody=None, samples=(), custodians=None,
-                 schedule=None, sim=None, sent=None):
+                 schedule=None, sim=None, sent=None, **fetcher_kwargs):
     params = params or PandasParams(
         base_rows=8, base_cols=8, custody_rows=1, custody_cols=1, samples=2
     )
@@ -115,6 +115,7 @@ def make_fetcher(params=None, custody=None, samples=(), custodians=None,
         rng=random.Random(1),
         cb_boost=10_000,
         self_id=999,
+        **fetcher_kwargs,
     )
     return fetcher, state, sim, sent
 
@@ -252,6 +253,125 @@ class TestRounds:
         fetcher.start()
         sim.run(until=0.01)
         assert all(p != 999 for _t, p, _c in sent)
+
+
+class TestExhaustionAndQuarantine:
+    """Robustness extensions: peer recycling, quarantine exclusion,
+    honest give-up when the peer pool is exhausted, and timer hygiene."""
+
+    def test_retry_recycles_silent_peers(self):
+        custodians = {0: [1]}  # a single, forever-silent custodian
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians=custodians, retry_unresponsive=True
+        )
+        fetcher.start()
+        sim.run(until=2.0)
+        peers = [p for _t, p, _c in sent]
+        # unlike the vanilla queried-once policy, the exhausted pool
+        # re-opens the silent peer instead of stalling forever
+        assert peers.count(1) > 1
+
+    def test_responded_peer_recycled_as_last_resort(self):
+        custodians = {0: [1]}
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians=custodians, retry_unresponsive=True
+        )
+        fetcher.start()
+        sim.run(until=0.01)
+        fetcher.on_response(1, ())  # replied, but served nothing useful
+        sim.run(until=2.0)
+        peers = [p for _t, p, _c in sent]
+        assert peers.count(1) > 1
+        assert not fetcher.finished
+
+    def test_retry_exhaustion_gives_up_honestly(self):
+        done = []
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=4)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule, retry_unresponsive=True
+        )
+        fetcher.on_done = lambda ok: done.append(ok)
+        fetcher.start()
+        sim.run(until=5.0)
+        # recycling kept the schedule alive past the vanilla dead-end...
+        assert len(sent) > 1
+        # ...but max_rounds still terminates it, and the metrics are honest
+        assert done == [False]
+        assert fetcher.finished and not fetcher.succeeded
+        assert fetcher._timer is None
+
+    def test_all_peers_quarantined_terminates_schedule(self):
+        custodians = {line: [1, 2, 3] for line in range(32)}
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians=custodians,
+            retry_unresponsive=True,
+            exclude_peer=lambda peer: True,  # everyone quarantined
+        )
+        fetcher.start()
+        sim.run(until=10.0)
+        assert sent == []  # no queries ever leave the node
+        assert fetcher._timer is None  # and the round schedule stopped
+
+    def test_quarantined_peer_excluded_from_query_plans(self):
+        custodians = {line: [12, 13] for line in range(32)}
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians=custodians, exclude_peer=lambda peer: peer == 13
+        )
+        fetcher.start()
+        sim.run(until=2.0)
+        peers = {p for _t, p, _c in sent}
+        assert 13 not in peers
+        assert 12 in peers
+
+    def test_reputation_weight_steers_first_round(self):
+        custodians = {0: [1, 2]}  # identical holdings
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians=custodians,
+            peer_weight=lambda peer: 0.1 if peer == 1 else 1.0,
+        )
+        fetcher.start()
+        sim.run(until=0.01)
+        # round 1 (redundancy 1) goes entirely to the clean peer
+        assert {p for _t, p, _c in sent} == {2}
+
+    def test_timeout_reported_once_per_peer(self):
+        reports = []
+        fetcher, _state, sim, _sent = make_fetcher(
+            custodians={0: [1]}, on_peer_timeout=reports.append
+        )
+        fetcher.start()
+        sim.run(until=2.0)
+        assert reports == [1]
+
+    def test_no_timer_leak_across_reset(self):
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=4)
+        fetcher, _state, sim, _sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule, retry_unresponsive=True
+        )
+        fetcher.start()
+        sim.run(until=5.0)
+        assert fetcher.finished
+        assert sim.pending == 0  # give-up left nothing scheduled
+        sim.reset()
+        assert sim.pending == 0 and sim.now == 0.0
+        # the drained engine hosts a fresh fetcher without interference
+        fetcher2, _state2, _sim, sent2 = make_fetcher(
+            custodians={0: [7]}, sim=sim
+        )
+        fetcher2.start()
+        sim.run(until=0.01)
+        assert [p for _t, p, _c in sent2] == [7]
+
+    def test_stop_mid_flight_cancels_timer(self):
+        custodians = {line: list(range(8)) for line in range(32)}
+        fetcher, _state, sim, _sent = make_fetcher(custodians=custodians)
+        fetcher.start()
+        sim.run(until=0.01)
+        assert fetcher._timer is not None
+        fetcher.stop()
+        assert fetcher._timer is None
+        sim.run(until=10.0)
+        assert sim.pending == 0
 
 
 @given(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.gossipsub_das import GossipDasScenario
 from repro.core.messages import CellRequest, CellResponse

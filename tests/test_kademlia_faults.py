@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.dht.enr import EnrDirectory, node_id_for_address
 from repro.dht.kademlia import RPC_TIMEOUT, KademliaNode

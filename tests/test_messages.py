@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from repro.core.messages import BOOST_ENTRY_BYTES, CELL_ID_BYTES, CellRequest, CellResponse, SeedMessage
+from repro.core.messages import (
+    BOOST_ENTRY_BYTES,
+    CELL_ID_BYTES,
+    CellRequest,
+    CellResponse,
+    SeedMessage,
+)
 from repro.params import PandasParams
 
 

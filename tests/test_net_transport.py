@@ -8,14 +8,15 @@ import pytest
 
 from repro.net.latency import ConstantLatency
 from repro.net.transport import Network
-from repro.sim.engine import Simulator
 from tests.conftest import make_network
 
 
 def _register_sink(net, address, vertex=None, up=None, down=None):
     # distinct vertices by default so pairs see the model latency
     inbox = []
-    net.register(address, address if vertex is None else vertex, lambda dgram: inbox.append(dgram), up, down)
+    net.register(
+        address, address if vertex is None else vertex, inbox.append, up, down
+    )
     return inbox
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.messages import CellRequest, CellResponse, SeedMessage
 from tests.helpers import make_world
@@ -37,7 +36,10 @@ def test_seed_marks_seeding_once():
     first = world.ctx.metrics.phase_times[(0, 0)].seeding
     world.sim.call_after(0.1, lambda: None)
     world.sim.run()
-    node._on_seed(world.builder.builder_id, SeedMessage(slot=0, epoch=0, line=1, cells=(3,), total_messages=5))
+    node._on_seed(
+        world.builder.builder_id,
+        SeedMessage(slot=0, epoch=0, line=1, cells=(3,), total_messages=5),
+    )
     assert world.ctx.metrics.phase_times[(0, 0)].seeding == first
 
 

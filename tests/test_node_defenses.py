@@ -1,0 +1,215 @@
+"""Node-side validation layer: the defenses of the Byzantine threat model.
+
+Each test crafts hostile datagrams against a MiniWorld node and asserts
+the acceptance chain of ``PandasNode.on_datagram``/``_on_response``:
+forged seeds and unsolicited responses are rejected outright, cells
+never requested are filtered, cells failing KZG verification are
+dropped (never stored), floods hit the per-peer token bucket, and
+buffered request remainders expire at the sampling deadline.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import CellRequest, CellResponse, SeedMessage
+from repro.params import PandasParams
+from tests.helpers import make_world
+
+
+def small_params(**overrides) -> PandasParams:
+    return PandasParams(
+        base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=10, **overrides
+    )
+
+
+class TestSeedValidation:
+    def test_forged_seed_rejected(self):
+        world = make_world()
+        node = world.nodes[0]
+        forged = SeedMessage(slot=0, epoch=0, line=0, cells=(1, 2, 3))
+        world.network.send(5, 0, forged, forged.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert node.slot_cells(0) is None
+        assert world.ctx.metrics.defense_counts["seed_forged"] == 1
+        assert node.reputation.stats[5].unsolicited == 1
+
+    def test_builder_seed_accepted(self):
+        world = make_world()
+        node = world.nodes[0]
+        seed = SeedMessage(slot=0, epoch=0, line=0, cells=(1, 2, 3))
+        world.network.send(world.ctx.builder_id, 0, seed, seed.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert node.slot_cells(0) is not None
+        assert node.slot_cells(0).has_cell(1)
+
+
+class TestResponseValidation:
+    def test_unsolicited_response_never_creates_state(self):
+        world = make_world()
+        node = world.nodes[0]
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert node.slot_cells(0) is None
+        assert world.ctx.metrics.defense_counts["resp_unsolicited"] == 1
+        assert node.reputation.stats[5].unsolicited == 1
+
+    def test_response_from_never_queried_peer_rejected(self):
+        world = make_world()
+        node = world.nodes[0]
+        state = node._slot_state(0)  # slot exists, but peer 5 was never queried
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert not state.cells.has_cell(1)
+        assert world.ctx.metrics.defense_counts["resp_unsolicited"] == 1
+
+    def test_unrequested_cells_filtered(self):
+        world = make_world()
+        node = world.nodes[0]
+        state = node._slot_state(0)
+        state.outstanding[5] = {1, 2}
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2, 3))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert state.cells.has_cell(1) and state.cells.has_cell(2)
+        assert not state.cells.has_cell(3)
+        assert world.ctx.metrics.defense_counts["cells_unrequested"] == 1
+        assert node.reputation.stats[5].unrequested == 1
+
+    def test_corrupt_cells_dropped_never_stored(self):
+        world = make_world()
+        node = world.nodes[0]
+        state = node._slot_state(0)
+        state.outstanding[5] = {1, 2}
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2), invalid=frozenset({1}))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert state.cells.has_cell(2)
+        assert not state.cells.has_cell(1)
+        assert world.ctx.metrics.defense_counts["cells_invalid"] == 1
+        assert node.reputation.stats[5].invalid == 1
+        assert node.reputation.stats[5].valid == 1  # cell 2 still credited
+
+    def test_all_corrupt_response_stores_nothing(self):
+        world = make_world()
+        node = world.nodes[0]
+        state = node._slot_state(0)
+        state.outstanding[5] = {1, 2}
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2), invalid=frozenset({1, 2}))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert not state.cells.has_cell(1) and not state.cells.has_cell(2)
+        assert node.reputation.stats[5].invalid == 2
+
+    def test_late_reply_after_drop_slot_is_stale_not_hostile(self):
+        world = make_world()
+        node = world.nodes[0]
+        state = node._slot_state(0)
+        state.outstanding[5] = {1}
+        node.drop_slot(0)
+        resp = CellResponse(slot=0, epoch=0, cells=(1,))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert world.ctx.metrics.defense_counts["resp_stale"] == 1
+        assert 5 not in node.reputation.stats
+
+
+class TestVerifyCost:
+    def test_verification_delay_charged_per_cell(self):
+        world = make_world(params=small_params(cell_verify_seconds=0.01))
+        node = world.nodes[0]
+        state = node._slot_state(0)
+        state.outstanding[5] = {1, 2}
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        # delivery at 0.01 (latency) + 2 cells x 10 ms verify = 0.03
+        world.sim.run(until=0.025)
+        assert not state.cells.has_cell(1)
+        world.sim.run(until=0.035)
+        assert state.cells.has_cell(1)
+
+    def test_crash_discards_in_flight_verification(self):
+        world = make_world(params=small_params(cell_verify_seconds=0.01))
+        node = world.nodes[0]
+        state = node._slot_state(0)
+        state.outstanding[5] = {1, 2}
+        resp = CellResponse(slot=0, epoch=0, cells=(1, 2))
+        world.network.send(5, 0, resp, resp.wire_size(world.params))
+        world.sim.run(until=0.015)  # delivered, still verifying
+        node.crash()
+        world.sim.run(until=0.1)  # the guarded callback fires harmlessly
+        assert node.slot_cells(0) is None
+
+
+class TestRateLimiting:
+    def test_flood_hits_token_bucket(self):
+        world = make_world(
+            params=small_params(inbound_msg_rate=1.0, inbound_msg_burst=2.0)
+        )
+        req = CellRequest(slot=0, epoch=0, cells=frozenset({1}))
+        for _ in range(5):
+            world.network.send(1, 0, req, req.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert world.ctx.metrics.defense_counts["rate_limited"] == 3
+
+    def test_buckets_are_per_peer(self):
+        world = make_world(
+            params=small_params(inbound_msg_rate=1.0, inbound_msg_burst=2.0)
+        )
+        req = CellRequest(slot=0, epoch=0, cells=frozenset({1}))
+        for src in (1, 2):
+            for _ in range(2):
+                world.network.send(src, 0, req, req.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert "rate_limited" not in world.ctx.metrics.defense_counts
+
+    def test_crash_resets_buckets_and_reputation(self):
+        world = make_world(
+            params=small_params(inbound_msg_rate=1.0, inbound_msg_burst=2.0)
+        )
+        node = world.nodes[0]
+        req = CellRequest(slot=0, epoch=0, cells=frozenset({1}))
+        for _ in range(3):
+            world.network.send(1, 0, req, req.wire_size(world.params))
+        world.sim.run(until=0.1)
+        node.reputation.record_invalid(9, 5)
+        node.crash()
+        assert not node._buckets
+        assert node.reputation.weight(9) == 1.0
+
+
+class TestPendingExpiry:
+    """A one-node world: no peers to cascade fetch traffic into, so the
+    global defense counters reflect exactly the crafted requests."""
+
+    def test_buffered_remainder_expires_at_deadline(self):
+        world = make_world(num_nodes=1)
+        node = world.nodes[0]
+        node._on_request(9, CellRequest(slot=0, epoch=0, cells=frozenset({1, 2})))
+        state = node._slots[0]
+        assert state.waiting_by_cell  # buffered, cells not held
+        assert state.expiry_timer is not None
+        world.sim.run(until=world.params.deadline + 0.1)
+        assert not state.waiting_by_cell
+        assert state.expiry_timer is None
+        assert world.ctx.metrics.defense_counts["pending_expired"] == 1
+
+    def test_request_after_deadline_not_buffered(self):
+        world = make_world(num_nodes=1)
+        node = world.nodes[0]
+        world.sim.run(until=world.params.deadline + 0.5)
+        node._on_request(9, CellRequest(slot=0, epoch=0, cells=frozenset({1, 2})))
+        state = node._slots[0]
+        assert not state.waiting_by_cell
+        assert state.expiry_timer is None
+        # immediate drops count the unanswerable cells (two here)
+        assert world.ctx.metrics.defense_counts["pending_expired"] == 2
+
+    def test_expiry_counts_records_not_cells(self):
+        world = make_world(num_nodes=1)
+        node = world.nodes[0]
+        node._on_request(9, CellRequest(slot=0, epoch=0, cells=frozenset({1, 2, 3, 4})))
+        world.sim.run(until=world.params.deadline + 0.1)
+        # one buffered request -> one expiry, not four
+        assert world.ctx.metrics.defense_counts["pending_expired"] == 1
+        assert node._slots[0].expiry_timer is None

@@ -81,7 +81,9 @@ class TestValidation:
 
     def test_oversampling(self):
         with pytest.raises(ValueError):
-            PandasParams(base_rows=2, base_cols=2, custody_rows=1, custody_cols=1, samples=100).validate()
+            PandasParams(
+                base_rows=2, base_cols=2, custody_rows=1, custody_cols=1, samples=100
+            ).validate()
 
 
 class TestFetchSchedule:

@@ -25,10 +25,10 @@ try:
 except ImportError:  # pragma: no cover - hypothesis is a dev extra
     pytest.skip("hypothesis not installed", allow_module_level=True)
 
-from repro.core.assignment import CellAssignment, cells_of_line, lines_of_cell
-from repro.crypto.randao import RandaoBeacon
-from repro.erasure.reed_solomon import ReedSolomon
-from repro.params import PandasParams
+from repro.core.assignment import CellAssignment, cells_of_line, lines_of_cell  # noqa: E402
+from repro.crypto.randao import RandaoBeacon  # noqa: E402
+from repro.erasure.reed_solomon import ReedSolomon  # noqa: E402
+from repro.params import PandasParams  # noqa: E402
 
 FAST = settings(max_examples=25, deadline=None)
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.retrieval import RetrievalClient
 from tests.helpers import make_world
@@ -24,7 +23,9 @@ def test_view_restricted_client_uses_only_view():
 
     targets = []
     world.network.on_send.append(
-        lambda d: targets.append(d.dst) if isinstance(d.payload, CellRequest) and d.src == 1000 else None
+        lambda d: targets.append(d.dst)
+        if isinstance(d.payload, CellRequest) and d.src == 1000
+        else None
     )
     outcome = client.fetch_lines(0, rows=(2,))
     world.sim.run(until=world.sim.now + 4.0)

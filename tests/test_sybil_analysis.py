@@ -6,13 +6,17 @@ import random
 
 import pytest
 
+from repro.core.assignment import CellAssignment
+from repro.crypto.randao import RandaoBeacon
 from repro.das.sybil import (
     cell_censorship_probability,
     expected_censorable_cells,
     line_assignment_probability,
     line_without_honest_custodian_probability,
     rotation_safety_factor,
+    sampling_success_probability,
 )
+from repro.params import PandasParams
 
 
 def test_assignment_probability_full_params():
@@ -67,6 +71,50 @@ def test_censorship_material_at_tiny_scale():
     """...while at 100 nodes it is visibly non-zero — the small-scale
     coverage artifact the bench documentation warns about."""
     assert expected_censorable_cells(100) > 100
+
+
+def test_empirical_censorship_rate_matches_analytic():
+    """The analytic cell-censorship probability matches the *real*
+    assignment ``S``: the measured fraction of cells with no honest
+    custodian on either line, averaged over many epoch rotations.
+
+    This is the same event that bounds honest sampling under a
+    Byzantine adversary — with node-side defenses active, the only
+    cells an honest node cannot fetch are exactly these."""
+    params = PandasParams(
+        base_rows=8, base_cols=8, custody_rows=1, custody_cols=1, samples=2
+    )
+    honest = 30
+    assignment = CellAssignment(params, RandaoBeacon(17))
+    epochs, censored, total = 400, 0, 0
+    for epoch in range(epochs):
+        rows_covered, cols_covered = set(), set()
+        for node in range(honest):
+            custody = assignment.custody(node, epoch)
+            rows_covered.update(custody.rows)
+            cols_covered.update(custody.cols)
+        empty_rows = params.ext_rows - len(rows_covered)
+        empty_cols = params.ext_cols - len(cols_covered)
+        censored += empty_rows * empty_cols
+        total += params.ext_rows * params.ext_cols
+    analytic = cell_censorship_probability(
+        honest,
+        custody_lines=params.custody_rows + params.custody_cols,
+        total_lines=params.ext_rows + params.ext_cols,
+    )
+    assert censored / total == pytest.approx(analytic, abs=0.005)
+
+
+def test_sampling_success_probability_algebra():
+    p_cell = cell_censorship_probability(300)
+    assert sampling_success_probability(300, samples=73) == pytest.approx(
+        (1.0 - p_cell) ** 73
+    )
+    # no samples -> vacuous success; no honest nodes -> certain failure
+    assert sampling_success_probability(300, samples=0) == 1.0
+    assert sampling_success_probability(0, samples=1) == 0.0
+    with pytest.raises(ValueError):
+        sampling_success_probability(300, samples=-1)
 
 
 def test_rotation_safety_factor():
