@@ -8,21 +8,28 @@ original system's reproducibility material drives its simulator:
 - ``baselines``  the three-system comparison at one scale;
 - ``faults``     dead-node / out-of-view sweeps;
 - ``adversary``  Byzantine-fraction degradation sweeps;
-- ``security``   the Section 3 sampling math for a given grid.
+- ``security``   the Section 3 sampling math for a given grid;
+- ``trace``      run with structured tracing and write/analyze a trace;
+- ``profile``    run with callback profiling and print hot sites.
 
 Examples::
 
     python -m repro slot --nodes 350 --policy redundant --slots 2
     python -m repro slot --nodes 200 --faults 'corrupt=0.1,flood=2@20'
+    python -m repro slot --nodes 200 --json
     python -m repro figure fig9 --nodes 300
     python -m repro faults --fault dead --nodes 300
     python -m repro adversary --behavior corrupt --fractions 0,0.1,0.2
     python -m repro security --grid 512 --target 1e-9
+    python -m repro trace --nodes 200 --slots 1 --out trace.jsonl
+    python -m repro trace --nodes 100 --chrome trace.json --report
+    python -m repro profile --nodes 200 --top 15
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -68,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enforce protocol invariants online; violations abort the run",
     )
+    slot.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON object instead of text",
+    )
+    _obs_args(slot)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -84,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common_scale_args(faults)
     faults.add_argument("--fault", choices=["dead", "out_of_view"], default="dead")
     faults.add_argument("--fractions", default="0,0.2,0.4,0.6,0.8")
+    _obs_args(faults)
 
     adversary = sub.add_parser(
         "adversary", help="Byzantine-fraction degradation sweep (Section 9)"
@@ -101,11 +114,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--details", action="store_true",
         help="also print realized adversary and defense counters",
     )
+    _obs_args(adversary)
 
     security = sub.add_parser("security", help="Section 3 sampling math")
     security.add_argument("--grid", type=int, default=512, help="extended grid dimension")
     security.add_argument("--samples", type=int, default=None)
     security.add_argument("--target", type=float, default=1e-9)
+
+    trace = sub.add_parser(
+        "trace", help="run slots with structured tracing; write and analyze the trace"
+    )
+    _common_scale_args(trace)
+    trace.add_argument("--policy", default="redundant", help="minimal|single|redundant")
+    trace.add_argument("--redundancy", type=int, default=8)
+    trace.add_argument("--slots", type=int, default=1)
+    trace.add_argument("--faults", default=None, metavar="SPEC", help="fault plan spec")
+    trace.add_argument("--out", default=None, metavar="FILE", help="write JSONL trace here")
+    trace.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON (load in about://tracing / Perfetto)",
+    )
+    trace.add_argument(
+        "--kinds", default=None,
+        help="comma-separated event kinds to record (default: all)",
+    )
+    trace.add_argument(
+        "--ring", type=int, default=1 << 20,
+        help="in-memory ring buffer capacity (events); sinks see everything",
+    )
+    trace.add_argument(
+        "--report", action="store_true",
+        help="print the slowest-node causal report from the trace",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run slots under the callback profiler; print hot sites"
+    )
+    _common_scale_args(profile)
+    profile.add_argument("--policy", default="redundant", help="minimal|single|redundant")
+    profile.add_argument("--redundancy", type=int, default=8)
+    profile.add_argument("--slots", type=int, default=1)
+    profile.add_argument("--top", type=int, default=12, help="rows of the hot-site table")
     return parser
 
 
@@ -118,10 +167,42 @@ def _common_scale_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability riders available on the main run commands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write a JSONL structured trace of the run(s)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also profile simulator callbacks and print the hot sites",
+    )
+
+
 def _params(args) -> PandasParams:
     if getattr(args, "reduced", 0):
         return PandasParams.reduced(args.reduced)
     return PandasParams.full()
+
+
+def _make_obs(args):
+    """(tracer, profiler) from the --trace/--profile riders, or Nones."""
+    from repro.obs import CallbackProfiler, JsonlSink, TraceRecorder
+
+    tracer = None
+    if getattr(args, "trace", None):
+        tracer = TraceRecorder(sinks=[JsonlSink(args.trace)])
+    profiler = CallbackProfiler() if getattr(args, "profile", False) else None
+    return tracer, profiler
+
+
+def _finish_obs(tracer, profiler, args, top: int = 12) -> None:
+    """Close the trace file and print profiler output, if active."""
+    if tracer is not None:
+        tracer.close()
+        print(f"trace: {tracer.accepted} events -> {args.trace}")
+    if profiler is not None:
+        print(profiler.format(top=top))
 
 
 def _cmd_slot(args) -> int:
@@ -129,6 +210,7 @@ def _cmd_slot(args) -> int:
     from repro.faults.plan import FaultPlan
 
     faults = FaultPlan.parse(args.faults) if args.faults else None
+    tracer, profiler = _make_obs(args)
     config = ScenarioConfig(
         num_nodes=args.nodes,
         params=_params(args),
@@ -140,7 +222,41 @@ def _cmd_slot(args) -> int:
         include_block_gossip=args.block_gossip,
         faults=faults,
         check_invariants=args.check_invariants,
+        tracer=tracer,
+        profiler=profiler,
     )
+    if args.json:
+        scenario = Scenario(config).run()
+        phases = scenario.phase_distributions()
+        payload = scenario.metrics.summary()
+        payload["config"] = {
+            "nodes": args.nodes,
+            "slots": args.slots,
+            "seed": args.seed,
+            "policy": config.policy.name,
+            "faults": faults.describe() if faults is not None else None,
+        }
+        payload["phases"] = {
+            name: {
+                "median": dist.median,
+                "p99": dist.p99,
+                "max": dist.max,
+                "within_4s": dist.fraction_within(4.0),
+                "count": dist.count,
+            }
+            for name, dist in (
+                ("seeding", phases.seeding),
+                ("consolidation", phases.consolidation),
+                ("sampling", phases.sampling),
+            )
+        }
+        if tracer is not None:
+            tracer.close()
+            payload["trace"] = {"file": args.trace, "events": tracer.accepted}
+        print(json.dumps(payload, default=float))
+        if profiler is not None:
+            print(profiler.format(top=12), file=sys.stderr)
+        return 0 if phases.sampling.fraction_within(4.0) > 0 else 1
     print(f"running {args.slots} slot(s) over {args.nodes} nodes ({config.policy.name})")
     if faults is not None:
         print(f"  fault plan     {faults.describe()}")
@@ -169,6 +285,7 @@ def _cmd_slot(args) -> int:
         print(f"  invariants     ok ({scenario.invariants.checks_run} checks)")
     if args.plot:
         print(ascii_cdf({"sampling": phases.sampling}, deadline=4.0))
+    _finish_obs(tracer, profiler, args)
     return 0 if phases.sampling.fraction_within(4.0) > 0 else 1
 
 
@@ -236,15 +353,19 @@ def _cmd_faults(args) -> int:
     from repro.experiments import figures
 
     fractions = tuple(float(f) for f in args.fractions.split(","))
+    tracer, profiler = _make_obs(args)
     results = figures.run_fault_sweep(
         fractions=fractions,
         fault=args.fault,
         num_nodes=args.nodes,
         seed=args.seed,
         params=_params(args),
+        tracer=tracer,
+        profiler=profiler,
     )
     for fraction, result in results.items():
         print(f"{args.fault:<12} {fraction:>4.0%}  {summarize(result.sampling, 4.0)}")
+    _finish_obs(tracer, profiler, args)
     return 0
 
 
@@ -252,6 +373,7 @@ def _cmd_adversary(args) -> int:
     from repro.experiments import figures
 
     fractions = tuple(float(f) for f in args.fractions.split(","))
+    tracer, profiler = _make_obs(args)
     results = figures.run_adversarial_sweep(
         fractions=fractions,
         behavior=args.behavior,
@@ -259,6 +381,8 @@ def _cmd_adversary(args) -> int:
         slots=args.slots,
         seed=args.seed,
         params=_params(args),
+        tracer=tracer,
+        profiler=profiler,
     )
     print(f"{args.behavior} sweep over {args.nodes} nodes "
           "(measured honest completion vs sybil-model bound)")
@@ -279,6 +403,7 @@ def _cmd_adversary(args) -> int:
                         f"{kind}={int(count)}" for kind, count in sorted(counts.items())
                     )
                     print(f"       {label:<9} {line}")
+    _finish_obs(tracer, profiler, args)
     return 0
 
 
@@ -294,6 +419,89 @@ def _cmd_security(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments.report import drain_buffer, print_trace_report
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+    from repro.faults.plan import FaultPlan
+    from repro.obs import ChromeTraceSink, JsonlSink, TraceRecorder
+    from repro.obs.timeline import lifecycle_problems
+
+    sinks = []
+    if args.out:
+        sinks.append(JsonlSink(args.out))
+    if args.chrome:
+        sinks.append(ChromeTraceSink(args.chrome))
+    kinds = None
+    if args.kinds:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    tracer = TraceRecorder(capacity=args.ring, kinds=kinds, sinks=sinks)
+    faults = FaultPlan.parse(args.faults) if args.faults else None
+    config = ScenarioConfig(
+        num_nodes=args.nodes,
+        params=_params(args),
+        policy=policy_by_name(args.policy, args.redundancy),
+        seed=args.seed,
+        slots=args.slots,
+        faults=faults,
+        tracer=tracer,
+    )
+    print(
+        f"tracing {args.slots} slot(s) over {args.nodes} nodes "
+        f"({config.policy.name}, kinds={'all' if kinds is None else ','.join(kinds)})"
+    )
+    scenario = Scenario(config).run()
+    tracer.close()
+    phases = scenario.phase_distributions()
+    print(f"  sampling       {summarize(phases.sampling, 4.0)}")
+    print(f"  events         {tracer.accepted} accepted, {tracer.filtered} filtered, "
+          f"{tracer.evicted} evicted from ring")
+    top = sorted(tracer.counts.items(), key=lambda kv: (-kv[1], kv[0]))[:6]
+    print("  top kinds      " + ", ".join(f"{k}={n}" for k, n in top))
+    events = [e.to_dict() for e in tracer.events]
+    if tracer.evicted == 0:
+        problems = lifecycle_problems(events)
+        status = "OK" if not problems else f"{len(problems)} problem(s)"
+        print(f"  lifecycle      {status}")
+        for problem in problems[:5]:
+            print(f"    !! {problem}")
+    if args.out:
+        print(f"  jsonl          {args.out}")
+    if args.chrome:
+        print(f"  chrome         {args.chrome} (open in about://tracing or Perfetto)")
+    if args.report:
+        import os
+
+        print_trace_report(events, slot=0)
+        # _emit prints immediately outside pytest; under pytest the
+        # lines only land in the buffer, so replay them for capsys
+        lines = drain_buffer()
+        if "PYTEST_CURRENT_TEST" in os.environ:
+            for line in lines:
+                print(line)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.experiments.scenario import Scenario, ScenarioConfig
+    from repro.obs import CallbackProfiler
+
+    profiler = CallbackProfiler()
+    config = ScenarioConfig(
+        num_nodes=args.nodes,
+        params=_params(args),
+        policy=policy_by_name(args.policy, args.redundancy),
+        seed=args.seed,
+        slots=args.slots,
+        profiler=profiler,
+    )
+    print(f"profiling {args.slots} slot(s) over {args.nodes} nodes ({config.policy.name})")
+    scenario = Scenario(config).run()
+    phases = scenario.phase_distributions()
+    print(f"  sampling       {summarize(phases.sampling, 4.0)}")
+    print(profiler.format(top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -303,6 +511,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "adversary": _cmd_adversary,
         "security": _cmd_security,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -110,6 +110,13 @@ class Builder:
             ctx.network.send(self.builder_id, node_id, msg, size)
             self.last_seed_messages += 1
             self.last_seed_bytes += size
+        ctx.trace(
+            "seed_slot",
+            slot=slot,
+            node=self.builder_id,
+            messages=self.last_seed_messages,
+            bytes=self.last_seed_bytes,
+        )
 
     # ------------------------------------------------------------------
     def on_datagram(self, dgram: Datagram) -> None:

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.assignment import AssignmentIndex, CellAssignment
 from repro.net.transport import Network
+from repro.obs.events import TraceRecorder
 from repro.params import PandasParams
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRecorder
@@ -37,6 +38,18 @@ class ProtocolContext:
     # signature binds it — Section 6.1). Nodes reject seed parcels from
     # any other source; ``None`` disables the check (unit harnesses).
     builder_id: Optional[int] = None
+    # Structured event tracing (repro.obs). ``None`` — the default —
+    # disables tracing with zero per-event overhead; participants guard
+    # every emission on it. A recorder here is pure observation and
+    # never changes simulation behavior.
+    tracer: Optional[TraceRecorder] = None
+
+    def trace(self, kind: str, *, slot: int = -1, node: int = -1, **data) -> None:
+        """Emit one trace event at the current simulated time (no-op
+        when tracing is off or ``kind`` is filtered out)."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled(kind):
+            tracer.emit(kind, t=self.sim.now, slot=slot, node=node, **data)
 
     def epoch_of(self, slot: int) -> int:
         return slot // self.params.slots_per_epoch

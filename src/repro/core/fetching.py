@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.custody import SlotCellState
+from repro.obs.events import TraceRecorder
 from repro.params import FetchSchedule
 from repro.sim.engine import Event, Simulator
 
@@ -165,6 +166,8 @@ class AdaptiveFetcher:
         exclude_peer: Optional[Callable[[int], bool]] = None,
         on_peer_timeout: Optional[Callable[[int], None]] = None,
         retry_unresponsive: bool = False,
+        tracer: Optional[TraceRecorder] = None,
+        slot: int = -1,
     ) -> None:
         self.sim = sim
         self.state = state
@@ -193,6 +196,14 @@ class AdaptiveFetcher:
         self.retry_unresponsive = retry_unresponsive
         self.responded: Set[int] = set()
         self._timeouts_reported: Set[int] = set()
+        # Query-lifecycle tracing (repro.obs): every query gets a
+        # request id at issue time and terminates in exactly one of
+        # response/timeout/cancel. All of it is maintained only when a
+        # tracer is attached — pure observation, no RNG, no scheduling,
+        # so traced and untraced runs are behaviorally identical.
+        self.tracer = tracer
+        self.trace_slot = slot
+        self._open_queries: Dict[int, Tuple[int, int]] = {}  # peer -> (req, round)
 
         self.boost: Dict[int, Set[int]] = {}
         self._boost_cells: Set[int] = set()
@@ -225,6 +236,60 @@ class AdaptiveFetcher:
         self.inbound.update(cells)
 
     # ------------------------------------------------------------------
+    # tracing (no-ops unless a tracer is attached)
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, **data) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled(kind):
+            tracer.emit(
+                kind, t=self.sim.now, slot=self.trace_slot, node=self.self_id, **data
+            )
+
+    def _trace_expire_queries(self) -> None:
+        """Close open queries whose round deadline has passed.
+
+        A silent peer's query closes as ``query_timeout``; a peer that
+        replied (even unusably — ``note_reply`` with payloads that all
+        failed validation) closes as an unusable ``query_response`` so
+        it is never double-reported as a timeout.
+        """
+        if self.tracer is None or not self._open_queries:
+            return
+        now = self.sim.now
+        for peer in list(self._open_queries):
+            req, rnd = self._open_queries[peer]
+            if rnd > len(self.rounds) or self.rounds[rnd - 1].deadline > now:
+                continue
+            del self._open_queries[peer]
+            if peer in self.responded:
+                self._trace(
+                    "query_response", req=req, peer=peer, round=rnd,
+                    cells=0, new=0, reconstructed=0, late=True, usable=False,
+                )
+            else:
+                self._trace("query_timeout", req=req, peer=peer, round=rnd)
+
+    def _trace_close_open(self) -> None:
+        """Terminate every still-open query when the fetcher ends.
+
+        Expired ones close as timeout/unusable-response first; the rest
+        close as ``query_cancel`` (the fetcher finished or was stopped
+        before their round expired).
+        """
+        if self.tracer is None:
+            return
+        self._trace_expire_queries()
+        for peer, (req, rnd) in list(self._open_queries.items()):
+            if peer in self.responded:
+                self._trace(
+                    "query_response", req=req, peer=peer, round=rnd,
+                    cells=0, new=0, reconstructed=0, late=False, usable=False,
+                )
+            else:
+                self._trace("query_cancel", req=req, peer=peer, round=rnd)
+        self._open_queries.clear()
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -232,6 +297,7 @@ class AdaptiveFetcher:
         if self.started:
             return
         self.started = True
+        self._trace("fetch_start", custody=self.fetch_custody)
         if self.complete:
             self._complete()
             return
@@ -241,6 +307,10 @@ class AdaptiveFetcher:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        if not self.finished:
+            self._trace_close_open()
+            if self.started:
+                self._trace("fetch_done", success=False, reason="stopped")
         self.finished = True
 
     # ------------------------------------------------------------------
@@ -295,6 +365,9 @@ class AdaptiveFetcher:
         self._timer = None
         if self.finished:
             return
+        # trace bookkeeping first so queries that expired at this tick
+        # close as timeouts even if the fetcher completes or gives up now
+        self._trace_expire_queries()
         if self.complete:
             self._complete()
             return
@@ -319,19 +392,27 @@ class AdaptiveFetcher:
             # (their earlier query or reply was probably lost). Peers
             # that *did* reply stay consumed — re-asking a peer that
             # answered only manufactures duplicates.
-            if self._recycle_unresponsive():
+            recycled = self._recycle_unresponsive()
+            if recycled:
+                self._trace("query_recycle", pool="unresponsive", count=recycled)
                 candidate_cells = self._candidate_cells(targets)
-            if not candidate_cells and self._recycle_responded():
+            if not candidate_cells:
                 # Still nothing: the remaining targets' custodians all
                 # *answered*, yet the cells never materialized — corrupt
                 # responders whose payloads failed verification, or
                 # replies that did not cover these cells. Re-open them
                 # too; reputation weighting and quarantine steer the
                 # retry toward whoever served honestly.
-                candidate_cells = self._candidate_cells(targets)
+                recycled = self._recycle_responded()
+                if recycled:
+                    self._trace("query_recycle", pool="responded", count=recycled)
+                    candidate_cells = self._candidate_cells(targets)
         if not candidate_cells:
             if self.on_round is not None:
                 self.on_round(stats)
+            self._trace(
+                "fetch_round", round=index, targets=stats.targets, queries=0, cells=0
+            )
             if index >= 3:
                 # Inbound cells are no longer trusted from round 3 and
                 # even already-queried peers are recycled above, so an
@@ -360,7 +441,20 @@ class AdaptiveFetcher:
             self.schedule.redundancy_for(index),
             max_cells_per_query=self.max_cells_per_query,
         )
+        tracer = self.tracer
         for peer, cells in plan.queries:
+            if tracer is not None:
+                req = tracer.next_request_id()
+                stale = self._open_queries.pop(peer, None)
+                if stale is not None:
+                    # re-query of a recycled peer whose prior query never
+                    # closed through sweep/response: close it explicitly
+                    # so every req terminates exactly once
+                    self._trace("query_cancel", req=stale[0], peer=peer, round=stale[1])
+                self._open_queries[peer] = (req, index)
+                self._trace(
+                    "query_issue", req=req, peer=peer, round=index, cells=len(cells)
+                )
             self.send_query(peer, cells)
             self.queried.add(peer)
             self.query_round[peer] = index
@@ -369,6 +463,13 @@ class AdaptiveFetcher:
 
         if self.on_round is not None:
             self.on_round(stats)
+        self._trace(
+            "fetch_round",
+            round=index,
+            targets=stats.targets,
+            queries=stats.messages_sent,
+            cells=stats.cells_requested,
+        )
         self._timer = self.sim.call_after(
             self.schedule.timeout(index), lambda: self._run_round(index + 1)
         )
@@ -500,6 +601,23 @@ class AdaptiveFetcher:
                 stats.cells_after_round += new_count
             stats.duplicates += len(cells) - new_count
             stats.reconstructed += reconstructed
+        if self.tracer is not None:
+            entry = self._open_queries.pop(peer, None)
+            if entry is not None:
+                req, rnd = entry
+                late = (
+                    rnd <= len(self.rounds)
+                    and self.sim.now > self.rounds[rnd - 1].deadline
+                )
+                self._trace(
+                    "query_response", req=req, peer=peer, round=rnd,
+                    cells=len(cells), new=new_count,
+                    reconstructed=reconstructed, late=late, usable=True,
+                )
+            else:
+                # the query already closed (timeout sweep or recycle);
+                # a legitimate deferred reply, recorded but non-terminal
+                self._trace("query_late_reply", peer=peer, cells=len(cells), new=new_count)
         if self.complete:
             self._complete()
         return new_count, reconstructed
@@ -529,6 +647,8 @@ class AdaptiveFetcher:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._trace_close_open()
+        self._trace("fetch_done", success=True, reason="complete")
         if self.on_done is not None:
             self.on_done(True)
 
@@ -536,5 +656,7 @@ class AdaptiveFetcher:
         if self.finished:
             return
         self.finished = True
+        self._trace_close_open()
+        self._trace("fetch_done", success=False, reason="exhausted")
         if self.on_done is not None:
             self.on_done(False)

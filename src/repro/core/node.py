@@ -156,8 +156,21 @@ class PandasNode:
             exclude_peer=self.reputation.quarantined,
             on_peer_timeout=self._on_peer_timeout,
             retry_unresponsive=params.fetch_retry_unresponsive,
+            tracer=ctx.tracer,
+            slot=slot,
         )
         return _SlotState(cells=cells, fetcher=fetcher)
+
+    # ------------------------------------------------------------------
+    # observability (repro.obs) — all no-ops without a tracer
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, slot: int = -1, **data) -> None:
+        self.ctx.trace(kind, slot=slot, node=self.node_id, **data)
+
+    def _defense(self, kind: str, amount: float = 1.0, slot: int = -1) -> None:
+        """Count one defense action in the metrics and the trace."""
+        self.ctx.metrics.record_defense(kind, amount)
+        self._trace("defense", slot=slot, defense=kind, amount=amount)
 
     # ------------------------------------------------------------------
     # message dispatch (validation layer)
@@ -170,17 +183,17 @@ class PandasNode:
             # (Section 6.1): a seed parcel from anyone else is forged
             if ctx.builder_id is not None and dgram.src != ctx.builder_id:
                 self.reputation.record_unsolicited(dgram.src)
-                ctx.metrics.record_defense("seed_forged")
+                self._defense("seed_forged", slot=payload.slot)
                 return
             self._dispatch_verified(dgram.src, payload, len(payload.cells), self._on_seed)
         elif isinstance(payload, CellRequest):
             if not self._admit(dgram.src):
-                ctx.metrics.record_defense("rate_limited")
+                self._defense("rate_limited", slot=payload.slot)
                 return
             self._on_request(dgram.src, payload)
         elif isinstance(payload, CellResponse):
             if not self._admit(dgram.src):
-                ctx.metrics.record_defense("rate_limited")
+                self._defense("rate_limited", slot=payload.slot)
                 return
             self._dispatch_verified(dgram.src, payload, len(payload.cells), self._on_response)
 
@@ -223,7 +236,10 @@ class PandasNode:
         state = self._slot_state(slot)
         if msg.cells and not state.seed_received:
             state.seed_received = True
-            self.ctx.metrics.mark_seeding(slot, self.node_id, self.ctx.since_slot_start(slot))
+            at = self.ctx.since_slot_start(slot)
+            self.ctx.metrics.mark_seeding(slot, self.node_id, at)
+            self._trace("seed_recv", slot=slot, at=at)
+            self._trace("phase", slot=slot, phase="seeding", at=at)
         state.seed_messages_seen += 1
         state.seed_messages_expected = msg.total_messages
         for peer, cells in msg.boost:
@@ -236,7 +252,11 @@ class PandasNode:
                 state.fetcher.add_boost(peer, cells)
         if msg.cells:
             state.fetcher.add_inbound(msg.cells)
-            _new, reconstructed = state.cells.add_cells(msg.cells)
+            new, reconstructed = state.cells.add_cells(msg.cells)
+            self._trace(
+                "cells_ingest", slot=slot, source="seed",
+                count=len(msg.cells), new=new, reconstructed=reconstructed,
+            )
             state.fetcher.note_external_cells(reconstructed)
         if state.seed_messages_seen >= msg.total_messages:
             # full seed set received: start consolidation + sampling on
@@ -282,7 +302,7 @@ class PandasNode:
             params = self.ctx.params
             elapsed = self.ctx.since_slot_start(slot)
             if elapsed >= params.deadline:
-                self.ctx.metrics.record_defense("pending_expired", len(remainder))
+                self._defense("pending_expired", len(remainder), slot=slot)
                 return
             if state.expiry_timer is None:
                 state.expiry_timer = self.ctx.sim.call_after(
@@ -301,7 +321,7 @@ class PandasNode:
         if not state.waiting_by_cell:
             return
         expired = {id(rec): rec for recs in state.waiting_by_cell.values() for rec in recs}
-        self.ctx.metrics.record_defense("pending_expired", len(expired))
+        self._defense("pending_expired", len(expired), slot=slot)
         state.waiting_by_cell.clear()
 
     def _fallback_start(self, slot: int) -> None:
@@ -332,20 +352,19 @@ class PandasNode:
         4. what survives is credited to the peer and fed to the fetcher.
         """
         slot = msg.slot
-        metrics = self.ctx.metrics
         state = self._slots.get(slot)
         if state is None:
             if slot in self._retired:
                 # deferred reply landing after drop_slot: stale, not hostile
-                metrics.record_defense("resp_stale")
+                self._defense("resp_stale", slot=slot)
             else:
                 self.reputation.record_unsolicited(src)
-                metrics.record_defense("resp_unsolicited")
+                self._defense("resp_unsolicited", slot=slot)
             return
         outstanding = state.outstanding.get(src)
         if not outstanding:
             self.reputation.record_unsolicited(src)
-            metrics.record_defense("resp_unsolicited")
+            self._defense("resp_unsolicited", slot=slot)
             return
         # the peer *answered*: whatever else is wrong with the payload,
         # it must not additionally be reported as timed out
@@ -354,17 +373,21 @@ class PandasNode:
         unrequested = len(msg.cells) - len(requested)
         if unrequested:
             self.reputation.record_unrequested(src, unrequested)
-            metrics.record_defense("cells_unrequested", unrequested)
+            self._defense("cells_unrequested", unrequested, slot=slot)
         invalid = msg.invalid
         good = tuple(cid for cid in requested if cid not in invalid)
         bad = len(requested) - len(good)
         if bad:
             self.reputation.record_invalid(src, bad)
-            metrics.record_defense("cells_invalid", bad)
+            self._defense("cells_invalid", bad, slot=slot)
         if not good:
             return
         self.reputation.record_valid(src, len(good))
-        state.fetcher.on_response(src, good)
+        new, reconstructed = state.fetcher.on_response(src, good)
+        self._trace(
+            "cells_ingest", slot=slot, source="response", peer=src,
+            count=len(good), new=new, reconstructed=reconstructed,
+        )
         self._after_cells_changed(slot, state)
 
     # ------------------------------------------------------------------
@@ -381,7 +404,7 @@ class PandasNode:
 
     def _on_peer_timeout(self, peer: int) -> None:
         self.reputation.record_timeout(peer)
-        self.ctx.metrics.record_defense("peer_timeout")
+        self._defense("peer_timeout")
 
     # ------------------------------------------------------------------
     # bookkeeping after any cell arrival
@@ -405,9 +428,11 @@ class PandasNode:
         if not state.consolidation_marked and state.cells.consolidation_complete:
             state.consolidation_marked = True
             self.ctx.metrics.mark_consolidation(slot, self.node_id, now_rel)
+            self._trace("phase", slot=slot, phase="consolidation", at=now_rel)
         if not state.sampling_marked and state.cells.sampling_complete:
             state.sampling_marked = True
             self.ctx.metrics.mark_sampling(slot, self.node_id, now_rel)
+            self._trace("phase", slot=slot, phase="sampling", at=now_rel)
 
     def _epoch(self, slot: int) -> int:
         return self.ctx.epoch_of(slot)

@@ -239,6 +239,12 @@ def run_scaling(
     return results
 
 
+def _mark_sweep_point(tracer, sweep: str, **data) -> None:
+    """Separate consecutive sweep points inside one shared trace."""
+    if tracer is not None and tracer.enabled("sweep_point"):
+        tracer.emit("sweep_point", t=0.0, sweep=sweep, **data)
+
+
 def run_fault_sweep(
     fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
     fault: str = "dead",
@@ -246,8 +252,14 @@ def run_fault_sweep(
     slots: int = 1,
     seed: int = 7,
     params: Optional[PandasParams] = None,
+    tracer=None,
+    profiler=None,
 ) -> Dict[float, PolicyPhases]:
-    """Figure 15: dead-node (a) or out-of-view (b) sweeps."""
+    """Figure 15: dead-node (a) or out-of-view (b) sweeps.
+
+    A ``tracer``/``profiler`` is shared across all sweep points; a
+    ``sweep_point`` marker event delimits each point's events.
+    """
     if fault not in ("dead", "out_of_view"):
         raise ValueError(f"unknown fault type {fault!r}")
     results: Dict[float, PolicyPhases] = {}
@@ -260,7 +272,10 @@ def run_fault_sweep(
             params=params if params is not None else PandasParams.full(),
             dead_fraction=fraction if fault == "dead" else 0.0,
             out_of_view_fraction=fraction if fault == "out_of_view" else 0.0,
+            tracer=tracer,
+            profiler=profiler,
         )
+        _mark_sweep_point(tracer, fault, fraction=fraction)
         scenario = Scenario(config).run()
         results[fraction] = _phase_result(scenario, f"{fault}@{fraction:.0%}")
     return results
@@ -301,6 +316,8 @@ def run_adversarial_sweep(
     seed: int = 7,
     params: Optional[PandasParams] = None,
     deadline: float = 4.0,
+    tracer=None,
+    profiler=None,
 ) -> Dict[float, AdversarialPoint]:
     """Honest completion vs Byzantine fraction (Section 9 threat model).
 
@@ -338,7 +355,10 @@ def run_adversarial_sweep(
             policy=RedundantSeeding(8),
             params=base,
             faults=plan,
+            tracer=tracer,
+            profiler=profiler,
         )
+        _mark_sweep_point(tracer, behavior, fraction=fraction)
         scenario = Scenario(config).run()
         honest = scenario.honest_live_count
         analytic = sampling_success_probability(

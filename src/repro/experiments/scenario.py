@@ -28,6 +28,8 @@ from repro.faults.plan import AdversarySpec, FaultPlan
 from repro.net.latency import ClusteredWanModel, LatencyModel
 from repro.net.topology import DEFAULT_BUILDER_PROFILE, DEFAULT_NODE_PROFILE, NodeProfile, Topology
 from repro.net.transport import DEFAULT_LOSS_RATE, Datagram, Network
+from repro.obs.events import TraceRecorder
+from repro.obs.profiler import CallbackProfiler
 from repro.params import PandasParams
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRecorder
@@ -66,6 +68,14 @@ class ScenarioConfig:
     # invariants) — any violation raises mid-run
     check_invariants: bool = False
     invariant_fetch_bound_factor: float = 1.0
+    # structured event tracing (repro.obs): pure observation — a
+    # recorder here must never change simulation behavior, and a
+    # dedicated test pins MetricsRecorder.fingerprint() to be
+    # bit-identical with tracing on or off
+    tracer: Optional[TraceRecorder] = None
+    # opt-in wall-clock attribution of simulator callbacks
+    # (module:qualname); also behavior-neutral
+    profiler: Optional[CallbackProfiler] = None
 
     def make_latency(self) -> LatencyModel:
         if self.latency is not None:
@@ -102,6 +112,10 @@ class BaseScenario:
         self.node_ids = list(range(config.num_nodes))
         self.builder_id = config.num_nodes
 
+        self.tracer = config.tracer
+        if config.profiler is not None:
+            self.sim.set_profiler(config.profiler)
+
         self.ctx = ProtocolContext(
             sim=self.sim,
             network=self.network,
@@ -111,6 +125,7 @@ class BaseScenario:
             rngs=self.rngs,
             index_for_epoch=self._index_for_epoch,
             builder_id=self.builder_id,
+            tracer=self.tracer,
         )
 
         self._place_participants()
@@ -118,6 +133,7 @@ class BaseScenario:
         self.byzantine = self._pick_adversaries()
         self._build_participants()
         self._wire_metrics()
+        self._wire_tracing()
         for dead in self.dead_nodes:
             self.network.kill(dead)
         self.fault_injector = self._install_faults()
@@ -235,6 +251,7 @@ class BaseScenario:
             candidates=candidates,
             node_lookup=lambda nid: getattr(self, "nodes", {}).get(nid),
             slot_duration=self.params.slot_duration,
+            tracer=self.tracer,
         )
         return injector.install()
 
@@ -287,6 +304,71 @@ class BaseScenario:
 
         self.network.on_send.append(on_send)
         self.network.on_deliver.append(on_deliver)
+
+    def _wire_tracing(self) -> None:
+        """Mirror the transport's send/deliver/drop flow into the trace.
+
+        Observers are only attached for kinds the recorder accepts, so
+        a kind-filtered recorder (say, queries only) costs nothing on
+        the datagram path. Tracing a 1,000-node run stays bounded: the
+        recorder ring-buffers and streaming sinks write flat records.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+
+        def payload_slot(dgram: Datagram) -> int:
+            slot = getattr(dgram.payload, "slot", None)
+            return slot if isinstance(slot, int) else -1
+
+        def payload_kind(dgram: Datagram) -> str:
+            return type(dgram.payload).__name__
+
+        if tracer.enabled("net_send"):
+
+            def on_send(dgram: Datagram) -> None:
+                tracer.emit(
+                    "net_send",
+                    t=self.sim.now,
+                    slot=payload_slot(dgram),
+                    node=dgram.src,
+                    dst=dgram.dst,
+                    size=dgram.size,
+                    payload=payload_kind(dgram),
+                )
+
+            self.network.on_send.append(on_send)
+
+        if tracer.enabled("net_deliver"):
+
+            def on_deliver(dgram: Datagram) -> None:
+                tracer.emit(
+                    "net_deliver",
+                    t=self.sim.now,
+                    slot=payload_slot(dgram),
+                    node=dgram.dst,
+                    src=dgram.src,
+                    size=dgram.size,
+                    payload=payload_kind(dgram),
+                )
+
+            self.network.on_deliver.append(on_deliver)
+
+        if tracer.enabled("net_drop"):
+
+            def on_drop(dgram: Datagram, reason: str) -> None:
+                tracer.emit(
+                    "net_drop",
+                    t=self.sim.now,
+                    slot=payload_slot(dgram),
+                    node=dgram.dst,
+                    src=dgram.src,
+                    size=dgram.size,
+                    payload=payload_kind(dgram),
+                    reason=reason,
+                )
+
+            self.network.on_drop.append(on_drop)
 
     # ------------------------------------------------------------------
     # execution
@@ -352,7 +434,7 @@ class BaseScenario:
     def fetch_message_distribution(self) -> Distribution:
         values = [
             value
-            for (slot, node), value in self.metrics.fetch_messages._data.items()
+            for (slot, node), value in self.metrics.fetch_messages.items()
             if node not in self.dead_nodes and node not in self.byzantine
         ]
         return Distribution(sorted(values))
@@ -360,7 +442,7 @@ class BaseScenario:
     def fetch_bytes_distribution(self) -> Distribution:
         values = [
             value
-            for (slot, node), value in self.metrics.fetch_bytes._data.items()
+            for (slot, node), value in self.metrics.fetch_bytes.items()
             if node not in self.dead_nodes and node not in self.byzantine
         ]
         return Distribution(sorted(values))

@@ -56,6 +56,7 @@ class FaultInjector:
         candidates: Sequence[int],
         node_lookup: Optional[Callable[[int], object]] = None,
         slot_duration: float = 12.0,
+        tracer: Optional[object] = None,
     ) -> None:
         self.plan = plan
         self.sim = sim
@@ -72,6 +73,22 @@ class FaultInjector:
         self._active_partitions: List[Set[int]] = []
         self._link_rng = rngs.stream("faults", "link")
         self._installed = False
+        # structured tracing (repro.obs): pure observation, never
+        # consulted for any fault decision
+        self.tracer = tracer
+
+    def _record(self, kind: str, **data) -> None:
+        """Count one realized fault and mirror it into the trace."""
+        self.metrics.record_fault(kind)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled("fault"):
+            tracer.emit(
+                "fault",
+                t=self.sim.now,
+                node=data.pop("node", -1),
+                fault=kind,
+                **data,
+            )
 
     # ------------------------------------------------------------------
     # installation
@@ -147,22 +164,22 @@ class FaultInjector:
         node = self.node_lookup(node_id) if self.node_lookup is not None else None
         if node is not None and hasattr(node, "crash"):
             node.crash()
-        self.metrics.record_fault("crash")
+        self._record("crash", node=node_id)
 
     def _restart(self, node_id: int) -> None:
         self.network.revive(node_id)
         node = self.node_lookup(node_id) if self.node_lookup is not None else None
         if node is not None and hasattr(node, "restart"):
             node.restart(int(self.sim.now // self.slot_duration))
-        self.metrics.record_fault("restart")
+        self._record("restart", node=node_id)
 
     def _open_partition(self, group: Set[int]) -> None:
         self._active_partitions.append(group)
-        self.metrics.record_fault("partition_open")
+        self._record("partition_open", size=len(group))
 
     def _close_partition(self, group: Set[int]) -> None:
         self._active_partitions.remove(group)
-        self.metrics.record_fault("partition_close")
+        self._record("partition_close", size=len(group))
 
     # ------------------------------------------------------------------
     # per-datagram filter (Network.fault_filter)
@@ -178,16 +195,16 @@ class FaultInjector:
         """
         for group in self._active_partitions:
             if (dgram.src in group) != (dgram.dst in group):
-                self.metrics.record_fault("partition_drop")
+                self._record("partition_drop", node=dgram.dst, src=dgram.src)
                 return ()
         plan = self.plan
         rng = self._link_rng
         if not reliable and plan.loss > 0.0 and rng.random() < plan.loss:
-            self.metrics.record_fault("link_drop")
+            self._record("link_drop", node=dgram.dst, src=dgram.src)
             return ()
         delay = self.slow_nodes.get(dgram.src, 0.0)
         if delay:
-            self.metrics.record_fault("slow_delay")
+            self._record("slow_delay", node=dgram.src)
         if plan.jitter > 0.0:
             delay += rng.uniform(0.0, plan.jitter)
         delays = [delay]
@@ -196,5 +213,5 @@ class FaultInjector:
             if plan.jitter > 0.0:
                 copy_delay += rng.uniform(0.0, plan.jitter)
             delays.append(copy_delay)
-            self.metrics.record_fault("duplicate")
+            self._record("duplicate", node=dgram.dst, src=dgram.src)
         return tuple(delays)

@@ -162,7 +162,7 @@ class InvariantChecker:
                 )
         bound = self.fetch_bytes_bound()
         byzantine = getattr(scenario, "byzantine_nodes", set())
-        for (slot, node), value in scenario.metrics.fetch_bytes._data.items():
+        for (slot, node), value in scenario.metrics.fetch_bytes.items():
             self.checks_run += 1
             if node in byzantine:
                 # Byzantine nodes do not follow the protocol — a

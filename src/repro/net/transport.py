@@ -74,6 +74,12 @@ class Network:
         self._endpoints: Dict[int, Endpoint] = {}
         self.on_send: List[Callable[[Datagram], None]] = []
         self.on_deliver: List[Callable[[Datagram], None]] = []
+        # Loss observers for the tracing layer: called with the dropped
+        # datagram and a reason — "dead" (destination unregistered or
+        # not alive at send time), "loss" (Bernoulli draw), "fault"
+        # (fault_filter returned no copies), "dead_late" (receiver died
+        # while the datagram was in flight).
+        self.on_drop: List[Callable[[Datagram, str], None]] = []
         # Optional fault-injection hook (see repro.faults.injector):
         # called per datagram with (dgram, reliable), returns one extra
         # delivery delay per copy to deliver — () drops the datagram,
@@ -165,16 +171,16 @@ class Network:
         departure = sender.link.reserve_uplink(self.sim.now, size)
         receiver = self._endpoints.get(dst)
         if receiver is None or not receiver.alive or not sender.alive:
-            self.datagrams_lost += 1
+            self._drop(dgram, "dead")
             return
         if not reliable and self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
-            self.datagrams_lost += 1
+            self._drop(dgram, "loss")
             return
         extra_delays: Tuple[float, ...] = (0.0,)
         if self.fault_filter is not None:
             extra_delays = self.fault_filter(dgram, reliable)
             if not extra_delays:
-                self.datagrams_lost += 1
+                self._drop(dgram, "fault")
                 return
         arrival = departure + self.latency.one_way(sender.vertex, receiver.vertex)
         for copy_index, extra in enumerate(extra_delays):
@@ -183,9 +189,15 @@ class Network:
             delivered_at = receiver.link.reserve_downlink(arrival + extra, size)
             self.sim.call_at(delivered_at, lambda: self._deliver(receiver, dgram))
 
+    def _drop(self, dgram: Datagram, reason: str) -> None:
+        """Account one lost datagram and notify drop observers."""
+        self.datagrams_lost += 1
+        for observer in self.on_drop:
+            observer(dgram, reason)
+
     def _deliver(self, receiver: Endpoint, dgram: Datagram) -> None:
         if not receiver.alive:
-            self.datagrams_lost += 1
+            self._drop(dgram, "dead_late")
             return
         self.datagrams_delivered += 1
         for observer in self.on_deliver:

@@ -1,0 +1,39 @@
+"""Observability: structured event tracing, timelines and profiling.
+
+The paper's evaluation is built from aggregate distributions, which is
+what :mod:`repro.sim.metrics` captures. Debugging *why* one node
+missed the 4 s sampling deadline needs the sequence instead: which
+queries went out in which Algorithm-1 round, which timed out, which
+peer was quarantined, which cell arrived via reconstruction. This
+package provides that layer:
+
+- :mod:`repro.obs.events` — ``TraceRecorder``, a ring-buffered,
+  zero-RNG structured event log fed by hooks in the transport, node,
+  fetcher, builder and fault injector;
+- :mod:`repro.obs.sinks` — pluggable sinks (in-memory, JSONL files,
+  Chrome ``trace_event`` JSON for about://tracing timelines);
+- :mod:`repro.obs.timeline` — per-node slot timelines and the
+  slowest-node "why did sampling take X ms" causal report;
+- :mod:`repro.obs.profiler` — opt-in ``Simulator`` instrumentation
+  attributing wall-clock time and event counts to callback sites.
+
+Tracing is strictly behavior-neutral: recorders never consume protocol
+RNG streams and never schedule simulator events, so
+``MetricsRecorder.fingerprint()`` is bit-identical with tracing on or
+off (enforced by tests/test_obs_trace.py).
+"""
+
+from repro.obs.events import KINDS, QUERY_TERMINAL_KINDS, TraceEvent, TraceRecorder
+from repro.obs.profiler import CallbackProfiler
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink
+
+__all__ = [
+    "KINDS",
+    "QUERY_TERMINAL_KINDS",
+    "TraceEvent",
+    "TraceRecorder",
+    "CallbackProfiler",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+]

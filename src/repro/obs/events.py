@@ -1,0 +1,184 @@
+"""Structured trace events and the ring-buffered recorder.
+
+A trace is an append-only sequence of :class:`TraceEvent` records —
+``(t, slot, node, kind, data)`` — emitted by hooks in the transport,
+node, fetcher, builder and fault injector. The recorder is pure
+observation: it never consumes an RNG stream, never schedules a
+simulator event and never mutates protocol state, which is what makes
+tracing behavior-neutral (the fingerprint-equality guarantee).
+
+Volume control is two-layered so tracing a 1,000-node run stays
+bounded:
+
+- **per-kind filtering**, fixed at construction: disabled kinds are
+  rejected before any event object is built (``enabled()`` lets hot
+  call sites skip argument marshalling entirely);
+- a **ring buffer** (``capacity`` events) for the in-memory tail;
+  streaming sinks (JSONL, Chrome) still see every accepted event, so a
+  file trace is complete even when the ring has evicted the start.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "KINDS",
+    "QUERY_TERMINAL_KINDS",
+    "RESERVED_FIELDS",
+    "TraceEvent",
+    "TraceRecorder",
+]
+
+
+# The documented event catalog (EXPERIMENTS.md "Observability"). The
+# recorder accepts unknown kinds — the catalog is a contract for
+# consumers (timeline, tests), not a straitjacket for emitters.
+KINDS: Mapping[str, str] = {
+    # transport (repro.net.transport observers)
+    "net_send": "datagram left a sender's NIC (src=node, dst, size, payload)",
+    "net_deliver": "datagram handed to the receiver (node=dst, src, size, payload)",
+    "net_drop": "datagram lost (reason: loss|dead|dead_late|fault)",
+    # fault injection (repro.faults.injector)
+    "fault": "injected fault realized (fault kind, victim where known)",
+    # builder (repro.core.builder)
+    "seed_slot": "builder finished pushing one slot's seed burst (messages, bytes)",
+    # node (repro.core.node)
+    "seed_recv": "first seed parcel with cells arrived at a node",
+    "cells_ingest": "cells stored (source: seed|response; new, reconstructed)",
+    "phase": "a phase completed (phase: seeding|consolidation|sampling; at)",
+    "defense": "validation layer dropped/limited something (defense kind, amount)",
+    # fetcher (repro.core.fetching) — the query lifecycle
+    "fetch_start": "Algorithm 1 started for one (node, slot)",
+    "fetch_round": "one fetching round planned (round, targets, queries, cells)",
+    "query_issue": "QUERYCELLS sent (req, peer, round, cells) — opens req",
+    "query_response": "reply accounted (req, peer, new, late, usable) — closes req",
+    "query_timeout": "round expired with no reply (req, peer, round) — closes req",
+    "query_cancel": "fetcher ended first (req, peer, round) — closes req",
+    "query_late_reply": "reply for an already-closed req (peer, new)",
+    "query_recycle": "exhausted pool re-opened peers (pool, count)",
+    "fetch_done": "Algorithm 1 finished (success, reason)",
+    # experiment layer
+    "sweep_point": "sweep moved to the next configuration (label)",
+}
+
+# A query opened by ``query_issue`` terminates in exactly one of these
+# (the lifecycle-completeness invariant checked by the test suite).
+QUERY_TERMINAL_KINDS = frozenset({"query_response", "query_timeout", "query_cancel"})
+
+# Top-level field names of the serialized (flat) event; payload keys
+# must not collide with them.
+RESERVED_FIELDS = ("t", "slot", "node", "kind")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``slot``/``node`` are ``-1`` when the event has no such context
+    (e.g. a datagram without a slot-carrying payload).
+    """
+
+    t: float
+    slot: int
+    node: int
+    kind: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict form used by every serializing sink."""
+        out: Dict[str, Any] = {
+            "t": self.t,
+            "slot": self.slot,
+            "node": self.node,
+            "kind": self.kind,
+        }
+        out.update(self.data)
+        return out
+
+
+class TraceRecorder:
+    """Ring-buffered, zero-RNG structured event log.
+
+    ``capacity`` bounds the in-memory tail (``None`` = unbounded);
+    ``kinds`` restricts recording to the given kind names (``None`` =
+    everything); ``sinks`` receive every accepted event in emission
+    order, before any eviction.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 1 << 20,
+        kinds: Optional[Iterable[str]] = None,
+        sinks: Iterable[Any] = (),
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._kinds: Optional[frozenset] = frozenset(kinds) if kinds is not None else None
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._sinks: List[Any] = list(sinks)
+        self._req_ids = itertools.count(1)
+        self.accepted = 0
+        self.filtered = 0
+        self.counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def enabled(self, kind: str) -> bool:
+        """True when events of ``kind`` would be recorded.
+
+        Hot call sites check this first so that disabled kinds cost one
+        set lookup, not a dict construction.
+        """
+        return self._kinds is None or kind in self._kinds
+
+    def emit(
+        self, kind: str, *, t: float, slot: int = -1, node: int = -1, **data: Any
+    ) -> Optional[TraceEvent]:
+        """Record one event; returns it, or None when filtered out."""
+        if not self.enabled(kind):
+            self.filtered += 1
+            return None
+        # payload keys cannot collide with RESERVED_FIELDS: those are
+        # named parameters, so Python rejects duplicates at the call
+        event = TraceEvent(t=t, slot=slot, node=node, kind=kind, data=data)
+        self._buffer.append(event)
+        self.accepted += 1
+        self.counts[kind] += 1
+        for sink in self._sinks:
+            sink.handle(event)
+        return event
+
+    def next_request_id(self) -> int:
+        """Monotonic id for the query lifecycle (deterministic, no RNG)."""
+        return next(self._req_ids)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The in-memory tail, oldest first."""
+        return list(self._buffer)
+
+    @property
+    def evicted(self) -> int:
+        """Accepted events no longer in the ring buffer."""
+        return self.accepted - len(self._buffer)
+
+    def add_sink(self, sink: Any) -> None:
+        self._sinks.append(sink)
+
+    def close(self) -> None:
+        """Flush and close every sink (idempotent per sink contract)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def kind_table(self) -> List[Tuple[str, int]]:
+        """(kind, count) rows, most frequent first, ties by name."""
+        return sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))

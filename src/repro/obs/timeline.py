@@ -1,0 +1,336 @@
+"""Timeline reconstruction: from a trace to "why was this node slow".
+
+Consumes either live :class:`~repro.obs.events.TraceEvent` objects or
+the flat dicts read back from a JSONL trace file — every helper
+normalizes through :func:`as_dict` so the CLI can analyze traces from
+disk exactly like in-memory ones.
+
+The centerpiece is :func:`causal_report`: for one ``(slot, node)`` it
+replays the query lifecycle (rounds attempted, peers queried, timeouts,
+late replies, reconstructions, defense actions) and answers the
+debugging question aggregate metrics cannot — *why did sampling take
+X ms on this node*.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.events import QUERY_TERMINAL_KINDS, TraceEvent
+
+__all__ = [
+    "as_dict",
+    "load_trace",
+    "build_timelines",
+    "QueryLifecycle",
+    "query_lifecycles",
+    "lifecycle_problems",
+    "phase_completions",
+    "slowest_nodes",
+    "causal_report",
+]
+
+EventLike = Union[TraceEvent, Mapping[str, Any]]
+
+
+def as_dict(event: EventLike) -> Mapping[str, Any]:
+    """Normalize a TraceEvent or an already-flat mapping to a mapping."""
+    if isinstance(event, TraceEvent):
+        return event.to_dict()
+    return event
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into flat event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def build_timelines(
+    events: Iterable[EventLike],
+) -> Dict[Tuple[int, int], List[Mapping[str, Any]]]:
+    """Group events into per-``(slot, node)`` timelines, time-ordered.
+
+    Events without slot/node context (``-1``) are grouped under their
+    ``-1`` key so global happenings (e.g. slot-less datagrams) stay
+    inspectable without polluting node timelines.
+    """
+    timelines: Dict[Tuple[int, int], List[Mapping[str, Any]]] = {}
+    for raw in events:
+        event = as_dict(raw)
+        key = (event.get("slot", -1), event.get("node", -1))
+        timelines.setdefault(key, []).append(event)
+    for timeline in timelines.values():
+        timeline.sort(key=lambda e: e["t"])
+    return timelines
+
+
+# ----------------------------------------------------------------------
+# query lifecycle
+# ----------------------------------------------------------------------
+@dataclass
+class QueryLifecycle:
+    """One request id from issue to termination."""
+
+    req: int
+    slot: int
+    node: int
+    peer: int
+    round: int
+    issued_at: float
+    closed_at: Optional[float] = None
+    outcome: Optional[str] = None  # response | timeout | cancel
+    new_cells: int = 0
+    late: bool = False
+    usable: bool = False
+    late_replies: int = 0
+
+    @property
+    def open(self) -> bool:
+        return self.outcome is None
+
+
+def query_lifecycles(events: Iterable[EventLike]) -> Dict[int, QueryLifecycle]:
+    """Reconstruct every query's lifecycle, keyed by request id."""
+    lifecycles: Dict[int, QueryLifecycle] = {}
+    for raw in events:
+        event = as_dict(raw)
+        kind = event["kind"]
+        req = event.get("req")
+        if kind == "query_issue" and req is not None:
+            lifecycles[req] = QueryLifecycle(
+                req=req,
+                slot=event.get("slot", -1),
+                node=event.get("node", -1),
+                peer=event.get("peer", -1),
+                round=event.get("round", 0),
+                issued_at=event["t"],
+            )
+        elif kind in QUERY_TERMINAL_KINDS and req is not None:
+            life = lifecycles.get(req)
+            if life is None or life.outcome is not None:
+                # unissued or double-closed: surfaced by lifecycle_problems
+                lifecycles.setdefault(
+                    -req, QueryLifecycle(req, -1, -1, -1, 0, event["t"], outcome="orphan")
+                )
+                continue
+            life.closed_at = event["t"]
+            life.outcome = kind[len("query_") :]
+            life.new_cells = event.get("new", 0)
+            life.late = bool(event.get("late", False))
+            life.usable = bool(event.get("usable", False))
+    return lifecycles
+
+
+def lifecycle_problems(events: Iterable[EventLike]) -> List[str]:
+    """Violations of the one-terminal-per-request invariant.
+
+    Every ``query_issue`` must be closed by exactly one of
+    ``query_response`` / ``query_timeout`` / ``query_cancel``; a
+    terminal without a matching open issue is equally a bug. Returns
+    human-readable problem strings (empty list = invariant holds).
+    """
+    problems: List[str] = []
+    open_reqs: Dict[int, Mapping[str, Any]] = {}
+    closed: Dict[int, str] = {}
+    for raw in events:
+        event = as_dict(raw)
+        kind = event["kind"]
+        req = event.get("req")
+        if kind == "query_issue":
+            if req is None:
+                problems.append(f"query_issue without req at t={event['t']}")
+            elif req in open_reqs or req in closed:
+                problems.append(f"req {req} issued twice")
+            else:
+                open_reqs[req] = event
+        elif kind in QUERY_TERMINAL_KINDS:
+            if req is None:
+                problems.append(f"{kind} without req at t={event['t']}")
+            elif req in closed:
+                problems.append(f"req {req} closed twice ({closed[req]} then {kind})")
+            elif req not in open_reqs:
+                problems.append(f"req {req} closed ({kind}) but never issued")
+            else:
+                del open_reqs[req]
+                closed[req] = kind
+    for req in open_reqs:
+        problems.append(f"req {req} issued but never closed")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# phase completion and ranking
+# ----------------------------------------------------------------------
+def phase_completions(
+    events: Iterable[EventLike],
+) -> Dict[Tuple[int, int], Dict[str, float]]:
+    """Per-``(slot, node)``: phase name -> completion time from slot start."""
+    out: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for raw in events:
+        event = as_dict(raw)
+        if event["kind"] != "phase":
+            continue
+        key = (event.get("slot", -1), event.get("node", -1))
+        out.setdefault(key, {})[event["phase"]] = event.get("at", event["t"])
+    return out
+
+
+def slowest_nodes(
+    events: Iterable[EventLike],
+    slot: int = 0,
+    phase: str = "sampling",
+    count: int = 3,
+) -> List[Tuple[int, Optional[float]]]:
+    """Nodes ranked slowest-first by ``phase`` completion in ``slot``.
+
+    Nodes that appear in the slot's trace but never completed the phase
+    rank slowest of all (completion ``None``). The node universe is
+    every node id seen in any event of the slot, so a node that only
+    ever *received* traffic still shows up as a miss. Builders — the
+    ids that emitted ``seed_slot`` — are excluded: they disseminate,
+    they don't sample.
+    """
+    materialized = [as_dict(e) for e in events]
+    completions = phase_completions(materialized)
+    builders = {
+        e.get("node", -1) for e in materialized if e["kind"] == "seed_slot"
+    }
+    nodes: set = set()
+    for event in materialized:
+        if (
+            event.get("slot", -1) == slot
+            and event.get("node", -1) >= 0
+            and event["node"] not in builders
+        ):
+            nodes.add(event["node"])
+    ranked: List[Tuple[int, Optional[float]]] = []
+    for node in nodes:
+        at = completions.get((slot, node), {}).get(phase)
+        ranked.append((node, at))
+    ranked.sort(key=lambda item: (-(math.inf if item[1] is None else item[1]), item[0]))
+    return ranked[:count]
+
+
+# ----------------------------------------------------------------------
+# the causal report
+# ----------------------------------------------------------------------
+def causal_report(
+    events: Iterable[EventLike], slot: int, node: int
+) -> List[str]:
+    """Why did this node's slot take as long as it did — as text lines.
+
+    Replays the node's timeline: seed arrival, every fetch round with
+    its query fates, reconstructions, defense actions and the phase
+    completions, ending with a one-line summary suitable for a
+    "slowest node" report.
+    """
+    mine = [
+        as_dict(e)
+        for e in events
+        if as_dict(e).get("slot", -1) == slot and as_dict(e).get("node", -1) == node
+    ]
+    mine.sort(key=lambda e: e["t"])
+    lives = [life for life in query_lifecycles(mine).values() if life.req > 0]
+
+    lines: List[str] = []
+    slot_start = None
+    for event in mine:
+        if event["kind"] in ("seed_recv", "phase", "fetch_start"):
+            slot_start = event["t"] - event.get("at", 0.0)
+            break
+
+    def rel(t: float) -> str:
+        if slot_start is None:
+            return f"t={t * 1e3:.0f}ms"
+        return f"{(t - slot_start) * 1e3:.0f}ms"
+
+    seed = next((e for e in mine if e["kind"] == "seed_recv"), None)
+    if seed is not None:
+        lines.append(f"seed: first parcel at {rel(seed['t'])}")
+    else:
+        lines.append("seed: never received (fallback fetch path)")
+
+    ingested = [e for e in mine if e["kind"] == "cells_ingest"]
+    seed_cells = sum(e.get("new", 0) for e in ingested if e.get("source") == "seed")
+    resp_cells = sum(e.get("new", 0) for e in ingested if e.get("source") == "response")
+    reconstructed = sum(e.get("reconstructed", 0) for e in ingested)
+    lines.append(
+        f"cells: {seed_cells} from seeding, {resp_cells} from peers, "
+        f"{reconstructed} by reconstruction"
+    )
+
+    by_round: Dict[int, List[QueryLifecycle]] = {}
+    for life in lives:
+        by_round.setdefault(life.round, []).append(life)
+    round_lines: List[str] = []
+    for event in mine:
+        if event["kind"] != "fetch_round":
+            continue
+        rnd = event.get("round", 0)
+        fates = by_round.get(rnd, [])
+        timeouts = sum(1 for f in fates if f.outcome == "timeout")
+        cancels = sum(1 for f in fates if f.outcome == "cancel")
+        answered = sum(1 for f in fates if f.outcome == "response")
+        late = sum(1 for f in fates if f.outcome == "response" and f.late)
+        round_lines.append(
+            f"round {rnd} at {rel(event['t'])}: targets={event.get('targets', 0)} "
+            f"queries={event.get('queries', 0)} answered={answered} ({late} late) "
+            f"timeouts={timeouts} cancelled={cancels}"
+        )
+    # a node that never finishes keeps probing a long tail of identical
+    # rounds — keep the report readable by eliding the middle
+    if len(round_lines) > 12:
+        elided = len(round_lines) - 10
+        round_lines = round_lines[:8] + [f"... {elided} more round(s) ..."] + round_lines[-2:]
+    lines.extend(round_lines)
+    recycle_totals: Dict[str, Tuple[int, int]] = {}
+    for event in mine:
+        if event["kind"] != "query_recycle":
+            continue
+        pool = event.get("pool", "?")
+        count, times = recycle_totals.get(pool, (0, 0))
+        recycle_totals[pool] = (count + event.get("count", 0), times + 1)
+    for pool, (count, times) in sorted(recycle_totals.items()):
+        lines.append(f"recycled {count} {pool} peer(s) over {times} event(s)")
+
+    defenses: Dict[str, float] = {}
+    for event in mine:
+        if event["kind"] == "defense":
+            name = event.get("defense", "?")
+            defenses[name] = defenses.get(name, 0.0) + event.get("amount", 1.0)
+    if defenses:
+        lines.append(
+            "defenses: "
+            + ", ".join(f"{k}={int(v)}" for k, v in sorted(defenses.items()))
+        )
+
+    completions = phase_completions(mine).get((slot, node), {})
+    for phase in ("consolidation", "sampling"):
+        at = completions.get(phase)
+        lines.append(
+            f"{phase}: {'never completed' if at is None else f'done at {at * 1e3:.0f}ms'}"
+        )
+
+    peers = {life.peer for life in lives}
+    timeouts = sum(1 for life in lives if life.outcome == "timeout")
+    late = sum(1 for life in lives if life.outcome == "response" and life.late)
+    sampling = completions.get("sampling")
+    head = (
+        f"sampling took {sampling * 1e3:.0f}ms"
+        if sampling is not None
+        else "sampling never completed"
+    )
+    lines.append(
+        f"why: {head} — {len(by_round)} round(s), {len(peers)} peer(s) queried, "
+        f"{timeouts} timeout(s), {late} late repl(ies), {reconstructed} cell(s) reconstructed"
+    )
+    return lines

@@ -68,6 +68,10 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        # opt-in profiling hook (repro.obs.profiler): when set, every
+        # executed callback is routed through profiler.run(callback).
+        # Wall-clock only — simulated time and event order are untouched.
+        self._profiler: Optional[object] = None
 
     # ------------------------------------------------------------------
     # clock
@@ -86,6 +90,22 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still in the heap (including cancelled)."""
         return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self) -> Optional[object]:
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional[object]) -> None:
+        """Attach (or detach, with None) a callback profiler.
+
+        The profiler must expose ``run(callback)`` that calls the
+        callback exactly once; see
+        :class:`repro.obs.profiler.CallbackProfiler`.
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # scheduling
@@ -121,7 +141,10 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
-            event.callback()
+            if self._profiler is None:
+                event.callback()
+            else:
+                self._profiler.run(event.callback)
             return True
         return False
 
@@ -151,7 +174,10 @@ class Simulator:
                 self._now = event.time
                 self._events_processed += 1
                 executed += 1
-                event.callback()
+                if self._profiler is None:
+                    event.callback()
+                else:
+                    self._profiler.run(event.callback)
         finally:
             self._running = False
         if until is not None and self._now < until:

@@ -9,39 +9,72 @@ layer turns them into CDFs, percentiles and the rows of Table 1.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from statistics import mean, pstdev
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["Counter2D", "MetricsRecorder", "PhaseTimes"]
 
 
 class Counter2D:
-    """A ``(slot, node) -> float`` accumulator with dict ergonomics."""
+    """A ``(slot, node) -> float`` accumulator with dict ergonomics.
+
+    Storage is a per-slot index (``slot -> node -> value``) so the
+    hot extraction paths — :meth:`per_node` and :meth:`values` for one
+    slot, called once per slot by every report — touch only that
+    slot's entries instead of scanning every (slot, node) pair of the
+    whole run.
+    """
 
     def __init__(self) -> None:
-        self._data: Dict[Tuple[Hashable, Hashable], float] = defaultdict(float)
+        self._per_slot: Dict[Hashable, Dict[Hashable, float]] = {}
+        self._size = 0
 
     def add(self, slot: Hashable, node: Hashable, amount: float = 1.0) -> None:
-        self._data[(slot, node)] += amount
+        nodes = self._per_slot.get(slot)
+        if nodes is None:
+            nodes = self._per_slot[slot] = {}
+        if node not in nodes:
+            nodes[node] = 0.0
+            self._size += 1
+        nodes[node] += amount
 
     def get(self, slot: Hashable, node: Hashable) -> float:
-        return self._data.get((slot, node), 0.0)
+        nodes = self._per_slot.get(slot)
+        if nodes is None:
+            return 0.0
+        return nodes.get(node, 0.0)
 
     def per_node(self, slot: Hashable) -> Dict[Hashable, float]:
         """All values for one slot, keyed by node."""
-        return {n: v for (s, n), v in self._data.items() if s == slot}
+        return dict(self._per_slot.get(slot, {}))
+
+    def items(self) -> Iterator[Tuple[Tuple[Hashable, Hashable], float]]:
+        """Iterate ``((slot, node), value)`` pairs, flat-dict style."""
+        for slot, nodes in self._per_slot.items():
+            for node, value in nodes.items():
+                yield (slot, node), value
 
     def values(self, slot: Optional[Hashable] = None) -> List[float]:
         if slot is None:
-            return list(self._data.values())
-        return [v for (s, _n), v in self._data.items() if s == slot]
+            return [v for nodes in self._per_slot.values() for v in nodes.values()]
+        return list(self._per_slot.get(slot, {}).values())
 
     def total(self, slot: Optional[Hashable] = None) -> float:
         return sum(self.values(slot))
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._size
+
+    @property
+    def _data(self) -> Dict[Tuple[Hashable, Hashable], float]:
+        """Flat ``(slot, node) -> value`` view (pre-index compatibility).
+
+        Read-only: mutations to the returned dict are not written back.
+        """
+        return dict(self.items())
 
 
 @dataclass
@@ -187,7 +220,7 @@ class MetricsRecorder:
         """
 
         def counter(c: Counter2D) -> Tuple:
-            return tuple(sorted(c._data.items()))
+            return tuple(sorted(c.items()))
 
         return (
             tuple(
@@ -217,14 +250,28 @@ class MetricsRecorder:
 
     def fingerprint(self) -> str:
         """SHA-256 digest of :meth:`snapshot` for bit-identity checks."""
-        import hashlib
-
         return hashlib.sha256(repr(self.snapshot()).encode()).hexdigest()
+
+    def summary(self) -> Dict[str, object]:
+        """Flat run totals for machine-readable reports (``--json``)."""
+        slots = sorted({slot for (slot, _node) in self.phase_times})
+        return {
+            "slots": slots,
+            "nodes_tracked": len({node for (_slot, node) in self.phase_times}),
+            "messages_sent": self.messages_sent.total(),
+            "messages_received": self.messages_received.total(),
+            "bytes_sent": self.bytes_sent.total(),
+            "bytes_received": self.bytes_received.total(),
+            "fetch_messages": self.fetch_messages.total(),
+            "fetch_bytes": self.fetch_bytes.total(),
+            "builder_messages": sum(self.builder_messages_sent.values()),
+            "builder_bytes": sum(self.builder_bytes_sent.values()),
+            "faults": dict(sorted(self.fault_counts.items())),
+            "defenses": dict(sorted(self.defense_counts.items())),
+        }
 
     def round_table(self, max_round: int = 4) -> Dict[int, Dict[str, Tuple[float, float]]]:
         """Aggregate round telemetry into Table-1-style (mean, std) rows."""
-        from statistics import mean, pstdev
-
         per_round: Dict[int, Dict[str, List[float]]] = defaultdict(lambda: defaultdict(list))
         for (_slot, _node, rnd), stats in self.round_stats.items():
             if rnd > max_round:

@@ -86,3 +86,92 @@ def test_unknown_figure_rejected():
 def test_invalid_policy_rejected():
     with pytest.raises(ValueError):
         main(["slot", "--nodes", "10", "--reduced", "16", "--policy", "bogus"])
+
+
+def test_slot_json_output(capsys):
+    import json
+
+    code = main(["slot", "--nodes", "40", "--reduced", "16", "--seed", "3", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["nodes"] == 40
+    assert "sampling" in payload["phases"]
+    assert payload["phases"]["sampling"]["count"] == 40
+    assert payload["messages_sent"] > 0
+    assert code in (0, 1)
+
+
+def test_slot_trace_rider_writes_jsonl(tmp_path, capsys):
+    from repro.obs.timeline import lifecycle_problems, load_trace
+
+    path = str(tmp_path / "slot.jsonl")
+    main(["slot", "--nodes", "40", "--reduced", "16", "--seed", "3", "--trace", path])
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    events = load_trace(path)
+    assert events
+    assert lifecycle_problems(events) == []
+
+
+def test_slot_profile_rider(capsys):
+    main(["slot", "--nodes", "40", "--reduced", "16", "--seed", "3", "--profile"])
+    out = capsys.readouterr().out
+    assert "callback site" in out
+    assert "events/sec" in out
+
+
+def test_trace_command_end_to_end(tmp_path, capsys):
+    import json
+
+    from repro.obs.timeline import lifecycle_problems, load_trace
+
+    jsonl = str(tmp_path / "trace.jsonl")
+    chrome = str(tmp_path / "trace.json")
+    code = main(
+        [
+            "trace",
+            "--nodes", "40",
+            "--reduced", "16",
+            "--seed", "3",
+            "--out", jsonl,
+            "--chrome", chrome,
+            "--report",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "lifecycle      OK" in out
+    assert "causal timeline" in out
+    assert "why:" in out
+    events = load_trace(jsonl)
+    assert lifecycle_problems(events) == []
+    document = json.load(open(chrome))
+    assert document["traceEvents"]
+
+
+def test_trace_command_kind_filter(tmp_path, capsys):
+    from repro.obs.timeline import load_trace
+
+    path = str(tmp_path / "queries.jsonl")
+    main(
+        [
+            "trace",
+            "--nodes", "40",
+            "--reduced", "16",
+            "--seed", "3",
+            "--kinds", "query_issue,query_response,query_timeout,query_cancel",
+            "--out", path,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "filtered" in out
+    kinds = {e["kind"] for e in load_trace(path)}
+    assert "query_issue" in kinds
+    assert "net_send" not in kinds
+
+
+def test_profile_command(capsys):
+    code = main(["profile", "--nodes", "40", "--reduced", "16", "--seed", "3", "--top", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "callback site" in out
+    assert "events/sec" in out
