@@ -23,7 +23,6 @@ FAIL shape checks for exactly those.
 from __future__ import annotations
 
 import os
-from typing import List
 
 from repro.params import PandasParams
 
@@ -49,7 +48,7 @@ def bench_seed(default: int = 7) -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", default))
 
 
-def bench_scales(default: str = "250,400") -> List[int]:
+def bench_scales(default: str = "250,400") -> list[int]:
     raw = os.environ.get("REPRO_BENCH_SCALES", default)
     return [int(part) for part in raw.split(",") if part.strip()]
 

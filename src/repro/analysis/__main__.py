@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` runs reprolint (see reprolint/cli.py)."""
+
+from repro.analysis.reprolint.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,7 @@ steps, tails, crossovers between series — is visible directly in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.analysis.stats import Distribution
 
@@ -18,11 +18,11 @@ _MARKERS = "*o+x#@%&"
 
 
 def ascii_cdf(
-    series: Dict[str, Distribution],
+    series: dict[str, Distribution],
     width: int = 64,
     height: int = 16,
-    x_max: Optional[float] = None,
-    deadline: Optional[float] = None,
+    x_max: float | None = None,
+    deadline: float | None = None,
     x_label: str = "seconds",
 ) -> str:
     """Render one or more CDFs on a shared text canvas.
@@ -71,7 +71,7 @@ def ascii_cdf(
             row = height - 1 - min(height - 1, int(fraction * (height - 1) + 1e-9))
             canvas[row][col] = marker
 
-    lines: List[str] = []
+    lines: list[str] = []
     for row in range(height):
         fraction = 1.0 - row / (height - 1)
         prefix = f"{fraction:4.2f} " if row % 3 == 0 or row == height - 1 else "     "
@@ -92,7 +92,7 @@ def ascii_cdf(
 
 
 def ascii_bars(
-    rows: Sequence[Tuple[str, float]],
+    rows: Sequence[tuple[str, float]],
     width: int = 50,
     unit: str = "",
 ) -> str:

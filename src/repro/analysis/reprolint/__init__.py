@@ -1,0 +1,47 @@
+"""reprolint: the repository's determinism/protocol static-analysis pass.
+
+Library API::
+
+    from repro.analysis.reprolint import Linter, LintConfig
+
+    findings = Linter().lint_paths([Path("src")])
+    gating = [f for f in findings if not f.suppressed]
+
+Command line::
+
+    python -m repro.analysis src/          # lint the tree
+    python -m repro.analysis --list-rules  # the RL001-RL006 catalog
+    python -m repro lint src/              # same, via the main CLI
+
+Rule catalog and the determinism contract it enforces: tests/README.md.
+"""
+
+from repro.analysis.reprolint.engine import (
+    Finding,
+    LintConfig,
+    Linter,
+    Pragma,
+    Rule,
+    RuleContext,
+    parse_pragmas,
+    register,
+    registered_rules,
+)
+from repro.analysis.reprolint.report import active, render_human, render_json
+from repro.analysis.reprolint.rules import load_trace_catalog
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Linter",
+    "Pragma",
+    "Rule",
+    "RuleContext",
+    "active",
+    "load_trace_catalog",
+    "parse_pragmas",
+    "register",
+    "registered_rules",
+    "render_human",
+    "render_json",
+]

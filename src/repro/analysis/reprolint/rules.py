@@ -1,0 +1,487 @@
+"""The built-in reprolint rule catalog (RL001-RL006).
+
+Each rule encodes one clause of this repo's determinism/protocol
+contract (tests/README.md "The determinism contract"):
+
+========  ==============================================================
+RL001     all randomness flows through ``RngRegistry`` streams
+RL002     no wall clock inside simulation logic
+RL003     no hash-ordered iteration feeding RNG draws or sends
+RL004     every trace event kind is in the ``obs/events.py`` catalog
+RL005     no float equality on simulated-time values
+RL006     no silently swallowed exceptions in sim code
+========  ==============================================================
+
+Rules are registered via :func:`repro.analysis.reprolint.engine.register`
+and instantiated fresh per :class:`Linter`, so per-file state on the
+rule instance is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.reprolint.engine import (
+    Rule,
+    RuleContext,
+    dotted_name,
+    register,
+)
+from repro.analysis.reprolint.settypes import ExprKind, SetTypeInferencer
+
+__all__ = [
+    "GlobalRandomState",
+    "WallClock",
+    "UnorderedIteration",
+    "UnknownTraceKind",
+    "FloatTimeEquality",
+    "SwallowedException",
+    "load_trace_catalog",
+]
+
+
+def _outermost_attribute(node: ast.AST, ctx: RuleContext) -> bool:
+    """True when ``node`` is not itself part of a longer dotted chain.
+
+    ``numpy.random.seed`` is one violation, not three: only the full
+    chain reports; inner Attribute/Name links are skipped.
+    """
+    parent = ctx.parent(node)
+    return not (isinstance(parent, ast.Attribute) and parent.value is node)
+
+
+# ----------------------------------------------------------------------
+# RL001
+# ----------------------------------------------------------------------
+@register
+class GlobalRandomState(Rule):
+    """Module-level RNG state outside the registry.
+
+    ``random.random()`` / ``random.seed()`` / ``numpy.random.*`` share
+    interpreter-global state: one stray draw re-aligns every subsequent
+    draw in the process and silently breaks seeded replay. Only
+    ``sim/rng.py`` (allowlisted) may touch the ``random`` module to
+    build its independent streams; everything else receives a
+    ``random.Random`` from ``RngRegistry.stream(...)``.
+    """
+
+    code = "RL001"
+    name = "global-random-state"
+    rationale = (
+        "global random module state breaks seeded replay; draw from an "
+        "RngRegistry stream instead"
+    )
+    node_types = (ast.Attribute, ast.Name)
+
+    # referencing the classes is fine: instantiating random.Random(seed)
+    # is exactly how the registry builds its streams
+    _ALLOWED = {"random.Random", "random.SystemRandom"}
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        if not _outermost_attribute(node, ctx):
+            return
+        if isinstance(node, ast.Name):
+            resolved = ctx.imports.resolve(node)
+            if resolved == node.id:
+                return  # not an alias; bare names carry no module state
+        else:
+            resolved = ctx.imports.resolve(node)
+        if resolved is None or resolved in self._ALLOWED:
+            return
+        if resolved.startswith("random.") or resolved.startswith("numpy.random"):
+            ctx.report(
+                self,
+                node,
+                f"global RNG state `{resolved}` used outside sim/rng.py; "
+                "draw from an RngRegistry stream instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# RL002
+# ----------------------------------------------------------------------
+@register
+class WallClock(Rule):
+    """Wall-clock reads reachable from simulation logic.
+
+    Simulated time is ``sim.now``; real time differs across hosts and
+    runs, so any wall-clock value that feeds protocol state or metrics
+    destroys bit-identical replay. The profiler (allowlisted) is the
+    one legitimate consumer — it only *observes* callback cost and is
+    pinned behavior-neutral by the fingerprint-equality tests.
+    """
+
+    code = "RL002"
+    name = "wall-clock"
+    rationale = "wall-clock time varies across runs; use sim.now"
+    node_types = (ast.Attribute, ast.Name)
+
+    _FORBIDDEN = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        if not _outermost_attribute(node, ctx):
+            return
+        if isinstance(node, ast.Name):
+            resolved = ctx.imports.resolve(node)
+            if resolved == node.id:
+                return
+        else:
+            resolved = ctx.imports.resolve(node)
+        if resolved in self._FORBIDDEN:
+            ctx.report(
+                self,
+                node,
+                f"wall-clock `{resolved}` in simulation code; simulated "
+                "time must come from sim.now (profiling belongs in obs/profiler.py)",
+            )
+
+
+# ----------------------------------------------------------------------
+# RL003
+# ----------------------------------------------------------------------
+_RNG_METHODS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gauss",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "shuffle",
+    "triangular",
+    "uniform",
+}
+_EMIT_NAMES = {
+    "broadcast",
+    "call_after",
+    "call_at",
+    "emit",
+    "enqueue",
+    "publish",
+    "push",
+    "_push",
+    "schedule",
+    "send",
+    "send_query",
+    "send_to",
+    "trace",
+    "_trace",
+}
+
+
+@register
+class UnorderedIteration(Rule):
+    """Hash-ordered iteration feeding an RNG draw, peer choice or send.
+
+    ``set`` iteration order depends on hash seeding and insertion
+    history — an implementation detail, not part of the program's
+    meaning. When loop order decides *which peer is drawn next* or *in
+    what order messages leave a node*, that detail becomes protocol
+    behaviour: a refactor that changes insertion order silently changes
+    every downstream RNG draw. Dict views are insertion-ordered (hence
+    deterministic per run) but still flagged when they feed an RNG
+    draw, because consumption order re-aligns the stream across
+    otherwise-equivalent code paths. Fix: iterate ``sorted(...)`` or an
+    explicitly ordered list.
+    """
+
+    code = "RL003"
+    name = "unordered-iteration"
+    rationale = (
+        "set/dict-view order is incidental; sorting makes the order part "
+        "of the program text"
+    )
+    node_types = (ast.For, ast.Call)
+
+    def start_file(self, ctx: RuleContext) -> None:
+        self._types = SetTypeInferencer(ctx.tree)
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        if isinstance(node, ast.For):
+            self._visit_for(node, ctx)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node, ctx)
+
+    # -- for loops ------------------------------------------------------
+    def _visit_for(self, node: ast.For, ctx: RuleContext) -> None:
+        kind = self._types.kind(node.iter)
+        if kind not in (ExprKind.SET, ExprKind.DICT_VIEW):
+            return
+        sink = self._body_sink(node.body)
+        if sink is None:
+            return
+        if kind is ExprKind.DICT_VIEW and sink not in _RNG_METHODS:
+            # dict views are insertion-ordered; only RNG consumption
+            # order makes them a replay hazard
+            return
+        what = "a set" if kind is ExprKind.SET else "an unsorted dict view"
+        ctx.report(
+            self,
+            node,
+            f"iterating {what} while calling `{sink}(...)` makes "
+            "hash/insertion order protocol behaviour; iterate sorted(...) "
+            "or an explicitly ordered sequence",
+        )
+
+    def _body_sink(self, body) -> str | None:
+        """Name of the first RNG/emission call inside the loop body."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                name = None
+                if isinstance(func, ast.Attribute):
+                    name = func.attr
+                elif isinstance(func, ast.Name):
+                    name = func.id
+                if name in _RNG_METHODS or name in _EMIT_NAMES:
+                    return name
+        return None
+
+    # -- rng calls over set-typed arguments -----------------------------
+    def _visit_call(self, node: ast.Call, ctx: RuleContext) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _RNG_METHODS):
+            return
+        for arg in node.args:
+            candidate = arg
+            # list(s)/tuple(s) preserve the underlying set order;
+            # sorted(s) launders it into a defined order
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id in {"list", "tuple"}
+                and arg.args
+            ):
+                candidate = arg.args[0]
+            if self._types.kind(candidate) is ExprKind.SET:
+                ctx.report(
+                    self,
+                    node,
+                    f"`{func.attr}(...)` consumes a set-ordered sequence; "
+                    "RNG draws over hash order are not reproducible — "
+                    "sort first (e.g. rng.choice(sorted(s)))",
+                )
+                return
+
+
+# ----------------------------------------------------------------------
+# RL004
+# ----------------------------------------------------------------------
+def load_trace_catalog(path: Path | None = None) -> frozenset[str]:
+    """The trace-kind catalog: ``KINDS`` keys from ``obs/events.py``.
+
+    With ``path``, the catalog is recovered statically from that file's
+    AST (no import — usable on a checkout with a broken environment);
+    otherwise it is imported from the live package.
+    """
+    if path is None:
+        from repro.obs.events import KINDS
+
+        return frozenset(KINDS)
+    tree = ast.parse(Path(path).read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if "KINDS" in names and isinstance(node.value, ast.Dict):
+            return frozenset(
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    raise ValueError(f"no KINDS dict literal found in {path}")
+
+
+@register
+class UnknownTraceKind(Rule):
+    """Trace emission with a kind missing from the catalog.
+
+    The ``obs/events.py`` ``KINDS`` mapping is the contract between
+    emitters and consumers (timeline analysis, lifecycle tests, CI
+    schema checks). The recorder deliberately accepts unknown kinds at
+    runtime, so a typo'd kind produces no error — just events that
+    every consumer silently ignores. This rule closes that gap at lint
+    time: any literal first argument to ``.emit(...)`` / ``.trace(...)``
+    / ``._trace(...)`` must be cataloged.
+    """
+
+    code = "RL004"
+    name = "unknown-trace-kind"
+    rationale = "uncataloged event kinds are invisible to every trace consumer"
+    node_types = (ast.Call,)
+
+    _EMITTERS = {"emit", "trace", "_trace"}
+
+    def __init__(self) -> None:
+        self._catalog: frozenset[str] | None = None
+
+    def start_file(self, ctx: RuleContext) -> None:
+        if self._catalog is None:
+            catalog = load_trace_catalog(ctx.config.trace_catalog_path)
+            self._catalog = catalog | frozenset(ctx.config.extra_trace_kinds)
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in self._EMITTERS or not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return
+        kind = first.value
+        assert self._catalog is not None
+        if kind not in self._catalog:
+            ctx.report(
+                self,
+                node,
+                f"trace kind '{kind}' is not in the obs/events.py KINDS "
+                "catalog; add it there (with a docstring) or fix the typo",
+            )
+
+
+# ----------------------------------------------------------------------
+# RL005
+# ----------------------------------------------------------------------
+@register
+class FloatTimeEquality(Rule):
+    """``==`` / ``!=`` between simulated-time floats.
+
+    Simulated timestamps are sums of float delays; two paths to "the
+    same" instant can differ in the last ulp, so equality comparisons
+    encode an accident of float arithmetic (the round-deadline timeout
+    bug fixed in PR 2 was exactly this, written as a strict ``>`` that
+    should have been ``>=``). Order comparisons are fine; equality on
+    times is flagged. Identifiers are matched heuristically (``now``,
+    ``t``, ``deadline``, ``*_at``, ``*_time`` …) — suppress with a
+    justified pragma where an exact sentinel is intended.
+    """
+
+    code = "RL005"
+    name = "float-time-equality"
+    rationale = "float time equality is an accident of arithmetic, not a condition"
+    node_types = (ast.Compare,)
+
+    _TIME_TERMINALS = {"t", "now", "time", "deadline", "when", "at"}
+    _TIME_SUFFIXES = ("_time", "_at", "_deadline", "_until")
+
+    def _timeish(self, node: ast.AST) -> str | None:
+        name = dotted_name(node)
+        if name is None:
+            return None
+        terminal = name.rsplit(".", 1)[-1]
+        if terminal in self._TIME_TERMINALS or terminal.endswith(self._TIME_SUFFIXES):
+            return name
+        return None
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:], strict=False):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            subject = self._timeish(left) or self._timeish(right)
+            if subject is None:
+                continue
+            other = right if self._timeish(left) else left
+            if isinstance(other, ast.UnaryOp) and isinstance(
+                other.op, (ast.USub, ast.UAdd)
+            ):
+                other = other.operand  # -1 parses as USub(Constant(1))
+            if isinstance(other, ast.Constant) and not isinstance(other.value, float):
+                continue  # int/None/str sentinels are exact, not float math
+            ctx.report(
+                self,
+                node,
+                f"float equality on simulated time `{subject}`; compare "
+                "with <=/>= (or an explicit tolerance) instead",
+            )
+            return
+
+
+# ----------------------------------------------------------------------
+# RL006
+# ----------------------------------------------------------------------
+@register
+class SwallowedException(Rule):
+    """``except: pass`` in simulation code.
+
+    A swallowed exception inside an event callback turns a hard bug
+    into a silent divergence: the run completes, the fingerprint
+    changes, and nothing points at the handler that ate the traceback.
+    The fault-injection subsystem exists to model failures *explicitly*
+    (``faults/``); broad except-and-ignore is never the mechanism.
+    """
+
+    code = "RL006"
+    name = "swallowed-exception"
+    rationale = "silently dropped exceptions turn bugs into unexplained divergence"
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        )
+        return any(
+            isinstance(t, ast.Name) and t.id in self._BROAD for t in types
+        )
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        if not self._is_broad(node):
+            return
+        body_is_noop = all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        )
+        if body_is_noop:
+            ctx.report(
+                self,
+                node,
+                "broad exception silently swallowed; narrow the type, "
+                "handle it, or let it propagate (fault modelling belongs "
+                "in repro.faults)",
+            )
+
+
+def all_rule_codes() -> tuple[str, ...]:
+    """Codes of every built-in rule, sorted."""
+    from repro.analysis.reprolint.engine import registered_rules
+
+    return tuple(sorted(registered_rules()))

@@ -1,0 +1,190 @@
+"""Lightweight set-typed-expression inference for RL003.
+
+RL003 must answer "does this ``for`` loop iterate a ``set`` (hash
+order) or a dict view?" — but the iterable is rarely a literal; it is
+``self._mesh.get(key, ())`` or a parameter annotated ``Set[int]``. A
+full type checker is out of scope, so this module infers just enough:
+
+- **annotations** — ``self.queried: Set[int]`` in ``__init__``,
+  class-level ``targets: set[int]``, function parameters and return
+  annotations contribute a name -> kind map (keyed by the *terminal*
+  identifier: ``self.queried`` and ``queried`` share an entry, a
+  deliberate file-local approximation);
+- **construction** — set literals/comprehensions, ``set()`` /
+  ``frozenset()`` calls, and set operators (``&``, ``|``, ``-``,
+  ``^``) and methods (``intersection`` …) over set-typed operands;
+- **containers** — ``Dict[K, Set[V]]`` annotations make ``d[k]`` and
+  ``d.get(k, …)`` set-typed, and ``d.keys()/.values()/.items()``
+  dict views;
+- **local flow** — ``x = <set-typed expr>`` marks ``x`` for the rest
+  of the file (single forward pass, no reassignment tracking).
+
+The inference is deliberately conservative in what it *claims* (kinds
+it cannot prove are UNKNOWN, producing no finding) and approximate in
+scoping; the fixture suite pins both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from enum import Enum
+
+__all__ = ["ExprKind", "SetTypeInferencer"]
+
+
+class ExprKind(Enum):
+    UNKNOWN = "unknown"
+    SET = "set"
+    DICT = "dict"
+    DICT_OF_SET = "dict_of_set"
+    DICT_VIEW = "dict_view"
+    ORDERED = "ordered"  # lists, tuples, sorted() results
+
+
+_SET_NAMES = {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+_DICT_NAMES = {
+    "dict",
+    "Dict",
+    "defaultdict",
+    "DefaultDict",
+    "Mapping",
+    "MutableMapping",
+    "OrderedDict",
+    "Counter",
+}
+_SET_RETURNING_METHODS = {
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+_VIEW_METHODS = {"keys", "values", "items"}
+_ORDERING_CALLS = {"sorted", "list", "tuple"}
+
+
+def _annotation_kind(node: ast.AST | None) -> ExprKind:
+    """Kind named by a type annotation expression."""
+    if node is None:
+        return ExprKind.UNKNOWN
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return ExprKind.UNKNOWN
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # Optional via PEP 604: X | None -> kind of X
+        left = _annotation_kind(node.left)
+        return left if left is not ExprKind.UNKNOWN else _annotation_kind(node.right)
+    if isinstance(node, ast.Subscript):
+        base = _terminal_name(node.value)
+        if base == "Optional":
+            return _annotation_kind(node.slice)
+        if base in _SET_NAMES:
+            return ExprKind.SET
+        if base in _DICT_NAMES:
+            args = node.slice
+            if isinstance(args, ast.Tuple) and len(args.elts) == 2:
+                if _annotation_kind(args.elts[1]) is ExprKind.SET:
+                    return ExprKind.DICT_OF_SET
+            return ExprKind.DICT
+        return ExprKind.UNKNOWN
+    base = _terminal_name(node)
+    if base in _SET_NAMES:
+        return ExprKind.SET
+    if base in _DICT_NAMES:
+        return ExprKind.DICT
+    return ExprKind.UNKNOWN
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class SetTypeInferencer:
+    """File-scoped set/dict kind lookup (see module docstring)."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._names: dict[str, ExprKind] = {}
+        self._collect_annotations(tree)
+        self._collect_assignments(tree)
+
+    # -- gathering ------------------------------------------------------
+    def _note(self, name: str | None, kind: ExprKind) -> None:
+        if name and kind is not ExprKind.UNKNOWN:
+            # first annotation wins: ctor annotations are the contract
+            self._names.setdefault(name, kind)
+
+    def _collect_annotations(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                self._note(_terminal_name(node.target), _annotation_kind(node.annotation))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                    self._note(arg.arg, _annotation_kind(arg.annotation))
+
+    def _collect_assignments(self, tree: ast.AST) -> None:
+        # one forward pass: later reads see kinds of earlier assignments
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                kind = self.kind(node.value)
+                self._note(_terminal_name(node.targets[0]), kind)
+
+    # -- queries --------------------------------------------------------
+    def kind(self, node: ast.AST) -> ExprKind:
+        """Best-effort kind of an arbitrary expression."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return ExprKind.SET
+        if isinstance(node, ast.DictComp):
+            return ExprKind.DICT
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = _terminal_name(node)
+            return self._names.get(name or "", ExprKind.UNKNOWN)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            if ExprKind.SET in (self.kind(node.left), self.kind(node.right)):
+                return ExprKind.SET
+            return ExprKind.UNKNOWN
+        if isinstance(node, ast.Subscript):
+            if self.kind(node.value) is ExprKind.DICT_OF_SET:
+                return ExprKind.SET
+            return ExprKind.UNKNOWN
+        if isinstance(node, ast.IfExp):
+            body = self.kind(node.body)
+            return body if body is not ExprKind.UNKNOWN else self.kind(node.orelse)
+        if isinstance(node, ast.Call):
+            return self._call_kind(node)
+        return ExprKind.UNKNOWN
+
+    def _call_kind(self, node: ast.Call) -> ExprKind:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in {"set", "frozenset"}:
+                return ExprKind.SET
+            if func.id in _ORDERING_CALLS:
+                return ExprKind.ORDERED
+            if func.id == "dict":
+                return ExprKind.DICT
+            return ExprKind.UNKNOWN
+        if isinstance(func, ast.Attribute):
+            receiver = self.kind(func.value)
+            if func.attr in _VIEW_METHODS and receiver in (
+                ExprKind.DICT,
+                ExprKind.DICT_OF_SET,
+            ):
+                if func.attr == "values" and receiver is ExprKind.DICT_OF_SET:
+                    return ExprKind.DICT_VIEW  # view of sets, still a view
+                return ExprKind.DICT_VIEW
+            if func.attr == "get" and receiver is ExprKind.DICT_OF_SET:
+                return ExprKind.SET
+            if func.attr == "setdefault" and receiver is ExprKind.DICT_OF_SET:
+                return ExprKind.SET
+            if func.attr in _SET_RETURNING_METHODS and receiver is ExprKind.SET:
+                return ExprKind.SET
+        return ExprKind.UNKNOWN

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 __all__ = ["percentile", "Distribution", "summarize"]
 
@@ -37,12 +37,12 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 class Distribution:
     """A sample of completion values, possibly with misses (None)."""
 
-    values: List[float]
+    values: list[float]
     misses: int = 0
 
     @staticmethod
-    def from_optional(samples: Iterable[Optional[float]]) -> "Distribution":
-        values: List[float] = []
+    def from_optional(samples: Iterable[float | None]) -> Distribution:
+        values: list[float] = []
         misses = 0
         for sample in samples:
             if sample is None:
@@ -96,7 +96,7 @@ class Distribution:
         within = sum(1 for value in self.values if value <= deadline)
         return within / self.count
 
-    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+    def cdf(self, points: int = 100) -> list[tuple[float, float]]:
         """(time, cumulative fraction of population) pairs for plotting."""
         if not self.values:
             return []

@@ -15,7 +15,7 @@ exactly what makes this baseline slow and chatty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Set
+from collections.abc import Callable
 
 from repro.dht.enr import EnrDirectory
 from repro.dht.kademlia import KademliaNode, LookupResult
@@ -50,8 +50,8 @@ class _SamplerState:
     """One node's sampling progress for one slot."""
 
     slot: int
-    wanted_parcels: Set[int] = field(default_factory=set)
-    fetched_parcels: Set[int] = field(default_factory=set)
+    wanted_parcels: set[int] = field(default_factory=set)
+    fetched_parcels: set[int] = field(default_factory=set)
     done: bool = False
 
 
@@ -62,7 +62,7 @@ class DhtDasScenario(BaseScenario):
         self.directory = EnrDirectory()
         for address in [*self.node_ids, self.builder_id]:
             self.directory.register(address)
-        self.dht_nodes: Dict[int, KademliaNode] = {}
+        self.dht_nodes: dict[int, KademliaNode] = {}
         for address in [*self.node_ids, self.builder_id]:
             node = KademliaNode(
                 self.sim,
@@ -73,7 +73,7 @@ class DhtDasScenario(BaseScenario):
             )
             node.bootstrap_from_directory()
             self.dht_nodes[address] = node
-        self._samplers: Dict[int, Dict[int, _SamplerState]] = {
+        self._samplers: dict[int, dict[int, _SamplerState]] = {
             node_id: {} for node_id in self.node_ids
         }
 

@@ -16,7 +16,7 @@ custodians.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Set, Tuple
+from collections.abc import Callable
 
 from repro.core.assignment import Custody, cells_of_line
 from repro.core.custody import SlotCellState
@@ -59,7 +59,7 @@ class UnitAssignment:
 @dataclass
 class _PendingRequest:
     src: int
-    cells: FrozenSet[int]
+    cells: frozenset[int]
     missing: int
 
 
@@ -67,7 +67,7 @@ class _PendingRequest:
 class _GossipSlotState:
     cells: SlotCellState
     fetcher: AdaptiveFetcher
-    waiting_by_cell: Dict[int, List[_PendingRequest]] = field(default_factory=dict)
+    waiting_by_cell: dict[int, list[_PendingRequest]] = field(default_factory=dict)
     started: bool = False
     consolidation_marked: bool = False
     sampling_marked: bool = False
@@ -76,10 +76,10 @@ class _GossipSlotState:
 class GossipDasNode:
     """A baseline node: custody via channel gossip, sampling via fetcher."""
 
-    def __init__(self, scenario: "GossipDasScenario", node_id: int) -> None:
+    def __init__(self, scenario: GossipDasScenario, node_id: int) -> None:
         self.scenario = scenario
         self.node_id = node_id
-        self._slots: Dict[int, _GossipSlotState] = {}
+        self._slots: dict[int, _GossipSlotState] = {}
 
     # ------------------------------------------------------------------
     def _slot_state(self, slot: int) -> _GossipSlotState:
@@ -126,7 +126,7 @@ class GossipDasNode:
         elif isinstance(payload, CellResponse):
             self._on_response(dgram.src, payload)
 
-    def on_channel_cells(self, slot: int, cells: Tuple[int, ...]) -> None:
+    def on_channel_cells(self, slot: int, cells: tuple[int, ...]) -> None:
         """Cells delivered by the unit channel's gossip."""
         state = self._slot_state(slot)
         ctx = self.scenario.ctx
@@ -166,12 +166,12 @@ class GossipDasNode:
         self._after_cells_changed(msg.slot, state)
 
     # ------------------------------------------------------------------
-    def _send_query(self, slot: int, peer: int, cells: FrozenSet[int]) -> None:
+    def _send_query(self, slot: int, peer: int, cells: frozenset[int]) -> None:
         ctx = self.scenario.ctx
         request = CellRequest(slot=slot, epoch=ctx.epoch_of(slot), cells=cells)
         ctx.network.send(self.node_id, peer, request, request.wire_size(ctx.params))
 
-    def _respond(self, slot: int, dst: int, cells: Tuple[int, ...]) -> None:
+    def _respond(self, slot: int, dst: int, cells: tuple[int, ...]) -> None:
         ctx = self.scenario.ctx
         response = CellResponse(slot=slot, epoch=ctx.epoch_of(slot), cells=cells)
         ctx.network.send(self.node_id, dst, response, response.wire_size(ctx.params))
@@ -200,10 +200,10 @@ class GossipDasScenario(BaseScenario):
         epoch_seed = self.assignment.beacon.epoch_seed(0)
         self.unit_assignment = UnitAssignment(self.params, epoch_seed)
         self.overlay = GossipOverlay(self.network, self.rngs.stream("gossip-mesh"))
-        self.nodes: Dict[int, GossipDasNode] = {
+        self.nodes: dict[int, GossipDasNode] = {
             node_id: GossipDasNode(self, node_id) for node_id in self.node_ids
         }
-        self._unit_members: Dict[int, List[int]] = {
+        self._unit_members: dict[int, list[int]] = {
             unit: [] for unit in range(self.unit_assignment.num_units)
         }
         for node_id in self.node_ids:
@@ -221,7 +221,7 @@ class GossipDasScenario(BaseScenario):
 
         return handler
 
-    def members_for_line(self, line: int) -> List[int]:
+    def members_for_line(self, line: int) -> list[int]:
         return self._unit_members[self.unit_assignment.unit_of_line(line)]
 
     def _node_handler(self, node_id: int) -> Callable[[Datagram], None]:

@@ -31,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
 
 from repro.analysis.plotting import ascii_cdf
 from repro.analysis.stats import summarize
@@ -155,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--redundancy", type=int, default=8)
     profile.add_argument("--slots", type=int, default=1)
     profile.add_argument("--top", type=int, default=12, help="rows of the hot-site table")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the determinism/protocol static analysis (RL001-RL006)",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.analysis` "
+        "(paths, --json, --list-rules, ...)",
+    )
     return parser
 
 
@@ -502,7 +512,13 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _cmd_lint(args) -> int:
+    from repro.analysis.reprolint.cli import run
+
+    return run(args.lint_args)
+
+
+def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "slot": _cmd_slot,
@@ -513,6 +529,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "security": _cmd_security,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

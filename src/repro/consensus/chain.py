@@ -9,7 +9,6 @@ Sizes are modelled for gossip accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from repro.crypto.keys import Signature
 from repro.crypto.kzg import KzgCommitment
@@ -41,9 +40,9 @@ class Block:
     proposer: int
     builder_id: int
     parent_root: bytes
-    blob_transactions: Tuple[BlobTransaction, ...] = ()
+    blob_transactions: tuple[BlobTransaction, ...] = ()
     body_bytes: int = DEFAULT_BLOCK_BYTES
-    proposer_signature: Optional[Signature] = None
+    proposer_signature: Signature | None = None
 
     @property
     def size(self) -> int:

@@ -19,7 +19,6 @@ is how the examples demonstrate the end-to-end claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.consensus.chain import AggregateDecision, Attestation
 
@@ -38,8 +37,8 @@ class AttestationOutcome:
     slot: int
     node: int
     rule: str
-    block_time: Optional[float]
-    sampling_time: Optional[float]
+    block_time: float | None
+    sampling_time: float | None
     deadline: float
 
     @property
@@ -80,8 +79,8 @@ class ForkChoiceSimulator:
         self,
         slot: int,
         node: int,
-        block_time: Optional[float],
-        sampling_time: Optional[float],
+        block_time: float | None,
+        sampling_time: float | None,
     ) -> AttestationOutcome:
         return AttestationOutcome(
             slot=slot,
@@ -100,7 +99,7 @@ class ForkChoiceSimulator:
             data_available=outcome.sampled_on_time,
         )
 
-    def aggregate(self, outcomes: List[AttestationOutcome]) -> AggregateDecision:
+    def aggregate(self, outcomes: list[AttestationOutcome]) -> AggregateDecision:
         """The committee's 2/3-supermajority decision for one slot."""
         if not outcomes:
             raise ValueError("cannot aggregate an empty committee")

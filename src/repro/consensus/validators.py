@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.crypto.randao import RandaoBeacon
 from repro.sim.rng import derive_seed
@@ -42,8 +42,8 @@ class ValidatorRegistry:
         self.beacon = beacon
         self.slots_per_epoch = slots_per_epoch
         self.committee_size = committee_size
-        self._host_of: Dict[int, int] = {}  # validator index -> node id
-        self._validators: List[int] = []
+        self._host_of: dict[int, int] = {}  # validator index -> node id
+        self._validators: list[int] = []
 
     # ------------------------------------------------------------------
     # registration

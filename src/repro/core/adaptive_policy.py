@@ -19,7 +19,6 @@ while not paying 8x egress in calm ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
 
 from repro.core.seeding import RedundantSeeding, SeedingPolicy
 
@@ -37,7 +36,7 @@ class AdaptiveRedundancyController:
     high_water: float = 0.995
     calm_slots_before_decay: int = 3
     _calm_streak: int = 0
-    history: List[tuple] = field(default_factory=list)
+    history: list[tuple] = field(default_factory=list)
 
     def policy(self) -> SeedingPolicy:
         """The seeding policy to use for the next slot."""

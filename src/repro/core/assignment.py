@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from collections.abc import Iterable
 
 from repro.crypto.randao import RandaoBeacon
 from repro.params import PandasParams
@@ -30,13 +30,13 @@ from repro.sim.rng import derive_seed
 __all__ = ["CellAssignment", "AssignmentIndex", "lines_of_cell", "cells_of_line"]
 
 
-def lines_of_cell(cid: int, ext_rows: int, ext_cols: int) -> Tuple[int, int]:
+def lines_of_cell(cid: int, ext_rows: int, ext_cols: int) -> tuple[int, int]:
     """The (row-line, column-line) ids containing cell ``cid``."""
     row, col = divmod(cid, ext_cols)
     return row, ext_rows + col
 
 
-def cells_of_line(line: int, ext_rows: int, ext_cols: int) -> List[int]:
+def cells_of_line(line: int, ext_rows: int, ext_cols: int) -> list[int]:
     """All cell ids on ``line``, in natural order."""
     if line < ext_rows:
         base = line * ext_cols
@@ -49,10 +49,10 @@ def cells_of_line(line: int, ext_rows: int, ext_cols: int) -> List[int]:
 class Custody:
     """One node's assignment for one epoch."""
 
-    rows: Tuple[int, ...]
-    cols: Tuple[int, ...]
+    rows: tuple[int, ...]
+    cols: tuple[int, ...]
 
-    def lines(self, ext_rows: int) -> Tuple[int, ...]:
+    def lines(self, ext_rows: int) -> tuple[int, ...]:
         return self.rows + tuple(ext_rows + c for c in self.cols)
 
 
@@ -62,7 +62,7 @@ class CellAssignment:
     def __init__(self, params: PandasParams, beacon: RandaoBeacon) -> None:
         self.params = params
         self.beacon = beacon
-        self._cache: Dict[Tuple[int, int], Custody] = {}
+        self._cache: dict[tuple[int, int], Custody] = {}
 
     def custody(self, node_id: int, epoch: int) -> Custody:
         """``S(node_id, epoch)``: 8 distinct rows + 8 distinct columns."""
@@ -78,15 +78,15 @@ class CellAssignment:
             self._cache[key] = assigned
         return assigned
 
-    def lines(self, node_id: int, epoch: int) -> Tuple[int, ...]:
+    def lines(self, node_id: int, epoch: int) -> tuple[int, ...]:
         """The node's custody lines (row ids then offset column ids)."""
         return self.custody(node_id, epoch).lines(self.params.ext_rows)
 
-    def custody_cells(self, node_id: int, epoch: int) -> Set[int]:
+    def custody_cells(self, node_id: int, epoch: int) -> set[int]:
         """Every distinct cell id the node must custody (8,128 full-scale)."""
         params = self.params
         assigned = self.custody(node_id, epoch)
-        cells: Set[int] = set()
+        cells: set[int] = set()
         for row in assigned.rows:
             base = row * params.ext_cols
             cells.update(range(base, base + params.ext_cols))
@@ -117,19 +117,19 @@ class AssignmentIndex:
         self.epoch = epoch
         params = assignment.params
         num_lines = params.ext_rows + params.ext_cols
-        self._by_line: List[List[int]] = [[] for _ in range(num_lines)]
+        self._by_line: list[list[int]] = [[] for _ in range(num_lines)]
         for node_id in node_ids:
             for line in assignment.lines(node_id, epoch):
                 self._by_line[line].append(node_id)
 
-    def custodians(self, line: int, view: Set[int] | None = None) -> List[int]:
+    def custodians(self, line: int, view: set[int] | None = None) -> list[int]:
         """Nodes assigned ``line``, optionally restricted to ``view``."""
         members = self._by_line[line]
         if view is None:
             return members
         return [node_id for node_id in members if node_id in view]
 
-    def custodians_of_cell(self, cid: int, view: Set[int] | None = None) -> List[int]:
+    def custodians_of_cell(self, cid: int, view: set[int] | None = None) -> list[int]:
         """Nodes whose custody intersects the cell's row or column."""
         params = self.assignment.params
         row_line, col_line = lines_of_cell(cid, params.ext_rows, params.ext_cols)

@@ -12,7 +12,6 @@ the paper's time-to-seeding distribution.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.context import ProtocolContext
 from repro.core.messages import SeedMessage
@@ -30,7 +29,7 @@ class Builder:
         ctx: ProtocolContext,
         builder_id: int,
         policy: SeedingPolicy,
-        view: Optional[Set[int]] = None,
+        view: set[int] | None = None,
     ) -> None:
         self.ctx = ctx
         self.builder_id = builder_id
@@ -49,8 +48,8 @@ class Builder:
         rng = ctx.rngs.stream("seeding", self.builder_id, slot)
 
         # per (node, line): merged cells; per line: boost map
-        merged: Dict[Tuple[int, int], Set[int]] = {}
-        boost_by_line: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        merged: dict[tuple[int, int], set[int]] = {}
+        boost_by_line: dict[int, dict[int, tuple[int, ...]]] = {}
         num_lines = params.ext_rows + params.ext_cols
         for line in range(num_lines):
             custodians = index.custodians(line, self.view)
@@ -64,7 +63,7 @@ class Builder:
                 merged.setdefault((parcel.node_id, line), set()).update(parcel.cells)
 
         # per-node datagram counts let receivers detect seed completion
-        totals: Dict[int, int] = {}
+        totals: dict[int, int] = {}
         for node_id, _line in merged:
             totals[node_id] = totals.get(node_id, 0) + 1
 
@@ -83,8 +82,8 @@ class Builder:
         # the node's own parcels, so it knows which cells are already
         # inbound and never re-requests them (Table 1's zero round-1
         # duplicates). Subsequent datagrams carry cells only.
-        boost_sent: Set[int] = set()
-        node_lines: Dict[int, List[int]] = {}
+        boost_sent: set[int] = set()
+        node_lines: dict[int, list[int]] = {}
         for node_id, line in merged:
             node_lines.setdefault(node_id, []).append(line)
         for (node_id, line), cells in sends:

@@ -9,7 +9,7 @@ by the experiment driver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
 
 from repro.core.assignment import AssignmentIndex, CellAssignment
 from repro.net.transport import Network
@@ -33,16 +33,16 @@ class ProtocolContext:
     metrics: MetricsRecorder
     rngs: RngRegistry
     index_for_epoch: Callable[[int], AssignmentIndex]
-    slot_starts: Dict[int, float] = field(default_factory=dict)
+    slot_starts: dict[int, float] = field(default_factory=dict)
     # The slot builder's address, when globally known (the proposer's
     # signature binds it — Section 6.1). Nodes reject seed parcels from
     # any other source; ``None`` disables the check (unit harnesses).
-    builder_id: Optional[int] = None
+    builder_id: int | None = None
     # Structured event tracing (repro.obs). ``None`` — the default —
     # disables tracing with zero per-event overhead; participants guard
     # every emission on it. A recorder here is pure observation and
     # never changes simulation behavior.
-    tracer: Optional[TraceRecorder] = None
+    tracer: TraceRecorder | None = None
 
     def trace(self, kind: str, *, slot: int = -1, node: int = -1, **data) -> None:
         """Emit one trace event at the current simulated time (no-op

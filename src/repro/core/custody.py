@@ -16,7 +16,7 @@ slot instead of the ~1-2 MB the paper reports in Figure 10).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Set, Tuple
+from collections.abc import Callable, Iterable
 
 from repro.core.assignment import Custody, cells_of_line, lines_of_cell
 from repro.params import PandasParams
@@ -32,7 +32,7 @@ class SlotCellState:
         params: PandasParams,
         custody: Custody,
         samples: Iterable[int],
-        on_store: "Callable[[int], None] | None" = None,
+        on_store: Callable[[int], None] | None = None,
     ) -> None:
         self.params = params
         self.custody = custody
@@ -40,16 +40,16 @@ class SlotCellState:
         # lets the node serve buffered queries in O(1) per cell instead
         # of rescanning its pending-request list on every arrival
         self.on_store = on_store
-        self.custody_lines: Tuple[int, ...] = custody.lines(params.ext_rows)
+        self.custody_lines: tuple[int, ...] = custody.lines(params.ext_rows)
         self._line_set = set(self.custody_lines)
         # bitmask per custody line over positions within the line
-        self._masks: Dict[int, int] = {line: 0 for line in self.custody_lines}
-        self._line_len: Dict[int, int] = {
+        self._masks: dict[int, int] = {line: 0 for line in self.custody_lines}
+        self._line_len: dict[int, int] = {
             line: params.ext_cols if line < params.ext_rows else params.ext_rows
             for line in self.custody_lines
         }
-        self.samples: Set[int] = set(samples)
-        self.have: Set[int] = set()
+        self.samples: set[int] = set(samples)
+        self.have: set[int] = set()
         self.cells_reconstructed = 0
         self.duplicates_received = 0
 
@@ -66,13 +66,13 @@ class SlotCellState:
             return line * self.params.ext_cols + position
         return position * self.params.ext_cols + (line - self.params.ext_rows)
 
-    def lines_of(self, cid: int) -> Tuple[int, int]:
+    def lines_of(self, cid: int) -> tuple[int, int]:
         return lines_of_cell(cid, self.params.ext_rows, self.params.ext_cols)
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def add_cells(self, cells: Iterable[int]) -> Tuple[int, int]:
+    def add_cells(self, cells: Iterable[int]) -> tuple[int, int]:
         """Ingest received cells; returns (new_count, reconstructed_count).
 
         Applies the reconstruction closure: a custody line reaching
@@ -136,7 +136,7 @@ class SlotCellState:
         """Cells still needed before the line is reconstructable."""
         return max(0, self._line_len[line] // 2 - self._masks[line].bit_count())
 
-    def missing_in_line(self, line: int) -> List[int]:
+    def missing_in_line(self, line: int) -> list[int]:
         """Missing cell ids of a custody line, in position order."""
         mask = self._masks[line]
         length = self._line_len[line]
@@ -163,5 +163,5 @@ class SlotCellState:
     def complete(self) -> bool:
         return self.consolidation_complete and self.sampling_complete
 
-    def missing_samples(self) -> Set[int]:
+    def missing_samples(self) -> set[int]:
         return {cid for cid in self.samples if cid not in self.have}

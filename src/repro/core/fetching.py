@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from collections.abc import Callable, Iterable
 
 from repro.core.custody import SlotCellState
 from repro.obs.events import TraceRecorder
@@ -67,7 +67,7 @@ class RoundStats:
 class FetchPlan:
     """The query plan of one round: (peer, cells) pairs."""
 
-    queries: Tuple[Tuple[int, FrozenSet[int]], ...]
+    queries: tuple[tuple[int, frozenset[int]], ...]
 
     @property
     def cells_requested(self) -> int:
@@ -75,12 +75,12 @@ class FetchPlan:
 
 
 def score_peers(
-    targets: Set[int],
-    candidate_cells: Dict[int, Set[int]],
-    boost: Dict[int, Set[int]],
+    targets: set[int],
+    candidate_cells: dict[int, set[int]],
+    boost: dict[int, set[int]],
     cb_boost: float,
-    weights: Optional[Dict[int, float]] = None,
-) -> Dict[int, float]:
+    weights: dict[int, float] | None = None,
+) -> dict[int, float]:
     """Algorithm 1 lines 4-9: cells-of-interest count plus boost.
 
     ``weights`` (peer -> multiplier in ``(0, 1]``, default 1.0) folds
@@ -89,7 +89,7 @@ def score_peers(
     holding the same cells, so queries drain away from it even before
     quarantine removes it outright.
     """
-    scores: Dict[int, float] = {}
+    scores: dict[int, float] = {}
     for peer, cells in candidate_cells.items():
         score = float(len(cells))
         boosted = boost.get(peer)
@@ -102,11 +102,11 @@ def score_peers(
 
 
 def plan_queries(
-    targets: Set[int],
-    ordered_peers: List[int],
-    candidate_cells: Dict[int, Set[int]],
+    targets: set[int],
+    ordered_peers: list[int],
+    candidate_cells: dict[int, set[int]],
     redundancy: int,
-    max_cells_per_query: Optional[int] = None,
+    max_cells_per_query: int | None = None,
 ) -> FetchPlan:
     """Algorithm 1 lines 11-17: greedy plan until every cell has k queries.
 
@@ -116,9 +116,9 @@ def plan_queries(
     saturating their uplinks; parcel-sized queries spread the load
     across all holders — Table 1's ~12 cells per round-1 message.
     """
-    under: Set[int] = set(targets)
-    planned_count: Dict[int, int] = {}
-    queries: List[Tuple[int, FrozenSet[int]]] = []
+    under: set[int] = set(targets)
+    planned_count: dict[int, int] = {}
+    queries: list[tuple[int, frozenset[int]]] = []
     for peer in ordered_peers:
         if not under:
             break
@@ -153,20 +153,20 @@ class AdaptiveFetcher:
         state: SlotCellState,
         schedule: FetchSchedule,
         line_custodians: Callable[[int], Iterable[int]],
-        send_query: Callable[[int, FrozenSet[int]], None],
+        send_query: Callable[[int, frozenset[int]], None],
         rng: random.Random,
         cb_boost: float,
         self_id: int,
-        on_round: Optional[Callable[[RoundStats], None]] = None,
-        on_done: Optional[Callable[[bool], None]] = None,
+        on_round: Callable[[RoundStats], None] | None = None,
+        on_done: Callable[[bool], None] | None = None,
         fetch_custody: bool = True,
-        is_complete: Optional[Callable[[], bool]] = None,
-        max_cells_per_query: Optional[int] = 16,
-        peer_weight: Optional[Callable[[int], float]] = None,
-        exclude_peer: Optional[Callable[[int], bool]] = None,
-        on_peer_timeout: Optional[Callable[[int], None]] = None,
+        is_complete: Callable[[], bool] | None = None,
+        max_cells_per_query: int | None = 16,
+        peer_weight: Callable[[int], float] | None = None,
+        exclude_peer: Callable[[int], bool] | None = None,
+        on_peer_timeout: Callable[[int], None] | None = None,
         retry_unresponsive: bool = False,
-        tracer: Optional[TraceRecorder] = None,
+        tracer: TraceRecorder | None = None,
         slot: int = -1,
     ) -> None:
         self.sim = sim
@@ -194,8 +194,8 @@ class AdaptiveFetcher:
         # partitions or withholding peers can permanently starve a node
         # that has already spent its one query per custodian.
         self.retry_unresponsive = retry_unresponsive
-        self.responded: Set[int] = set()
-        self._timeouts_reported: Set[int] = set()
+        self.responded: set[int] = set()
+        self._timeouts_reported: set[int] = set()
         # Query-lifecycle tracing (repro.obs): every query gets a
         # request id at issue time and terminates in exactly one of
         # response/timeout/cancel. All of it is maintained only when a
@@ -203,19 +203,19 @@ class AdaptiveFetcher:
         # so traced and untraced runs are behaviorally identical.
         self.tracer = tracer
         self.trace_slot = slot
-        self._open_queries: Dict[int, Tuple[int, int]] = {}  # peer -> (req, round)
+        self._open_queries: dict[int, tuple[int, int]] = {}  # peer -> (req, round)
 
-        self.boost: Dict[int, Set[int]] = {}
-        self._boost_cells: Set[int] = set()
-        self.inbound: Set[int] = set()
+        self.boost: dict[int, set[int]] = {}
+        self._boost_cells: set[int] = set()
+        self.inbound: set[int] = set()
         self.max_cells_per_query = max_cells_per_query
-        self.queried: Set[int] = set()
-        self.query_round: Dict[int, int] = {}
-        self.rounds: List[RoundStats] = []
+        self.queried: set[int] = set()
+        self.query_round: dict[int, int] = {}
+        self.rounds: list[RoundStats] = []
         self.started = False
         self.finished = False
         self.succeeded = False
-        self._timer: Optional[Event] = None
+        self._timer: Event | None = None
 
     # ------------------------------------------------------------------
     # boost map
@@ -316,7 +316,7 @@ class AdaptiveFetcher:
     # ------------------------------------------------------------------
     # round targeting (F of Algorithm 1, deficit-driven)
     # ------------------------------------------------------------------
-    def round_targets(self, round_index: int = 1) -> Set[int]:
+    def round_targets(self, round_index: int = 1) -> set[int]:
         """Missing samples plus per-line reconstruction deficits.
 
         Deficits are *net of declared inbound*: cells the builder said
@@ -474,7 +474,7 @@ class AdaptiveFetcher:
             self.schedule.timeout(index), lambda: self._run_round(index + 1)
         )
 
-    def _candidate_cells(self, targets: Set[int]) -> Dict[int, Set[int]]:
+    def _candidate_cells(self, targets: set[int]) -> dict[int, set[int]]:
         """Queryable peers mapped to the cells to ask them for.
 
         Peers in the consolidation-boost map are offered only the
@@ -483,13 +483,13 @@ class AdaptiveFetcher:
         arrive after the peer's own consolidation. Unboosted peers
         are fallback holders for anything on their lines.
         """
-        missing_by_line: Dict[int, Set[int]] = {}
+        missing_by_line: dict[int, set[int]] = {}
         params = self.state.params
         for cid in targets:
             row, col = divmod(cid, params.ext_cols)
             missing_by_line.setdefault(row, set()).add(cid)
             missing_by_line.setdefault(params.ext_rows + col, set()).add(cid)
-        candidates: Dict[int, Set[int]] = {}
+        candidates: dict[int, set[int]] = {}
         exclude = self.exclude_peer
         for line, cells in missing_by_line.items():
             for peer in self.line_custodians(line):
@@ -582,7 +582,7 @@ class AdaptiveFetcher:
         """
         self.responded.add(peer)
 
-    def on_response(self, peer: int, cells: Tuple[int, ...]) -> Tuple[int, int]:
+    def on_response(self, peer: int, cells: tuple[int, ...]) -> tuple[int, int]:
         """Account a CellResponse; returns (new_cells, reconstructed).
 
         Updates the custody state so duplicate accounting and round

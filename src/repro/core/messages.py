@@ -15,7 +15,6 @@ headers plus the signature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
 
 from repro.params import PandasParams
 
@@ -26,7 +25,7 @@ NODE_REF_BYTES = 8
 BOOST_ENTRY_BYTES = NODE_REF_BYTES + 2 * CELL_ID_BYTES  # node + cell range
 
 # A boost map entry: cells seeded to one peer, encoded as a range.
-BoostMap = Dict[int, Tuple[int, ...]]  # peer node id -> seeded cell ids
+BoostMap = dict[int, tuple[int, ...]]  # peer node id -> seeded cell ids
 
 
 @dataclass(frozen=True)
@@ -41,8 +40,8 @@ class SeedMessage:
     slot: int
     epoch: int
     line: int
-    cells: Tuple[int, ...]
-    boost: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    cells: tuple[int, ...]
+    boost: tuple[tuple[int, tuple[int, ...]], ...] = ()
     builder_id: int = 0
     # how many seed datagrams the builder addresses to this node in
     # this slot; lets the node detect seed completion (consolidation
@@ -65,7 +64,7 @@ class CellRequest:
 
     slot: int
     epoch: int
-    cells: FrozenSet[int]
+    cells: frozenset[int]
 
     def wire_size(self, params: PandasParams) -> int:
         return params.message_overhead_bytes + len(self.cells) * CELL_ID_BYTES
@@ -84,8 +83,8 @@ class CellResponse:
 
     slot: int
     epoch: int
-    cells: Tuple[int, ...]
-    invalid: FrozenSet[int] = frozenset()
+    cells: tuple[int, ...]
+    invalid: frozenset[int] = frozenset()
 
     def wire_size(self, params: PandasParams) -> int:
         return params.message_overhead_bytes + len(self.cells) * params.cell_bytes

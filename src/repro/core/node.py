@@ -37,7 +37,6 @@ threat model):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.context import ProtocolContext
 from repro.core.custody import SlotCellState
@@ -55,7 +54,7 @@ class _PendingRequest:
     """A buffered query remainder, answered once fully servable."""
 
     src: int
-    cells: FrozenSet[int]
+    cells: frozenset[int]
     missing: int
 
 
@@ -67,18 +66,18 @@ class _SlotState:
     fetcher: AdaptiveFetcher
     # cell id -> buffered requests still waiting on it; each stored
     # cell resolves its waiters in O(waiters), never a full rescan
-    waiting_by_cell: Dict[int, List[_PendingRequest]] = field(default_factory=dict)
+    waiting_by_cell: dict[int, list[_PendingRequest]] = field(default_factory=dict)
     # peer -> cells we asked it for this slot; a CellResponse is only
     # accepted when its source and cells match an entry here
-    outstanding: Dict[int, Set[int]] = field(default_factory=dict)
+    outstanding: dict[int, set[int]] = field(default_factory=dict)
     # fires at the sampling deadline: buffered request remainders for
     # this slot can no longer be answered usefully, so they are dropped
     # instead of accumulating for the rest of the run
-    expiry_timer: Optional[Event] = None
+    expiry_timer: Event | None = None
     seed_received: bool = False
     seed_messages_seen: int = 0
-    seed_messages_expected: Optional[int] = None
-    fallback_timer: Optional[Event] = None
+    seed_messages_expected: int | None = None
+    fallback_timer: Event | None = None
     consolidation_marked: bool = False
     sampling_marked: bool = False
 
@@ -91,12 +90,12 @@ class PandasNode:
         self,
         ctx: ProtocolContext,
         node_id: int,
-        view: Optional[Set[int]] = None,
+        view: set[int] | None = None,
     ) -> None:
         self.ctx = ctx
         self.node_id = node_id
         self.view = view  # None means a complete, consistent view
-        self._slots: Dict[int, _SlotState] = {}
+        self._slots: dict[int, _SlotState] = {}
         # Byzantine defenses (module docstring): reputation, per-peer
         # inbound rate limiting, and slots already retired by drop_slot
         # (late replies for those are stale, not hostile).
@@ -105,8 +104,8 @@ class PandasNode:
             decay=params.reputation_decay,
             quarantine_threshold=params.quarantine_threshold,
         )
-        self._buckets: Dict[int, TokenBucket] = {}
-        self._retired: Set[int] = set()
+        self._buckets: dict[int, TokenBucket] = {}
+        self._retired: set[int] = set()
         # bumped on crash so delayed verify callbacks from a previous
         # incarnation never touch post-restart state
         self._generation = 0
@@ -329,7 +328,7 @@ class PandasNode:
         state.fallback_timer = None
         state.fetcher.start()
 
-    def _respond(self, slot: int, epoch: int, dst: int, cells: Tuple[int, ...]) -> None:
+    def _respond(self, slot: int, epoch: int, dst: int, cells: tuple[int, ...]) -> None:
         response = CellResponse(slot=slot, epoch=epoch, cells=cells)
         self.ctx.network.send(
             self.node_id, dst, response, response.wire_size(self.ctx.params)
@@ -393,7 +392,7 @@ class PandasNode:
     # ------------------------------------------------------------------
     # outgoing queries
     # ------------------------------------------------------------------
-    def _send_query(self, slot: int, epoch: int, peer: int, cells: FrozenSet[int]) -> None:
+    def _send_query(self, slot: int, epoch: int, peer: int, cells: frozenset[int]) -> None:
         state = self._slots.get(slot)
         if state is not None:
             state.outstanding.setdefault(peer, set()).update(cells)
@@ -482,11 +481,11 @@ class PandasNode:
     # ------------------------------------------------------------------
     # introspection for tests and experiments
     # ------------------------------------------------------------------
-    def slot_cells(self, slot: int) -> Optional[SlotCellState]:
+    def slot_cells(self, slot: int) -> SlotCellState | None:
         state = self._slots.get(slot)
         return state.cells if state is not None else None
 
-    def slot_fetcher(self, slot: int) -> Optional[AdaptiveFetcher]:
+    def slot_fetcher(self, slot: int) -> AdaptiveFetcher | None:
         state = self._slots.get(slot)
         return state.fetcher if state is not None else None
 

@@ -29,7 +29,6 @@ no timers — decay is applied lazily at epoch observation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 __all__ = ["PeerStats", "ReputationLedger", "TokenBucket"]
 
@@ -96,11 +95,11 @@ class ReputationLedger:
         self.decay = decay
         self.quarantine_threshold = quarantine_threshold
         self.prior = prior
-        self.stats: Dict[int, PeerStats] = {}
+        self.stats: dict[int, PeerStats] = {}
         # peer -> epoch for which it is quarantined; expiry is implicit
         # (the entry stops matching once the epoch advances)
-        self.quarantined_in: Dict[int, int] = {}
-        self._epoch: Optional[int] = None
+        self.quarantined_in: dict[int, int] = {}
+        self._epoch: int | None = None
 
     # ------------------------------------------------------------------
     # epoch lifecycle
@@ -122,7 +121,7 @@ class ReputationLedger:
                 stats.decay(self.decay)
 
     @property
-    def epoch(self) -> Optional[int]:
+    def epoch(self) -> int | None:
         return self._epoch
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ anything itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.core.assignment import Custody
 from repro.core.context import ProtocolContext
@@ -30,9 +30,9 @@ class RetrievalResult:
     """Outcome of one retrieval request."""
 
     slot: int
-    rows: Tuple[int, ...]
-    cols: Tuple[int, ...]
-    cells: Set[int] = field(default_factory=set)
+    rows: tuple[int, ...]
+    cols: tuple[int, ...]
+    cells: set[int] = field(default_factory=set)
     complete: bool = False
     elapsed: float = 0.0
 
@@ -57,12 +57,12 @@ class RetrievalClient:
         self,
         ctx: ProtocolContext,
         client_id: int,
-        view: Optional[Set[int]] = None,
+        view: set[int] | None = None,
     ) -> None:
         self.ctx = ctx
         self.client_id = client_id
         self.view = view
-        self._active: Dict[int, List[_Retrieval]] = {}
+        self._active: dict[int, list[_Retrieval]] = {}
 
     # ------------------------------------------------------------------
     def fetch_lines(
@@ -128,7 +128,7 @@ class RetrievalClient:
             if dgram.src in retrieval.fetcher.queried and not retrieval.fetcher.finished:
                 retrieval.fetcher.on_response(dgram.src, payload.cells)
 
-    def _send_query(self, slot: int, epoch: int, peer: int, cells: FrozenSet[int]) -> None:
+    def _send_query(self, slot: int, epoch: int, peer: int, cells: frozenset[int]) -> None:
         request = CellRequest(slot=slot, epoch=epoch, cells=cells)
         self.ctx.network.send(
             self.client_id, peer, request, request.wire_size(self.ctx.params)

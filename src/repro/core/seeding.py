@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.params import PandasParams
 
@@ -52,10 +52,10 @@ class SeedParcel:
 
     node_id: int
     line: int
-    cells: Tuple[int, ...]
+    cells: tuple[int, ...]
 
 
-def owned_cells_of_line(line: int, params: PandasParams) -> List[int]:
+def owned_cells_of_line(line: int, params: PandasParams) -> list[int]:
     """Cells distributed through ``line``'s custodians (parity rule)."""
     ext_rows, ext_cols = params.ext_rows, params.ext_cols
     if line < ext_rows:
@@ -68,13 +68,13 @@ def owned_cells_of_line(line: int, params: PandasParams) -> List[int]:
     return [row * ext_cols + col for row in range(start, ext_rows, 2)]
 
 
-def _split_adjacent(cells: Sequence[int], parts: int) -> List[Tuple[int, ...]]:
+def _split_adjacent(cells: Sequence[int], parts: int) -> list[tuple[int, ...]]:
     """Split ``cells`` into ``parts`` contiguous runs of near-equal size."""
     if parts < 1:
         raise ValueError("parts must be positive")
     parts = min(parts, len(cells))
     base, extra = divmod(len(cells), parts)
-    runs: List[Tuple[int, ...]] = []
+    runs: list[tuple[int, ...]] = []
     start = 0
     for i in range(parts):
         size = base + (1 if i < extra else 0)
@@ -89,7 +89,7 @@ class SeedingPolicy:
     name = "abstract"
     copies = 1
 
-    def cells_for_line(self, line: int, params: PandasParams) -> List[int]:
+    def cells_for_line(self, line: int, params: PandasParams) -> list[int]:
         """Which of the line's owned cells this policy seeds."""
         return owned_cells_of_line(line, params)
 
@@ -99,7 +99,7 @@ class SeedingPolicy:
         params: PandasParams,
         custodians: Sequence[int],
         rng: random.Random,
-    ) -> List[SeedParcel]:
+    ) -> list[SeedParcel]:
         """Parcel the selected cells over ``custodians`` with redundancy."""
         if not custodians:
             return []
@@ -108,8 +108,8 @@ class SeedingPolicy:
             return []
         runs = _split_adjacent(cells, len(custodians))
         primaries = rng.sample(custodians, len(runs))
-        parcels: List[SeedParcel] = []
-        for run, primary in zip(runs, primaries):
+        parcels: list[SeedParcel] = []
+        for run, primary in zip(runs, primaries, strict=True):
             parcels.append(SeedParcel(primary, line, run))
             if self.copies > 1 and len(custodians) > 1:
                 others = [n for n in custodians if n != primary]
@@ -124,7 +124,7 @@ class MinimalSeeding(SeedingPolicy):
     name = "minimal"
     copies = 1
 
-    def cells_for_line(self, line: int, params: PandasParams) -> List[int]:
+    def cells_for_line(self, line: int, params: PandasParams) -> list[int]:
         ext_cols = params.ext_cols
         base_rows, base_cols = params.base_rows, params.base_cols
         quadrant = []
@@ -171,7 +171,7 @@ class WithholdingSeeding(SeedingPolicy):
         self.copies = inner.copies
         self.name = f"withholding({inner.name}, release={release:.2f})"
 
-    def cells_for_line(self, line: int, params: PandasParams) -> List[int]:
+    def cells_for_line(self, line: int, params: PandasParams) -> list[int]:
         cells = self.inner.cells_for_line(line, params)
         return cells[: int(len(cells) * self.release)]
 
@@ -187,9 +187,9 @@ def policy_by_name(name: str, r: int = 8) -> SeedingPolicy:
     raise ValueError(f"unknown seeding policy {name!r}")
 
 
-def boost_map_for_line(parcels: Sequence[SeedParcel]) -> Dict[int, Tuple[int, ...]]:
+def boost_map_for_line(parcels: Sequence[SeedParcel]) -> dict[int, tuple[int, ...]]:
     """CB(f): node -> cells of this line seeded to it (merged parcels)."""
-    merged: Dict[int, List[int]] = {}
+    merged: dict[int, list[int]] = {}
     for parcel in parcels:
         merged.setdefault(parcel.node_id, []).extend(parcel.cells)
     return {node: tuple(sorted(set(cells))) for node, cells in merged.items()}

@@ -21,7 +21,6 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Dict
 
 __all__ = ["KeyPair", "NodeId", "Signature", "node_id_from_pubkey", "SIGNATURE_BYTES"]
 
@@ -47,7 +46,7 @@ class Signature:
 
 
 # Stands in for asymmetric verification: maps public key -> HMAC secret.
-_SECRET_BY_PUBLIC: Dict[bytes, bytes] = {}
+_SECRET_BY_PUBLIC: dict[bytes, bytes] = {}
 
 
 class KeyPair:

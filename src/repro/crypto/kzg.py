@@ -22,7 +22,6 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.erasure.blob import ExtendedBlob
 
@@ -84,7 +83,7 @@ def verify_cell(
     commitment: KzgCommitment,
     cell_index: int,
     cell: bytes,
-    proof: Optional[KzgProof],
+    proof: KzgProof | None,
 ) -> bool:
     """Check a cell+proof against the commitment. Constant time-ish."""
     if proof is None or len(proof.digest) != PROOF_BYTES:

@@ -17,7 +17,6 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
 
 __all__ = ["Enr", "EnrDirectory", "node_id_for_address"]
 
@@ -44,8 +43,8 @@ class EnrDirectory:
 
     def __init__(self, namespace: int = 0) -> None:
         self.namespace = namespace
-        self._by_id: Dict[int, Enr] = {}
-        self._by_address: Dict[int, Enr] = {}
+        self._by_id: dict[int, Enr] = {}
+        self._by_address: dict[int, Enr] = {}
 
     def register(self, address: int) -> Enr:
         record = Enr(node_id_for_address(address, self.namespace), address)
@@ -61,22 +60,22 @@ class EnrDirectory:
     def record_for(self, address: int) -> Enr:
         return self._by_address[address]
 
-    def by_id(self, node_id: int) -> Optional[Enr]:
+    def by_id(self, node_id: int) -> Enr | None:
         return self._by_id.get(node_id)
 
-    def address_of(self, node_id: int) -> Optional[int]:
+    def address_of(self, node_id: int) -> int | None:
         record = self._by_id.get(node_id)
         return record.address if record is not None else None
 
     @property
-    def all_ids(self) -> List[int]:
+    def all_ids(self) -> list[int]:
         return list(self._by_id)
 
     @property
-    def all_addresses(self) -> List[int]:
+    def all_addresses(self) -> list[int]:
         return list(self._by_address)
 
-    def crawl(self, rng: random.Random, completeness: float = 1.0) -> Set[int]:
+    def crawl(self, rng: random.Random, completeness: float = 1.0) -> set[int]:
         """A crawl result: a random ``completeness`` fraction of addresses."""
         if not 0.0 < completeness <= 1.0:
             raise ValueError("completeness must be in (0, 1]")

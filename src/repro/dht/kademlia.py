@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from collections.abc import Callable
 
 from repro.dht.enr import EnrDirectory
 from repro.dht.routing import DEFAULT_K, RoutingTable
@@ -69,7 +69,7 @@ class FindValue:
 class Nodes:
     target: int
     lookup_id: int
-    contacts: Tuple[int, ...]  # node ids
+    contacts: tuple[int, ...]  # node ids
     slot: int = -1
 
     @property
@@ -105,9 +105,9 @@ class LookupResult:
     """Outcome of an iterative lookup."""
 
     target: int
-    closest: List[int] = field(default_factory=list)  # node ids
-    value_size: Optional[int] = None
-    value_holder: Optional[int] = None
+    closest: list[int] = field(default_factory=list)  # node ids
+    value_size: int | None = None
+    value_holder: int | None = None
     rpcs_sent: int = 0
 
     @property
@@ -124,10 +124,10 @@ class _Lookup:
     find_value: bool
     slot: int
     callback: Callable[[LookupResult], None]
-    shortlist: Dict[int, int] = field(default_factory=dict)  # id -> distance
-    queried: Set[int] = field(default_factory=set)
-    in_flight: Dict[int, Event] = field(default_factory=dict)  # id -> timeout
-    responded: Set[int] = field(default_factory=set)
+    shortlist: dict[int, int] = field(default_factory=dict)  # id -> distance
+    queried: set[int] = field(default_factory=set)
+    in_flight: dict[int, Event] = field(default_factory=dict)  # id -> timeout
+    responded: set[int] = field(default_factory=set)
     result: LookupResult = None  # type: ignore[assignment]
     done: bool = False
 
@@ -142,7 +142,7 @@ class KademliaNode:
         directory: EnrDirectory,
         address: int,
         k: int = DEFAULT_K,
-        rng: Optional[random.Random] = None,
+        rng: random.Random | None = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -152,10 +152,10 @@ class KademliaNode:
         self.table = RoutingTable(self.node_id, k)
         self.k = k
         self.rng = rng if rng is not None else random.Random(address)
-        self.storage: Dict[int, int] = {}  # key -> value size
-        self._lookups: Dict[int, _Lookup] = {}
+        self.storage: dict[int, int] = {}  # key -> value size
+        self._lookups: dict[int, _Lookup] = {}
         self._next_lookup_id = 0
-        self.on_store: Optional[Callable[[int, int], None]] = None
+        self.on_store: Callable[[int, int], None] | None = None
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -190,7 +190,7 @@ class KademliaNode:
         self._advance(state)
 
     def store(self, key: int, value_size: int, replicas: int, slot: int = -1,
-              callback: Optional[Callable[[LookupResult], None]] = None) -> None:
+              callback: Callable[[LookupResult], None] | None = None) -> None:
         """put(key): locate the closest nodes, then STORE at ``replicas``."""
 
         def after_lookup(result: LookupResult) -> None:

@@ -12,7 +12,7 @@ periodically crawling the DHT.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from collections.abc import Iterable
 
 __all__ = ["xor_distance", "bucket_index", "RoutingTable", "ID_BITS", "DEFAULT_K"]
 
@@ -47,7 +47,7 @@ class RoutingTable:
             raise ValueError("bucket size k must be positive")
         self.own_id = own_id
         self.k = k
-        self._buckets: Dict[int, List[int]] = {}
+        self._buckets: dict[int, list[int]] = {}
 
     def insert(self, node_id: int) -> bool:
         """Add a contact; returns False if ignored (self or full bucket)."""
@@ -72,7 +72,7 @@ class RoutingTable:
         """Bulk-fill from a crawl; returns the number inserted."""
         return sum(1 for node_id in node_ids if self.insert(node_id))
 
-    def closest(self, target: int, count: Optional[int] = None) -> List[int]:
+    def closest(self, target: int, count: int | None = None) -> list[int]:
         """The ``count`` known ids closest to ``target`` (default k)."""
         count = count if count is not None else self.k
         contacts = [node_id for bucket in self._buckets.values() for node_id in bucket]
@@ -83,5 +83,5 @@ class RoutingTable:
         return sum(len(bucket) for bucket in self._buckets.values())
 
     @property
-    def bucket_sizes(self) -> Dict[int, int]:
+    def bucket_sizes(self) -> dict[int, int]:
         return {index: len(bucket) for index, bucket in self._buckets.items()}

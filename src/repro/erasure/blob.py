@@ -18,9 +18,9 @@ order — holds because the code is linear; a regression test pins it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.erasure.gf import GF256, GF65536
 from repro.erasure.matrix import RowColumnAvailability
@@ -36,7 +36,7 @@ class BlobReconstructionError(ValueError):
 class Blob:
     """The base (unextended) ``R x C`` matrix of data cells."""
 
-    def __init__(self, cells: np.ndarray) -> None:
+    def __init__(self, cells: npt.NDArray[np.uint8]) -> None:
         if cells.ndim != 3:
             raise ValueError("cells must have shape (rows, cols, cell_bytes)")
         self.cells = np.ascontiguousarray(cells, dtype=np.uint8)
@@ -54,7 +54,7 @@ class Blob:
         return self.cells.shape[2]
 
     @staticmethod
-    def from_bytes(data: bytes, base_rows: int, base_cols: int, cell_bytes: int) -> "Blob":
+    def from_bytes(data: bytes, base_rows: int, base_cols: int, cell_bytes: int) -> Blob:
         """Pack layer-2 payload bytes into the base matrix, zero-padded."""
         capacity = base_rows * base_cols * cell_bytes
         if len(data) > capacity:
@@ -66,7 +66,7 @@ class Blob:
     def to_bytes(self) -> bytes:
         return self.cells.tobytes()
 
-    def extend(self) -> "ExtendedBlob":
+    def extend(self) -> ExtendedBlob:
         """Apply the 2D code: rows first, then columns of the widened matrix."""
         return ExtendedBlob.from_blob(self)
 
@@ -81,7 +81,7 @@ class _SymbolCodec:
     made grid-wide from the larger dimension.
     """
 
-    def __init__(self, k: int, n: int, cell_bytes: int, wide: Optional[bool] = None) -> None:
+    def __init__(self, k: int, n: int, cell_bytes: int, wide: bool | None = None) -> None:
         if wide is None:
             wide = n > 255
         if not wide and n > 255:
@@ -98,14 +98,14 @@ class _SymbolCodec:
         self.cell_bytes = cell_bytes
         self.lanes = cell_bytes // self.symbol_bytes
 
-    def cells_to_symbols(self, cells: np.ndarray) -> np.ndarray:
+    def cells_to_symbols(self, cells: npt.NDArray[np.uint8]) -> npt.NDArray[np.int64]:
         """(count, cell_bytes) uint8 -> (count, lanes) int64 symbols."""
         if self.symbol_bytes == 1:
             return cells.astype(np.int64)
         wide = cells.reshape(cells.shape[0], self.lanes, 2).astype(np.int64)
         return (wide[:, :, 0] << 8) | wide[:, :, 1]
 
-    def symbols_to_cells(self, symbols: np.ndarray) -> np.ndarray:
+    def symbols_to_cells(self, symbols: npt.NDArray[np.int64]) -> npt.NDArray[np.uint8]:
         if self.symbol_bytes == 1:
             return symbols.astype(np.uint8)
         out = np.zeros((symbols.shape[0], self.lanes, 2), dtype=np.uint8)
@@ -113,7 +113,7 @@ class _SymbolCodec:
         out[:, :, 1] = symbols & 0xFF
         return out.reshape(symbols.shape[0], self.cell_bytes)
 
-    def encode_line(self, data_cells: np.ndarray) -> np.ndarray:
+    def encode_line(self, data_cells: npt.NDArray[np.uint8]) -> npt.NDArray[np.uint8]:
         """Extend k cells to n cells (returns only the n-k parity cells)."""
         symbols = self.cells_to_symbols(data_cells)
         parity = np.zeros((self.rs.n - self.rs.k, self.lanes), dtype=np.int64)
@@ -122,7 +122,7 @@ class _SymbolCodec:
             parity[:, lane] = codeword[self.rs.k :]
         return self.symbols_to_cells(parity)
 
-    def decode_line(self, known: Dict[int, np.ndarray]) -> np.ndarray:
+    def decode_line(self, known: dict[int, npt.NDArray[np.uint8]]) -> npt.NDArray[np.uint8]:
         """Recover all n cells of a line from >= k known (pos -> cell)."""
         positions = list(known.keys())
         stacked = np.stack([known[p] for p in positions]).astype(np.uint8)
@@ -137,7 +137,7 @@ class _SymbolCodec:
 class ExtendedBlob:
     """The ``2R x 2C`` erasure-extended matrix (Figure 2's 140 MB object)."""
 
-    def __init__(self, cells: np.ndarray, base_rows: int, base_cols: int) -> None:
+    def __init__(self, cells: npt.NDArray[np.uint8], base_rows: int, base_cols: int) -> None:
         self.cells = np.ascontiguousarray(cells, dtype=np.uint8)
         self.base_rows = base_rows
         self.base_cols = base_cols
@@ -158,7 +158,7 @@ class ExtendedBlob:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def from_blob(blob: Blob) -> "ExtendedBlob":
+    def from_blob(blob: Blob) -> ExtendedBlob:
         rows, cols, cell_bytes = blob.base_rows, blob.base_cols, blob.cell_bytes
         wide = max(2 * rows, 2 * cols) > 255
         row_codec = _SymbolCodec(cols, 2 * cols, cell_bytes, wide=wide)
@@ -195,11 +195,11 @@ class ExtendedBlob:
     # ------------------------------------------------------------------
     @staticmethod
     def reconstruct(
-        known_cells: Dict[int, bytes],
+        known_cells: dict[int, bytes],
         base_rows: int,
         base_cols: int,
         cell_bytes: int,
-    ) -> "ExtendedBlob":
+    ) -> ExtendedBlob:
         """Rebuild the full extended blob from a subset of cells.
 
         Runs the same peeling closure as the availability tracker, but

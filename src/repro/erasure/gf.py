@@ -11,8 +11,12 @@ from __future__ import annotations
 from functools import lru_cache
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["GaloisField", "GF256", "GF65536"]
+
+# every table and vector in this module holds field elements as int64
+FieldArray = npt.NDArray[np.int64]
 
 _PRIMITIVE_POLYS = {
     8: 0x11D,  # x^8 + x^4 + x^3 + x^2 + 1
@@ -30,8 +34,8 @@ class GaloisField:
         self.order = 1 << m
         self.poly = _PRIMITIVE_POLYS[m]
         size = self.order
-        exp = np.zeros(2 * size, dtype=np.int64)
-        log = np.zeros(size, dtype=np.int64)
+        exp: FieldArray = np.zeros(2 * size, dtype=np.int64)
+        log: FieldArray = np.zeros(size, dtype=np.int64)
         x = 1
         for i in range(size - 1):
             exp[i] = x
@@ -78,28 +82,28 @@ class GaloisField:
     # ------------------------------------------------------------------
     # vector operations (numpy arrays of field elements)
     # ------------------------------------------------------------------
-    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def mul_vec(self, a: npt.ArrayLike, b: npt.ArrayLike) -> FieldArray:
         """Elementwise product of two arrays of field elements."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
-        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        out: FieldArray = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
         nz = (a != 0) & (b != 0)
         if np.any(nz):
             a_b, b_b = np.broadcast_arrays(a, b)
             out[nz] = self._exp[self._log[a_b[nz]] + self._log[b_b[nz]]]
         return out
 
-    def scale_vec(self, scalar: int, vec: np.ndarray) -> np.ndarray:
+    def scale_vec(self, scalar: int, vec: npt.ArrayLike) -> FieldArray:
         """scalar * vec for an array of field elements."""
         vec = np.asarray(vec, dtype=np.int64)
         if scalar == 0:
             return np.zeros_like(vec)
-        out = np.zeros_like(vec)
+        out: FieldArray = np.zeros_like(vec)
         nz = vec != 0
         out[nz] = self._exp[self._log[vec[nz]] + self._log[scalar]]
         return out
 
-    def poly_eval(self, coeffs: np.ndarray, x: int) -> int:
+    def poly_eval(self, coeffs: npt.ArrayLike, x: int) -> int:
         """Evaluate polynomial (lowest degree first) at ``x`` (Horner)."""
         acc = 0
         for c in reversed(np.asarray(coeffs, dtype=np.int64)):

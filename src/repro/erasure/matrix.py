@@ -15,7 +15,7 @@ asking:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set, Tuple
+from collections.abc import Iterable
 
 __all__ = ["cell_id", "cell_coords", "RowColumnAvailability"]
 
@@ -25,7 +25,7 @@ def cell_id(row: int, col: int, ext_cols: int) -> int:
     return row * ext_cols + col
 
 
-def cell_coords(cid: int, ext_cols: int) -> Tuple[int, int]:
+def cell_coords(cid: int, ext_cols: int) -> tuple[int, int]:
     """Inverse of :func:`cell_id`."""
     return divmod(cid, ext_cols)
 
@@ -44,7 +44,7 @@ class RowColumnAvailability:
             raise ValueError("grid must be at least 2x2")
         self.ext_rows = ext_rows
         self.ext_cols = ext_cols
-        self._row_masks: List[int] = [0] * ext_rows
+        self._row_masks: list[int] = [0] * ext_rows
         self._full_row = (1 << ext_cols) - 1
         self._count = 0
 
@@ -85,13 +85,13 @@ class RowColumnAvailability:
         bit = 1 << col
         return sum(1 for mask in self._row_masks if mask & bit)
 
-    def row_cells(self, row: int) -> List[int]:
+    def row_cells(self, row: int) -> list[int]:
         """Available cell ids in ``row``."""
         mask = self._row_masks[row]
         base = row * self.ext_cols
         return [base + col for col in range(self.ext_cols) if mask & (1 << col)]
 
-    def col_cells(self, col: int) -> List[int]:
+    def col_cells(self, col: int) -> list[int]:
         bit = 1 << col
         return [
             row * self.ext_cols + col
@@ -109,13 +109,13 @@ class RowColumnAvailability:
     # ------------------------------------------------------------------
     # reconstruction closure (peeling)
     # ------------------------------------------------------------------
-    def close(self) -> Set[int]:
+    def close(self) -> set[int]:
         """Apply reconstruction transitively; returns newly available ids.
 
         Repeats until fixpoint: complete every row with >= half its
         cells, then every column, and loop while progress is made.
         """
-        new_cells: Set[int] = set()
+        new_cells: set[int] = set()
         half_cols = self.ext_cols // 2
         half_rows = self.ext_rows // 2
         progress = True

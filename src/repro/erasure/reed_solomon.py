@@ -19,7 +19,7 @@ bytes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class ReedSolomon:
         self.field = field
 
     # ------------------------------------------------------------------
-    def encode(self, data: Sequence[int]) -> List[int]:
+    def encode(self, data: Sequence[int]) -> list[int]:
         """Extend ``k`` data symbols to a full ``n``-symbol codeword.
 
         Systematic: the first ``k`` output symbols equal the input.
@@ -58,7 +58,7 @@ class ReedSolomon:
         parity = self._interpolate_at(known, list(range(self.k, self.n)))
         return [int(s) for s in data] + parity
 
-    def decode(self, known: Dict[int, int]) -> List[int]:
+    def decode(self, known: dict[int, int]) -> list[int]:
         """Recover the full codeword from any >= k known symbols.
 
         ``known`` maps position (0..n-1) to symbol value. Raises
@@ -79,12 +79,12 @@ class ReedSolomon:
         codeword = [0] * self.n
         for pos, value in known.items():
             codeword[pos] = int(value)
-        for pos, value in zip(missing, recovered):
+        for pos, value in zip(missing, recovered, strict=True):
             codeword[pos] = value
         return codeword
 
     # ------------------------------------------------------------------
-    def _interpolate_at(self, points: Dict[int, int], targets: List[int]) -> List[int]:
+    def _interpolate_at(self, points: dict[int, int], targets: list[int]) -> list[int]:
         """Lagrange-interpolate ``points`` and evaluate at ``targets``.
 
         Positions double as evaluation points (the field elements

@@ -22,7 +22,6 @@ dynamic regime the paper leaves as discussion.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
 
 from repro.core.assignment import AssignmentIndex
 from repro.core.node import PandasNode
@@ -55,8 +54,8 @@ class ChurnScenario(Scenario):
             raise ValueError("view_lag_slots must be non-negative")
         self.churn_fraction = churn_fraction
         self.view_lag_slots = view_lag_slots
-        self.departed: Set[int] = set()
-        self._membership_history: List[Set[int]] = []
+        self.departed: set[int] = set()
+        self._membership_history: list[set[int]] = []
         self._next_address: int = 0
         super().__init__(config)
         self._next_address = self.builder_id + 1
@@ -66,10 +65,10 @@ class ChurnScenario(Scenario):
     # membership
     # ------------------------------------------------------------------
     @property
-    def current_members(self) -> Set[int]:
+    def current_members(self) -> set[int]:
         return set(self.node_ids) - self.departed
 
-    def _membership_at(self, slot: int) -> Set[int]:
+    def _membership_at(self, slot: int) -> set[int]:
         """Membership as known by a crawl finishing ``view_lag_slots``
         slots before ``slot`` (clamped to genesis)."""
         index = max(0, min(len(self._membership_history) - 1, slot - self.view_lag_slots))
@@ -140,9 +139,9 @@ class ChurnScenario(Scenario):
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
-    def sampling_completion_by_slot(self) -> Dict[int, float]:
+    def sampling_completion_by_slot(self) -> dict[int, float]:
         """Fraction of that slot's live nodes that sampled within 4 s."""
-        outcome: Dict[int, float] = {}
+        outcome: dict[int, float] = {}
         for slot in self.ctx.slot_starts:
             live = [
                 node

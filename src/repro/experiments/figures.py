@@ -23,7 +23,7 @@ Fig. 15   dead-node and out-of-view fault sweeps
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.analysis.stats import Distribution
 from repro.core.seeding import MinimalSeeding, RedundantSeeding, SeedingPolicy, SingleSeeding
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 
-def SEEDING_POLICIES() -> Dict[str, SeedingPolicy]:
+def SEEDING_POLICIES() -> dict[str, SeedingPolicy]:
     """Fresh instances of the three policies of Figure 6."""
     return {
         "minimal": MinimalSeeding(),
@@ -64,7 +64,7 @@ class PolicyPhases:
     fetch_messages: Distribution
     fetch_bytes: Distribution
     builder_egress_bytes: float
-    block: Optional[Distribution] = None
+    block: Distribution | None = None
 
 
 def _phase_result(scenario: BaseScenario, policy_name: str) -> PolicyPhases:
@@ -104,14 +104,14 @@ def run_policy_comparison(
     slots: int = 1,
     seed: int = 7,
     include_block_gossip: bool = True,
-    params: Optional[PandasParams] = None,
-) -> Dict[str, PolicyPhases]:
+    params: PandasParams | None = None,
+) -> dict[str, PolicyPhases]:
     """Figures 9a-9d and 10: all three seeding policies, same network.
 
     Returns per-policy phase and traffic distributions; the special key
     ``"<policy>:from_seeding"`` carries the Figure 9b variant.
     """
-    results: Dict[str, PolicyPhases] = {}
+    results: dict[str, PolicyPhases] = {}
     for name, policy in SEEDING_POLICIES().items():
         config = ScenarioConfig(
             num_nodes=num_nodes,
@@ -140,8 +140,8 @@ def run_table1(
     slots: int = 1,
     seed: int = 7,
     max_round: int = 4,
-    params: Optional[PandasParams] = None,
-) -> Dict[int, Dict[str, Tuple[float, float]]]:
+    params: PandasParams | None = None,
+) -> dict[int, dict[str, tuple[float, float]]]:
     """Table 1: per-round fetching telemetry under the redundant policy."""
     config = ScenarioConfig(
         num_nodes=num_nodes,
@@ -158,11 +158,11 @@ def run_adaptive_vs_constant(
     num_nodes: int = 300,
     slots: int = 1,
     seed: int = 7,
-    params: Optional[PandasParams] = None,
-) -> Dict[str, PolicyPhases]:
+    params: PandasParams | None = None,
+) -> dict[str, PolicyPhases]:
     """Figure 11: PANDAS's schedule vs fixed t=400 ms / k=1."""
     base_params = params if params is not None else PandasParams.full()
-    results: Dict[str, PolicyPhases] = {}
+    results: dict[str, PolicyPhases] = {}
     for name, schedule in (
         ("adaptive", FetchSchedule()),
         ("constant", FetchSchedule.constant(timeout=0.4, redundancy=1)),
@@ -183,13 +183,13 @@ def run_baseline_comparison(
     num_nodes: int = 300,
     slots: int = 1,
     seed: int = 7,
-    params: Optional[PandasParams] = None,
-) -> Dict[str, PolicyPhases]:
+    params: PandasParams | None = None,
+) -> dict[str, PolicyPhases]:
     """Figure 12: PANDAS (redundant r=8) vs GossipSub vs DHT baselines."""
     from repro.baselines.dht_das import DhtDasScenario
     from repro.baselines.gossipsub_das import GossipDasScenario
 
-    results: Dict[str, PolicyPhases] = {}
+    results: dict[str, PolicyPhases] = {}
     pandas_config = ScenarioConfig(
         num_nodes=num_nodes,
         slots=slots,
@@ -212,8 +212,8 @@ def run_scaling(
     slots: int = 1,
     seed: int = 7,
     system: str = "pandas",
-    params: Optional[PandasParams] = None,
-) -> Dict[int, PolicyPhases]:
+    params: PandasParams | None = None,
+) -> dict[int, PolicyPhases]:
     """Figures 13 (system='pandas') and 14 (baselines): size sweeps."""
     from repro.baselines.dht_das import DhtDasScenario
     from repro.baselines.gossipsub_das import GossipDasScenario
@@ -225,7 +225,7 @@ def run_scaling(
     }
     if system not in makers:
         raise ValueError(f"unknown system {system!r}")
-    results: Dict[int, PolicyPhases] = {}
+    results: dict[int, PolicyPhases] = {}
     for count in node_counts:
         config = ScenarioConfig(
             num_nodes=count,
@@ -251,10 +251,10 @@ def run_fault_sweep(
     num_nodes: int = 300,
     slots: int = 1,
     seed: int = 7,
-    params: Optional[PandasParams] = None,
+    params: PandasParams | None = None,
     tracer=None,
     profiler=None,
-) -> Dict[float, PolicyPhases]:
+) -> dict[float, PolicyPhases]:
     """Figure 15: dead-node (a) or out-of-view (b) sweeps.
 
     A ``tracer``/``profiler`` is shared across all sweep points; a
@@ -262,7 +262,7 @@ def run_fault_sweep(
     """
     if fault not in ("dead", "out_of_view"):
         raise ValueError(f"unknown fault type {fault!r}")
-    results: Dict[float, PolicyPhases] = {}
+    results: dict[float, PolicyPhases] = {}
     for fraction in fractions:
         config = ScenarioConfig(
             num_nodes=num_nodes,
@@ -304,8 +304,8 @@ class AdversarialPoint:
     sampling_within_deadline: float
     consolidation_within_deadline: float
     analytic_success: float
-    fault_counts: Dict[str, float] = field(default_factory=dict)
-    defense_counts: Dict[str, float] = field(default_factory=dict)
+    fault_counts: dict[str, float] = field(default_factory=dict)
+    defense_counts: dict[str, float] = field(default_factory=dict)
 
 
 def run_adversarial_sweep(
@@ -314,11 +314,11 @@ def run_adversarial_sweep(
     num_nodes: int = 300,
     slots: int = 1,
     seed: int = 7,
-    params: Optional[PandasParams] = None,
+    params: PandasParams | None = None,
     deadline: float = 4.0,
     tracer=None,
     profiler=None,
-) -> Dict[float, AdversarialPoint]:
+) -> dict[float, AdversarialPoint]:
     """Honest completion vs Byzantine fraction (Section 9 threat model).
 
     ``behavior`` is one of :data:`repro.faults.plan.BEHAVIORS` or
@@ -336,7 +336,7 @@ def run_adversarial_sweep(
     if behavior != "mix" and behavior not in BEHAVIORS:
         raise ValueError(f"unknown adversary behavior {behavior!r}")
     base = params if params is not None else PandasParams.full()
-    results: Dict[float, AdversarialPoint] = {}
+    results: dict[float, AdversarialPoint] = {}
     for fraction in fractions:
         plan = None
         if fraction > 0.0:

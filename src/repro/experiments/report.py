@@ -10,7 +10,7 @@ policies/systems, deadline hit-rates, and crossover directions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from collections.abc import Iterable
 
 from repro.analysis.stats import Distribution
 
@@ -27,7 +27,7 @@ __all__ = [
 
 # Reference values transcribed from the paper (1,000-node deployment
 # unless noted). Times in seconds.
-PAPER: Dict[str, Dict[str, float]] = {
+PAPER: dict[str, dict[str, float]] = {
     # Figure 9d time-to-sampling per policy
     "fig9d.minimal": {"max": 3.341, "p99": 2.303, "median": 1.235, "within4s": 1.0},
     "fig9d.single": {"max": 3.062, "p99": 2.068, "median": 1.122, "within4s": 1.0},
@@ -71,8 +71,8 @@ PAPER: Dict[str, Dict[str, float]] = {
 def format_distribution_row(
     label: str,
     dist: Distribution,
-    deadline: Optional[float] = 4.0,
-    paper_key: Optional[str] = None,
+    deadline: float | None = 4.0,
+    paper_key: str | None = None,
 ) -> str:
     """One aligned row: measured stats plus the paper's reference."""
     if dist.count == 0:

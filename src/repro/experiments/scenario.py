@@ -13,7 +13,7 @@ in the best-connected 20% of vertices, 3% UDP loss.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set
+from collections.abc import Callable
 
 from repro.analysis.stats import Distribution
 from repro.core.assignment import AssignmentIndex, CellAssignment
@@ -53,7 +53,7 @@ class ScenarioConfig:
     out_of_view_fraction: float = 0.0
     node_profile: NodeProfile = DEFAULT_NODE_PROFILE
     builder_profile: NodeProfile = DEFAULT_BUILDER_PROFILE
-    latency: Optional[LatencyModel] = None  # default: ClusteredWanModel
+    latency: LatencyModel | None = None  # default: ClusteredWanModel
     num_vertices: int = 2_000
     # disseminate the block over a global GossipSub channel alongside
     # DAS (Figure 9a's comparison curve); off by default so pure DAS
@@ -63,7 +63,7 @@ class ScenarioConfig:
     # deterministic dynamic faults (crash/restart, partitions, link
     # faults) driven by dedicated RNG streams; None leaves the
     # transport untouched
-    faults: Optional[FaultPlan] = None
+    faults: FaultPlan | None = None
     # attach the online protocol-invariant checker (repro.faults.
     # invariants) — any violation raises mid-run
     check_invariants: bool = False
@@ -72,17 +72,17 @@ class ScenarioConfig:
     # recorder here must never change simulation behavior, and a
     # dedicated test pins MetricsRecorder.fingerprint() to be
     # bit-identical with tracing on or off
-    tracer: Optional[TraceRecorder] = None
+    tracer: TraceRecorder | None = None
     # opt-in wall-clock attribution of simulator callbacks
     # (module:qualname); also behavior-neutral
-    profiler: Optional[CallbackProfiler] = None
+    profiler: CallbackProfiler | None = None
 
     def make_latency(self) -> LatencyModel:
         if self.latency is not None:
             return self.latency
         return ClusteredWanModel(num_vertices=self.num_vertices, seed=self.seed)
 
-    def with_changes(self, **changes) -> "ScenarioConfig":
+    def with_changes(self, **changes) -> ScenarioConfig:
         return replace(self, **changes)
 
 
@@ -107,7 +107,7 @@ class BaseScenario:
         self.metrics = MetricsRecorder()
         self.params = config.params
         self.assignment = CellAssignment(self.params, RandaoBeacon(config.seed))
-        self._indexes: Dict[int, AssignmentIndex] = {}
+        self._indexes: dict[int, AssignmentIndex] = {}
 
         self.node_ids = list(range(config.num_nodes))
         self.builder_id = config.num_nodes
@@ -190,7 +190,7 @@ class BaseScenario:
     def _builder_handler(self) -> Callable[[Datagram], None]:
         return lambda dgram: None
 
-    def _pick_dead_nodes(self) -> Set[int]:
+    def _pick_dead_nodes(self) -> set[int]:
         fraction = self.config.dead_fraction
         if fraction <= 0.0:
             return set()
@@ -198,7 +198,7 @@ class BaseScenario:
         count = int(round(fraction * len(self.node_ids)))
         return set(rng.sample(self.node_ids, count))
 
-    def _node_view(self, node_id: int) -> Optional[Set[int]]:
+    def _node_view(self, node_id: int) -> set[int] | None:
         """Out-of-view fault model: a random subset of the node set."""
         fraction = self.config.out_of_view_fraction
         if fraction <= 0.0:
@@ -209,7 +209,7 @@ class BaseScenario:
         view.add(node_id)
         return view
 
-    def _pick_adversaries(self) -> Dict[int, AdversarySpec]:
+    def _pick_adversaries(self) -> dict[int, AdversarySpec]:
         """Resolve the fault plan's Byzantine roster (node -> spec).
 
         Resolution uses dedicated ``("faults", "adversary", i)`` RNG
@@ -226,10 +226,10 @@ class BaseScenario:
         return resolve_adversaries(plan, self.rngs, candidates)
 
     @property
-    def byzantine_nodes(self) -> Set[int]:
+    def byzantine_nodes(self) -> set[int]:
         return set(self.byzantine)
 
-    def _install_faults(self) -> Optional[FaultInjector]:
+    def _install_faults(self) -> FaultInjector | None:
         """Attach the configured fault plan (dead nodes are immune —
         they are a separate, static fault dimension)."""
         plan = self.config.faults
@@ -255,7 +255,7 @@ class BaseScenario:
         )
         return injector.install()
 
-    def _install_invariants(self) -> Optional[InvariantChecker]:
+    def _install_invariants(self) -> InvariantChecker | None:
         if not self.config.check_invariants:
             return None
         checker = InvariantChecker(
@@ -264,7 +264,7 @@ class BaseScenario:
         return checker.install()
 
     @property
-    def crashed_nodes(self) -> Set[int]:
+    def crashed_nodes(self) -> set[int]:
         """Nodes the fault plan crashes at some point during the run."""
         if self.fault_injector is None:
             return set()
@@ -383,7 +383,7 @@ class BaseScenario:
         self.sim.run(until=start + self.config.slot_window)
         self._end_slot(slot)
 
-    def run(self, slots: Optional[int] = None) -> "BaseScenario":
+    def run(self, slots: int | None = None) -> BaseScenario:
         for slot in range(slots if slots is not None else self.config.slots):
             self.run_slot(slot)
         if self.invariants is not None:
@@ -402,7 +402,7 @@ class BaseScenario:
         """Live nodes that are not running a Byzantine behavior."""
         return len(self.node_ids) - len(self.dead_nodes | set(self.byzantine))
 
-    def _alive_phase(self, phase: str) -> List[Optional[float]]:
+    def _alive_phase(self, phase: str) -> list[float | None]:
         """Phase times over live *honest* nodes; absent entries are misses.
 
         Byzantine nodes are excluded: they run the protocol too (which
@@ -410,7 +410,7 @@ class BaseScenario:
         and the adversarial sweeps' — is whether honest nodes finish
         in time, not whether the attackers do.
         """
-        values: List[Optional[float]] = []
+        values: list[float | None] = []
         byzantine = self.byzantine
         for (slot, node), times in self.metrics.phase_times.items():
             if node in self.dead_nodes or node in byzantine:
@@ -455,7 +455,7 @@ class Scenario(BaseScenario):
     """The PANDAS protocol scenario (builder seeding + adaptive fetch)."""
 
     def _build_participants(self) -> None:
-        self.nodes: Dict[int, PandasNode] = {}
+        self.nodes: dict[int, PandasNode] = {}
         for node_id in self.node_ids:
             spec = self.byzantine.get(node_id)
             if spec is None:
@@ -473,7 +473,7 @@ class Scenario(BaseScenario):
                     view=self._node_view(node_id),
                 )
         self.builder = Builder(self.ctx, self.builder_id, self.config.policy)
-        self.block_overlay: Optional["GossipOverlay"] = None
+        self.block_overlay: GossipOverlay | None = None
         if self.config.include_block_gossip:
             from repro.gossip.pubsub import GossipOverlay
 

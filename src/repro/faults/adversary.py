@@ -32,7 +32,7 @@ draws (seeding shuffles, sample choices, fetcher tie-breaks).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from repro.core.assignment import cells_of_line
 from repro.core.context import ProtocolContext
@@ -54,7 +54,7 @@ def resolve_adversaries(
     plan: FaultPlan,
     rngs: RngRegistry,
     candidates: Sequence[int],
-) -> Dict[int, AdversarySpec]:
+) -> dict[int, AdversarySpec]:
     """Assign each adversary spec its victims; node -> spec.
 
     Victims are drawn without replacement across specs (a node runs
@@ -62,7 +62,7 @@ def resolve_adversaries(
     streams. Fractional shares are resolved against the *full*
     candidate pool, so ``corrupt=0.1,flood=0.1`` means 10% each.
     """
-    assigned: Dict[int, AdversarySpec] = {}
+    assigned: dict[int, AdversarySpec] = {}
     for i, spec in enumerate(plan.adversaries):
         rng = rngs.stream("faults", "adversary", i)
         if spec.nodes:
@@ -97,17 +97,17 @@ class ByzantineNode(PandasNode):
         node_id: int,
         spec: AdversarySpec,
         victims: Sequence[int] = (),
-        view: Optional[Set[int]] = None,
+        view: set[int] | None = None,
     ) -> None:
         super().__init__(ctx, node_id, view)
         self.spec = spec
-        self.victims: List[int] = [v for v in victims if v != node_id]
+        self.victims: list[int] = [v for v in victims if v != node_id]
         # all in-run adversarial randomness for this node, isolated
         # from every protocol stream
         self._adv_rng = ctx.rngs.stream("faults", "adversary", "node", node_id)
-        self._flood_timer: Optional[Event] = None
-        self._served_requesters: Dict[int, Set[int]] = {}
-        self._withheld_cache: Dict[int, Set[int]] = {}
+        self._flood_timer: Event | None = None
+        self._served_requesters: dict[int, set[int]] = {}
+        self._withheld_cache: dict[int, set[int]] = {}
 
     # ------------------------------------------------------------------
     # scenario hook
@@ -169,7 +169,7 @@ class ByzantineNode(PandasNode):
                 msg = CellRequest(slot=msg.slot, epoch=msg.epoch, cells=remaining)
         super()._on_request(src, msg)
 
-    def _respond(self, slot: int, epoch: int, dst: int, cells: Tuple[int, ...]) -> None:
+    def _respond(self, slot: int, epoch: int, dst: int, cells: tuple[int, ...]) -> None:
         behavior = self.spec.behavior
         ctx = self.ctx
         if behavior == "corrupt":
@@ -190,7 +190,7 @@ class ByzantineNode(PandasNode):
             return
         super()._respond(slot, epoch, dst, cells)
 
-    def _withheld_cells(self, epoch: int) -> Set[int]:
+    def _withheld_cells(self, epoch: int) -> set[int]:
         """The one custody line this node starves in ``epoch``."""
         cached = self._withheld_cache.get(epoch)
         if cached is None:

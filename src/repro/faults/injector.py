@@ -22,13 +22,18 @@ realized fault load, not just the configured probabilities.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+import random
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.faults.plan import FaultPlan
 from repro.net.transport import Datagram, Network
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.events import TraceRecorder
 
 __all__ = ["FaultInjector"]
 
@@ -54,9 +59,9 @@ class FaultInjector:
         rngs: RngRegistry,
         metrics: MetricsRecorder,
         candidates: Sequence[int],
-        node_lookup: Optional[Callable[[int], object]] = None,
+        node_lookup: Callable[[int], Any] | None = None,
         slot_duration: float = 12.0,
-        tracer: Optional[object] = None,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         self.plan = plan
         self.sim = sim
@@ -67,17 +72,17 @@ class FaultInjector:
         self.node_lookup = node_lookup
         self.slot_duration = slot_duration
 
-        self.crash_targets: Set[int] = set()
-        self.slow_nodes: Dict[int, float] = {}
-        self.partition_groups: List[Set[int]] = []
-        self._active_partitions: List[Set[int]] = []
+        self.crash_targets: set[int] = set()
+        self.slow_nodes: dict[int, float] = {}
+        self.partition_groups: list[set[int]] = []
+        self._active_partitions: list[set[int]] = []
         self._link_rng = rngs.stream("faults", "link")
         self._installed = False
         # structured tracing (repro.obs): pure observation, never
         # consulted for any fault decision
         self.tracer = tracer
 
-    def _record(self, kind: str, **data) -> None:
+    def _record(self, kind: str, **data: int) -> None:
         """Count one realized fault and mirror it into the trace."""
         self.metrics.record_fault(kind)
         tracer = self.tracer
@@ -93,7 +98,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # installation
     # ------------------------------------------------------------------
-    def install(self) -> "FaultInjector":
+    def install(self) -> FaultInjector:
         """Resolve victims, schedule timed faults, hook the transport."""
         if self._installed:
             raise RuntimeError("fault injector already installed")
@@ -114,8 +119,8 @@ class FaultInjector:
         return self
 
     def _draw_victims(
-        self, rng, count: int, pinned: Tuple[int, ...], exclude: Set[int]
-    ) -> List[int]:
+        self, rng: random.Random, count: int, pinned: tuple[int, ...], exclude: set[int]
+    ) -> list[int]:
         if pinned:
             return list(pinned)
         pool = [node for node in self.candidates if node not in exclude]
@@ -173,18 +178,18 @@ class FaultInjector:
             node.restart(int(self.sim.now // self.slot_duration))
         self._record("restart", node=node_id)
 
-    def _open_partition(self, group: Set[int]) -> None:
+    def _open_partition(self, group: set[int]) -> None:
         self._active_partitions.append(group)
         self._record("partition_open", size=len(group))
 
-    def _close_partition(self, group: Set[int]) -> None:
+    def _close_partition(self, group: set[int]) -> None:
         self._active_partitions.remove(group)
         self._record("partition_close", size=len(group))
 
     # ------------------------------------------------------------------
     # per-datagram filter (Network.fault_filter)
     # ------------------------------------------------------------------
-    def _filter(self, dgram: Datagram, reliable: bool) -> Tuple[float, ...]:
+    def _filter(self, dgram: Datagram, reliable: bool) -> tuple[float, ...]:
         """Decide the fate of one datagram; see module docstring.
 
         Draw order is fixed (loss, jitter, duplication, dup-jitter) so

@@ -25,7 +25,8 @@ transition happens, which keeps the offending event on the stack.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from collections.abc import Hashable
+from typing import TYPE_CHECKING, Any
 
 from repro.net.transport import Datagram
 
@@ -50,7 +51,7 @@ class InvariantChecker:
     target).
     """
 
-    def __init__(self, scenario: "BaseScenario", fetch_bound_factor: float = 1.0) -> None:
+    def __init__(self, scenario: BaseScenario, fetch_bound_factor: float = 1.0) -> None:
         self.scenario = scenario
         self.fetch_bound_factor = fetch_bound_factor
         self.checks_run = 0
@@ -58,7 +59,7 @@ class InvariantChecker:
         self._installed = False
 
     # ------------------------------------------------------------------
-    def install(self) -> "InvariantChecker":
+    def install(self) -> InvariantChecker:
         """Hook transport observers and wrap the metrics marks."""
         if self._installed:
             raise RuntimeError("invariant checker already installed")
@@ -69,8 +70,8 @@ class InvariantChecker:
         metrics = self.scenario.metrics
         self._orig_mark_consolidation = metrics.mark_consolidation
         self._orig_mark_sampling = metrics.mark_sampling
-        metrics.mark_consolidation = self._checked_consolidation
-        metrics.mark_sampling = self._checked_sampling
+        metrics.mark_consolidation = self._checked_consolidation  # type: ignore[method-assign]
+        metrics.mark_sampling = self._checked_sampling  # type: ignore[method-assign]
         return self
 
     # ------------------------------------------------------------------
@@ -100,7 +101,7 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # I3 / I4: completion marks must reflect real cell state
     # ------------------------------------------------------------------
-    def _node_cells(self, slot: int, node: int):
+    def _node_cells(self, slot: Hashable, node: Hashable) -> Any | None:
         nodes = getattr(self.scenario, "nodes", None)
         if not nodes:
             return None
@@ -109,7 +110,7 @@ class InvariantChecker:
             return None
         return node_obj.slot_cells(slot)
 
-    def _checked_consolidation(self, slot, node, t: float) -> None:
+    def _checked_consolidation(self, slot: Hashable, node: Hashable, t: float) -> None:
         self.checks_run += 1
         if t < -_TIME_EPS:
             raise InvariantViolation(
@@ -126,7 +127,7 @@ class InvariantChecker:
                     )
         self._orig_mark_consolidation(slot, node, t)
 
-    def _checked_sampling(self, slot, node, t: float) -> None:
+    def _checked_sampling(self, slot: Hashable, node: Hashable, t: float) -> None:
         self.checks_run += 1
         if t < -_TIME_EPS:
             raise InvariantViolation(

@@ -31,7 +31,6 @@ the clean run's protocol draws.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 __all__ = [
     "AdversarySpec",
@@ -55,9 +54,9 @@ class CrashWindow:
     """
 
     crash_at: float
-    restart_at: Optional[float] = None
+    restart_at: float | None = None
     count: int = 1
-    nodes: Tuple[int, ...] = ()
+    nodes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.crash_at < 0.0:
@@ -83,7 +82,7 @@ class PartitionWindow:
     start: float
     duration: float
     fraction: float = 0.0
-    nodes: Tuple[int, ...] = ()
+    nodes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.start < 0.0:
@@ -109,7 +108,7 @@ class SlowResponders:
 
     count: int = 1
     extra_delay: float = 0.05
-    nodes: Tuple[int, ...] = ()
+    nodes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.extra_delay <= 0.0:
@@ -143,7 +142,7 @@ class AdversarySpec:
 
     behavior: str
     share: float = 0.0
-    nodes: Tuple[int, ...] = ()
+    nodes: tuple[int, ...] = ()
     rate: float = 20.0  # flood: garbage datagrams per second
     first_k: int = 1  # equivocate: requesters served per slot
     delay: float = 0.5  # stall: seconds between request and reply
@@ -178,10 +177,10 @@ class FaultPlan:
     loss: float = 0.0
     duplication: float = 0.0
     jitter: float = 0.0
-    crashes: Tuple[CrashWindow, ...] = ()
-    partitions: Tuple[PartitionWindow, ...] = ()
-    slow: Tuple[SlowResponders, ...] = ()
-    adversaries: Tuple[AdversarySpec, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    slow: tuple[SlowResponders, ...] = ()
+    adversaries: tuple[AdversarySpec, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("loss", "duplication"):
@@ -207,7 +206,7 @@ class FaultPlan:
     # CLI spec
     # ------------------------------------------------------------------
     @classmethod
-    def parse(cls, spec: str) -> "FaultPlan":
+    def parse(cls, spec: str) -> FaultPlan:
         """Build a plan from a compact comma-separated spec.
 
         Grammar (entries may repeat where it makes sense)::
@@ -230,10 +229,10 @@ class FaultPlan:
         Example: ``loss=0.05,crash=2@1.0:2.0,corrupt=0.1,flood=2@20``.
         """
         loss = duplication = jitter = 0.0
-        crashes = []
-        partitions = []
-        slow = []
-        adversaries = []
+        crashes: list[CrashWindow] = []
+        partitions: list[PartitionWindow] = []
+        slow: list[SlowResponders] = []
+        adversaries: list[AdversarySpec] = []
         for entry in spec.split(","):
             entry = entry.strip()
             if not entry:
@@ -285,24 +284,24 @@ class FaultPlan:
                     adversaries.append(AdversarySpec(behavior=key, share=float(value)))
                 elif key == "flood":
                     share, _, rate = value.partition("@")
-                    spec = AdversarySpec(behavior=key, share=float(share))
+                    adv = AdversarySpec(behavior=key, share=float(share))
                     if rate:
-                        spec = AdversarySpec(behavior=key, share=float(share), rate=float(rate))
-                    adversaries.append(spec)
+                        adv = AdversarySpec(behavior=key, share=float(share), rate=float(rate))
+                    adversaries.append(adv)
                 elif key == "equivocate":
                     share, _, first_k = value.partition("@")
-                    spec = AdversarySpec(behavior=key, share=float(share))
+                    adv = AdversarySpec(behavior=key, share=float(share))
                     if first_k:
-                        spec = AdversarySpec(
+                        adv = AdversarySpec(
                             behavior=key, share=float(share), first_k=int(first_k)
                         )
-                    adversaries.append(spec)
+                    adversaries.append(adv)
                 elif key == "stall":
                     share, _, delay = value.partition("@")
-                    spec = AdversarySpec(behavior=key, share=float(share))
+                    adv = AdversarySpec(behavior=key, share=float(share))
                     if delay:
-                        spec = AdversarySpec(behavior=key, share=float(share), delay=float(delay))
-                    adversaries.append(spec)
+                        adv = AdversarySpec(behavior=key, share=float(share), delay=float(delay))
+                    adversaries.append(adv)
                 else:
                     raise ValueError(f"unknown fault kind {key!r}")
             except ValueError:

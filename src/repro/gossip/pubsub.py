@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from collections.abc import Callable, Hashable
 
 from repro.net.transport import Datagram, Network
 
@@ -71,10 +71,10 @@ class GossipOverlay:
         self.network = network
         self.rng = rng
         self.mesh_degree = mesh_degree
-        self._mesh: Dict[Tuple[Hashable, int], Set[int]] = {}
-        self._members: Dict[Hashable, List[int]] = {}
-        self._seen: Dict[int, Set[Tuple[Hashable, Hashable]]] = {}
-        self._handlers: Dict[Hashable, Callable[[int, GossipMessage], None]] = {}
+        self._mesh: dict[tuple[Hashable, int], set[int]] = {}
+        self._members: dict[Hashable, list[int]] = {}
+        self._seen: dict[int, set[tuple[Hashable, Hashable]]] = {}
+        self._handlers: dict[Hashable, Callable[[int, GossipMessage], None]] = {}
         self.messages_forwarded = 0
         self.duplicates_suppressed = 0
 
@@ -84,8 +84,8 @@ class GossipOverlay:
     def create_topic(
         self,
         topic: Hashable,
-        members: List[int],
-        handler: Optional[Callable[[int, GossipMessage], None]] = None,
+        members: list[int],
+        handler: Callable[[int, GossipMessage], None] | None = None,
     ) -> None:
         """Subscribe ``members`` and build the topic mesh.
 
@@ -109,10 +109,10 @@ class GossipOverlay:
                 self._mesh[(topic, member)].add(pick)
                 self._mesh[(topic, pick)].add(member)
 
-    def mesh_neighbors(self, topic: Hashable, member: int) -> Set[int]:
+    def mesh_neighbors(self, topic: Hashable, member: int) -> set[int]:
         return self._mesh.get((topic, member), set())
 
-    def topic_members(self, topic: Hashable) -> List[int]:
+    def topic_members(self, topic: Hashable) -> list[int]:
         return self._members.get(topic, [])
 
     def set_handler(self, topic: Hashable, handler: Callable[[int, GossipMessage], None]) -> None:
@@ -129,7 +129,7 @@ class GossipOverlay:
         payload: object,
         payload_size: int,
         slot: int = -1,
-        fanout: Optional[int] = None,
+        fanout: int | None = None,
     ) -> None:
         """Inject a message.
 
@@ -138,15 +138,19 @@ class GossipOverlay:
         random members, per GossipSub's fanout rule.
         """
         message = GossipMessage(topic, msg_id, payload, payload_size, slot)
-        neighbors = self._mesh.get((topic, publisher))
-        if neighbors is None:
+        mesh = self._mesh.get((topic, publisher))
+        if mesh is not None:
+            # sorted, not raw set order: which neighbor's datagram is
+            # scheduled first must be program text, not hash layout
+            targets = sorted(mesh)
+        else:
             members = self._members.get(topic, [])
             if not members:
                 return
             count = min(fanout if fanout is not None else self.mesh_degree, len(members))
-            neighbors = set(self.rng.sample(members, count))
+            targets = self.rng.sample(members, count)
         self._seen.setdefault(publisher, set()).add((topic, msg_id))
-        for neighbor in neighbors:
+        for neighbor in targets:
             self._push(publisher, neighbor, message)
 
     def _push(self, src: int, dst: int, message: GossipMessage) -> None:
@@ -167,7 +171,7 @@ class GossipOverlay:
         handler = self._handlers.get(message.topic)
         if handler is not None:
             handler(member, message)
-        for neighbor in self._mesh.get((message.topic, member), ()):
+        for neighbor in sorted(self._mesh.get((message.topic, member), ())):
             if neighbor != dgram.src:
                 self._push(member, neighbor, message)
 

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 __all__ = [
     "LatencyModel",
@@ -126,13 +127,13 @@ class ClusteredWanModel:
         rng = random.Random(seed)
         # Cluster positions on [0, 1) circle; weights make some regions
         # (big metros) denser than others, like real deployments.
-        self._cluster_pos: List[float] = sorted(rng.random() for _ in range(num_clusters))
+        self._cluster_pos: list[float] = sorted(rng.random() for _ in range(num_clusters))
         weights = [rng.uniform(0.4, 1.0) ** 2 for _ in range(num_clusters)]
-        self._vertex_cluster: List[int] = rng.choices(
+        self._vertex_cluster: list[int] = rng.choices(
             range(num_clusters), weights=weights, k=num_vertices
         )
         mu = math.log(access_median)
-        self._access: List[float] = []
+        self._access: list[float] = []
         for _ in range(num_vertices):
             if rng.random() < straggler_fraction:
                 # satellite/NAT-relay stragglers produce the trace's
@@ -142,7 +143,7 @@ class ClusteredWanModel:
                 self._access.append(
                     min(access_cap, max(access_floor, rng.lognormvariate(mu, access_sigma)))
                 )
-        self._mean_cache: List[float] | None = None
+        self._mean_cache: list[float] | None = None
 
     # ------------------------------------------------------------------
     def _propagation(self, cluster_a: int, cluster_b: int) -> float:
@@ -191,7 +192,7 @@ class ClusteredWanModel:
         return self._mean_cache[vertex]
 
     # ------------------------------------------------------------------
-    def rtt_sample(self, pairs: int = 20_000, seed: int = 1) -> List[float]:
+    def rtt_sample(self, pairs: int = 20_000, seed: int = 1) -> list[float]:
         """Round-trip latencies over random vertex pairs (for validation)."""
         rng = random.Random(seed)
         samples = []

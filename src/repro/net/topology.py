@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.net.latency import LatencyModel
 from repro.net.link import gbps, mbps
@@ -39,8 +39,8 @@ class Topology:
     """Assignment of simulation participants to latency vertices."""
 
     latency: LatencyModel
-    node_vertices: Dict[int, int] = field(default_factory=dict)
-    builder_vertices: Dict[int, int] = field(default_factory=dict)
+    node_vertices: dict[int, int] = field(default_factory=dict)
+    builder_vertices: dict[int, int] = field(default_factory=dict)
 
     @staticmethod
     def build(
@@ -49,7 +49,7 @@ class Topology:
         builder_ids: Sequence[int],
         rng: random.Random,
         builder_fraction: float = 0.2,
-    ) -> "Topology":
+    ) -> Topology:
         """Place nodes uniformly and builders among the best vertices."""
         topo = Topology(latency)
         num_vertices = latency.num_vertices
@@ -67,7 +67,7 @@ class Topology:
         return self.builder_vertices[participant_id]
 
 
-def _best_vertices(latency: LatencyModel, fraction: float) -> List[int]:
+def _best_vertices(latency: LatencyModel, fraction: float) -> list[int]:
     best_connected = getattr(latency, "best_connected", None)
     if callable(best_connected):
         return list(best_connected(fraction))

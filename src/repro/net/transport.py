@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from repro.net.latency import LatencyModel
 from repro.net.link import AccessLink
@@ -63,7 +64,7 @@ class Network:
         sim: Simulator,
         latency: LatencyModel,
         loss_rate: float = DEFAULT_LOSS_RATE,
-        rng: Optional[random.Random] = None,
+        rng: random.Random | None = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -71,20 +72,20 @@ class Network:
         self.latency = latency
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else random.Random(0)
-        self._endpoints: Dict[int, Endpoint] = {}
-        self.on_send: List[Callable[[Datagram], None]] = []
-        self.on_deliver: List[Callable[[Datagram], None]] = []
+        self._endpoints: dict[int, Endpoint] = {}
+        self.on_send: list[Callable[[Datagram], None]] = []
+        self.on_deliver: list[Callable[[Datagram], None]] = []
         # Loss observers for the tracing layer: called with the dropped
         # datagram and a reason — "dead" (destination unregistered or
         # not alive at send time), "loss" (Bernoulli draw), "fault"
         # (fault_filter returned no copies), "dead_late" (receiver died
         # while the datagram was in flight).
-        self.on_drop: List[Callable[[Datagram, str], None]] = []
+        self.on_drop: list[Callable[[Datagram, str], None]] = []
         # Optional fault-injection hook (see repro.faults.injector):
         # called per datagram with (dgram, reliable), returns one extra
         # delivery delay per copy to deliver — () drops the datagram,
         # (0.0,) is undisturbed delivery, (0.0, j) adds a duplicate.
-        self.fault_filter: Optional[Callable[[Datagram, bool], Tuple[float, ...]]] = None
+        self.fault_filter: Callable[[Datagram, bool], tuple[float, ...]] | None = None
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
         self.datagrams_lost = 0
@@ -135,11 +136,11 @@ class Network:
         endpoint = self._endpoints.get(address)
         return endpoint is not None and endpoint.alive
 
-    def endpoint(self, address: int) -> Optional[Endpoint]:
+    def endpoint(self, address: int) -> Endpoint | None:
         return self._endpoints.get(address)
 
     @property
-    def addresses(self) -> List[int]:
+    def addresses(self) -> list[int]:
         return list(self._endpoints)
 
     # ------------------------------------------------------------------
@@ -176,7 +177,7 @@ class Network:
         if not reliable and self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self._drop(dgram, "loss")
             return
-        extra_delays: Tuple[float, ...] = (0.0,)
+        extra_delays: tuple[float, ...] = (0.0,)
         if self.fault_filter is not None:
             extra_delays = self.fault_filter(dgram, reliable)
             if not extra_delays:

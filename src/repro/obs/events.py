@@ -23,7 +23,8 @@ from __future__ import annotations
 import itertools
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 __all__ = [
     "KINDS",
@@ -88,9 +89,9 @@ class TraceEvent:
     kind: str
     data: Mapping[str, Any] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Flat dict form used by every serializing sink."""
-        out: Dict[str, Any] = {
+        out: dict[str, Any] = {
             "t": self.t,
             "slot": self.slot,
             "node": self.node,
@@ -111,16 +112,16 @@ class TraceRecorder:
 
     def __init__(
         self,
-        capacity: Optional[int] = 1 << 20,
-        kinds: Optional[Iterable[str]] = None,
+        capacity: int | None = 1 << 20,
+        kinds: Iterable[str] | None = None,
         sinks: Iterable[Any] = (),
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
         self.capacity = capacity
-        self._kinds: Optional[frozenset] = frozenset(kinds) if kinds is not None else None
-        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
-        self._sinks: List[Any] = list(sinks)
+        self._kinds: frozenset | None = frozenset(kinds) if kinds is not None else None
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self._sinks: list[Any] = list(sinks)
         self._req_ids = itertools.count(1)
         self.accepted = 0
         self.filtered = 0
@@ -139,7 +140,7 @@ class TraceRecorder:
 
     def emit(
         self, kind: str, *, t: float, slot: int = -1, node: int = -1, **data: Any
-    ) -> Optional[TraceEvent]:
+    ) -> TraceEvent | None:
         """Record one event; returns it, or None when filtered out."""
         if not self.enabled(kind):
             self.filtered += 1
@@ -162,7 +163,7 @@ class TraceRecorder:
     # access
     # ------------------------------------------------------------------
     @property
-    def events(self) -> List[TraceEvent]:
+    def events(self) -> list[TraceEvent]:
         """The in-memory tail, oldest first."""
         return list(self._buffer)
 
@@ -179,6 +180,6 @@ class TraceRecorder:
         for sink in self._sinks:
             sink.close()
 
-    def kind_table(self) -> List[Tuple[str, int]]:
+    def kind_table(self) -> list[tuple[str, int]]:
         """(kind, count) rows, most frequent first, ties by name."""
         return sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))

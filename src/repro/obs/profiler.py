@@ -19,7 +19,8 @@ from __future__ import annotations
 import functools
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from collections.abc import Callable
+from typing import Any
 
 __all__ = ["CallbackProfiler", "SiteStats", "callback_site"]
 
@@ -66,8 +67,8 @@ class CallbackProfiler:
     """
 
     def __init__(self) -> None:
-        self._sites: Dict[str, SiteStats] = {}
-        self._labels: Dict[Any, str] = {}
+        self._sites: dict[str, SiteStats] = {}
+        self._labels: dict[Any, str] = {}
         self.events = 0
         self.seconds = 0.0
 
@@ -106,7 +107,7 @@ class CallbackProfiler:
         """Simulator callbacks executed per wall-clock second."""
         return self.events / self.seconds if self.seconds > 0.0 else 0.0
 
-    def table(self, top: int = 15) -> List[SiteStats]:
+    def table(self, top: int = 15) -> list[SiteStats]:
         """The ``top`` hottest sites by total wall-clock time."""
         ranked = sorted(
             self._sites.values(), key=lambda s: (-s.seconds, s.site)

@@ -10,7 +10,7 @@ which is what lets the test suite diff whole traces.
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, List, Optional, Union
+from typing import IO, Any
 
 from repro.obs.events import QUERY_TERMINAL_KINDS, TraceEvent
 
@@ -21,7 +21,7 @@ class MemorySink:
     """Keeps every accepted event (unbounded — for tests and reports)."""
 
     def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+        self.events: list[TraceEvent] = []
 
     def handle(self, event: TraceEvent) -> None:
         self.events.append(event)
@@ -33,9 +33,11 @@ class MemorySink:
 class JsonlSink:
     """One JSON object per line, flat schema (``t/slot/node/kind`` + payload)."""
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    def __init__(self, target: str | IO[str]) -> None:
         if isinstance(target, str):
-            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            # long-lived sink: the handle outlives this scope and is
+            # released by close()
+            self._file: IO[str] = open(target, "w", encoding="utf-8")  # noqa: SIM115
             self._owns = True
         else:
             self._file = target
@@ -67,20 +69,20 @@ class ChromeTraceSink:
     else is an instant event (``"i"``, thread-scoped).
     """
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    def __init__(self, target: str | IO[str]) -> None:
         self._target = target
-        self._events: List[Dict[str, Any]] = []
+        self._events: list[dict[str, Any]] = []
         self._closed = False
 
     def handle(self, event: TraceEvent) -> None:
-        record: Dict[str, Any] = {
+        record: dict[str, Any] = {
             "name": event.kind,
             "ts": round(event.t * 1e6, 3),
             "pid": event.slot if event.slot >= 0 else 0,
             "tid": event.node if event.node >= 0 else 0,
             "args": dict(event.data),
         }
-        req: Optional[int] = event.data.get("req")
+        req: int | None = event.data.get("req")
         if event.kind == "query_issue" and req is not None:
             record.update(name="query", cat="query", ph="b", id=f"0x{req:x}")
         elif event.kind in QUERY_TERMINAL_KINDS and req is not None:

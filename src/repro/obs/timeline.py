@@ -17,7 +17,8 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from repro.obs.events import QUERY_TERMINAL_KINDS, TraceEvent
 
@@ -33,7 +34,7 @@ __all__ = [
     "causal_report",
 ]
 
-EventLike = Union[TraceEvent, Mapping[str, Any]]
+EventLike = TraceEvent | Mapping[str, Any]
 
 
 def as_dict(event: EventLike) -> Mapping[str, Any]:
@@ -43,9 +44,9 @@ def as_dict(event: EventLike) -> Mapping[str, Any]:
     return event
 
 
-def load_trace(path: str) -> List[Dict[str, Any]]:
+def load_trace(path: str) -> list[dict[str, Any]]:
     """Read a JSONL trace file back into flat event dicts."""
-    events: List[Dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -56,14 +57,14 @@ def load_trace(path: str) -> List[Dict[str, Any]]:
 
 def build_timelines(
     events: Iterable[EventLike],
-) -> Dict[Tuple[int, int], List[Mapping[str, Any]]]:
+) -> dict[tuple[int, int], list[Mapping[str, Any]]]:
     """Group events into per-``(slot, node)`` timelines, time-ordered.
 
     Events without slot/node context (``-1``) are grouped under their
     ``-1`` key so global happenings (e.g. slot-less datagrams) stay
     inspectable without polluting node timelines.
     """
-    timelines: Dict[Tuple[int, int], List[Mapping[str, Any]]] = {}
+    timelines: dict[tuple[int, int], list[Mapping[str, Any]]] = {}
     for raw in events:
         event = as_dict(raw)
         key = (event.get("slot", -1), event.get("node", -1))
@@ -86,8 +87,8 @@ class QueryLifecycle:
     peer: int
     round: int
     issued_at: float
-    closed_at: Optional[float] = None
-    outcome: Optional[str] = None  # response | timeout | cancel
+    closed_at: float | None = None
+    outcome: str | None = None  # response | timeout | cancel
     new_cells: int = 0
     late: bool = False
     usable: bool = False
@@ -98,9 +99,9 @@ class QueryLifecycle:
         return self.outcome is None
 
 
-def query_lifecycles(events: Iterable[EventLike]) -> Dict[int, QueryLifecycle]:
+def query_lifecycles(events: Iterable[EventLike]) -> dict[int, QueryLifecycle]:
     """Reconstruct every query's lifecycle, keyed by request id."""
-    lifecycles: Dict[int, QueryLifecycle] = {}
+    lifecycles: dict[int, QueryLifecycle] = {}
     for raw in events:
         event = as_dict(raw)
         kind = event["kind"]
@@ -130,7 +131,7 @@ def query_lifecycles(events: Iterable[EventLike]) -> Dict[int, QueryLifecycle]:
     return lifecycles
 
 
-def lifecycle_problems(events: Iterable[EventLike]) -> List[str]:
+def lifecycle_problems(events: Iterable[EventLike]) -> list[str]:
     """Violations of the one-terminal-per-request invariant.
 
     Every ``query_issue`` must be closed by exactly one of
@@ -138,9 +139,9 @@ def lifecycle_problems(events: Iterable[EventLike]) -> List[str]:
     terminal without a matching open issue is equally a bug. Returns
     human-readable problem strings (empty list = invariant holds).
     """
-    problems: List[str] = []
-    open_reqs: Dict[int, Mapping[str, Any]] = {}
-    closed: Dict[int, str] = {}
+    problems: list[str] = []
+    open_reqs: dict[int, Mapping[str, Any]] = {}
+    closed: dict[int, str] = {}
     for raw in events:
         event = as_dict(raw)
         kind = event["kind"]
@@ -172,9 +173,9 @@ def lifecycle_problems(events: Iterable[EventLike]) -> List[str]:
 # ----------------------------------------------------------------------
 def phase_completions(
     events: Iterable[EventLike],
-) -> Dict[Tuple[int, int], Dict[str, float]]:
+) -> dict[tuple[int, int], dict[str, float]]:
     """Per-``(slot, node)``: phase name -> completion time from slot start."""
-    out: Dict[Tuple[int, int], Dict[str, float]] = {}
+    out: dict[tuple[int, int], dict[str, float]] = {}
     for raw in events:
         event = as_dict(raw)
         if event["kind"] != "phase":
@@ -189,7 +190,7 @@ def slowest_nodes(
     slot: int = 0,
     phase: str = "sampling",
     count: int = 3,
-) -> List[Tuple[int, Optional[float]]]:
+) -> list[tuple[int, float | None]]:
     """Nodes ranked slowest-first by ``phase`` completion in ``slot``.
 
     Nodes that appear in the slot's trace but never completed the phase
@@ -212,7 +213,7 @@ def slowest_nodes(
             and event["node"] not in builders
         ):
             nodes.add(event["node"])
-    ranked: List[Tuple[int, Optional[float]]] = []
+    ranked: list[tuple[int, float | None]] = []
     for node in nodes:
         at = completions.get((slot, node), {}).get(phase)
         ranked.append((node, at))
@@ -225,7 +226,7 @@ def slowest_nodes(
 # ----------------------------------------------------------------------
 def causal_report(
     events: Iterable[EventLike], slot: int, node: int
-) -> List[str]:
+) -> list[str]:
     """Why did this node's slot take as long as it did — as text lines.
 
     Replays the node's timeline: seed arrival, every fetch round with
@@ -241,7 +242,7 @@ def causal_report(
     mine.sort(key=lambda e: e["t"])
     lives = [life for life in query_lifecycles(mine).values() if life.req > 0]
 
-    lines: List[str] = []
+    lines: list[str] = []
     slot_start = None
     for event in mine:
         if event["kind"] in ("seed_recv", "phase", "fetch_start"):
@@ -268,10 +269,10 @@ def causal_report(
         f"{reconstructed} by reconstruction"
     )
 
-    by_round: Dict[int, List[QueryLifecycle]] = {}
+    by_round: dict[int, list[QueryLifecycle]] = {}
     for life in lives:
         by_round.setdefault(life.round, []).append(life)
-    round_lines: List[str] = []
+    round_lines: list[str] = []
     for event in mine:
         if event["kind"] != "fetch_round":
             continue
@@ -292,7 +293,7 @@ def causal_report(
         elided = len(round_lines) - 10
         round_lines = round_lines[:8] + [f"... {elided} more round(s) ..."] + round_lines[-2:]
     lines.extend(round_lines)
-    recycle_totals: Dict[str, Tuple[int, int]] = {}
+    recycle_totals: dict[str, tuple[int, int]] = {}
     for event in mine:
         if event["kind"] != "query_recycle":
             continue
@@ -302,7 +303,7 @@ def causal_report(
     for pool, (count, times) in sorted(recycle_totals.items()):
         lines.append(f"recycled {count} {pool} peer(s) over {times} event(s)")
 
-    defenses: Dict[str, float] = {}
+    defenses: dict[str, float] = {}
     for event in mine:
         if event["kind"] == "defense":
             name = event.get("defense", "?")

@@ -27,7 +27,6 @@ false-positive bound so the security semantics are preserved (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
 
 __all__ = ["PandasParams", "FetchSchedule", "SLOT_SECONDS", "DEADLINE_SECONDS"]
 
@@ -43,8 +42,8 @@ class FetchSchedule:
     ``max_rounds`` (the paper uses t up to t50).
     """
 
-    timeouts: Tuple[float, ...] = (0.4, 0.2, 0.1)
-    redundancy: Tuple[int, ...] = (1, 2, 4, 6, 8, 10)
+    timeouts: tuple[float, ...] = (0.4, 0.2, 0.1)
+    redundancy: tuple[int, ...] = (1, 2, 4, 6, 8, 10)
     max_rounds: int = 50
 
     def timeout(self, round_index: int) -> float:
@@ -62,7 +61,7 @@ class FetchSchedule:
     @staticmethod
     def constant(
         timeout: float = 0.4, redundancy: int = 1, max_rounds: int = 50
-    ) -> "FetchSchedule":
+    ) -> FetchSchedule:
         """The non-adaptive baseline of Figure 11 (fixed t, fixed k)."""
         return FetchSchedule((timeout,), (redundancy,), max_rounds)
 
@@ -205,12 +204,12 @@ class PandasParams:
     # presets
     # ------------------------------------------------------------------
     @staticmethod
-    def full() -> "PandasParams":
+    def full() -> PandasParams:
         """The exact Danksharding target parameters from the paper."""
         return PandasParams()
 
     @staticmethod
-    def reduced(factor: int = 8, samples: int | None = None) -> "PandasParams":
+    def reduced(factor: int = 8, samples: int | None = None) -> PandasParams:
         """Paper parameters with the grid scaled down by ``factor``.
 
         ``factor=8`` gives a 32x32 base grid (64x64 extended), one
@@ -235,7 +234,7 @@ class PandasParams:
             samples = required_samples(2 * base, 2 * base, target=1e-9)
         return replace(params, samples=samples)
 
-    def with_schedule(self, schedule: FetchSchedule) -> "PandasParams":
+    def with_schedule(self, schedule: FetchSchedule) -> PandasParams:
         """A copy of these parameters with a different fetch schedule."""
         return replace(self, fetch_schedule=schedule)
 

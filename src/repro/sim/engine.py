@@ -17,9 +17,21 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import Protocol
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "SimProfiler", "Simulator", "SimulationError"]
+
+
+class SimProfiler(Protocol):
+    """What :meth:`Simulator.set_profiler` accepts.
+
+    ``run`` must invoke the callback exactly once; see
+    :class:`repro.obs.profiler.CallbackProfiler` for the reference
+    implementation.
+    """
+
+    def run(self, callback: Callable[[], None]) -> None: ...
 
 
 class SimulationError(RuntimeError):
@@ -71,7 +83,7 @@ class Simulator:
         # opt-in profiling hook (repro.obs.profiler): when set, every
         # executed callback is routed through profiler.run(callback).
         # Wall-clock only — simulated time and event order are untouched.
-        self._profiler: Optional[object] = None
+        self._profiler: SimProfiler | None = None
 
     # ------------------------------------------------------------------
     # clock
@@ -95,10 +107,10 @@ class Simulator:
     # profiling
     # ------------------------------------------------------------------
     @property
-    def profiler(self) -> Optional[object]:
+    def profiler(self) -> SimProfiler | None:
         return self._profiler
 
-    def set_profiler(self, profiler: Optional[object]) -> None:
+    def set_profiler(self, profiler: SimProfiler | None) -> None:
         """Attach (or detach, with None) a callback profiler.
 
         The profiler must expose ``run(callback)`` that calls the
@@ -148,7 +160,7 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` callbacks have fired.
 

@@ -13,7 +13,7 @@ import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from statistics import mean, pstdev
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from collections.abc import Hashable, Iterable, Iterator
 
 __all__ = ["Counter2D", "MetricsRecorder", "PhaseTimes"]
 
@@ -29,7 +29,7 @@ class Counter2D:
     """
 
     def __init__(self) -> None:
-        self._per_slot: Dict[Hashable, Dict[Hashable, float]] = {}
+        self._per_slot: dict[Hashable, dict[Hashable, float]] = {}
         self._size = 0
 
     def add(self, slot: Hashable, node: Hashable, amount: float = 1.0) -> None:
@@ -47,29 +47,29 @@ class Counter2D:
             return 0.0
         return nodes.get(node, 0.0)
 
-    def per_node(self, slot: Hashable) -> Dict[Hashable, float]:
+    def per_node(self, slot: Hashable) -> dict[Hashable, float]:
         """All values for one slot, keyed by node."""
         return dict(self._per_slot.get(slot, {}))
 
-    def items(self) -> Iterator[Tuple[Tuple[Hashable, Hashable], float]]:
+    def items(self) -> Iterator[tuple[tuple[Hashable, Hashable], float]]:
         """Iterate ``((slot, node), value)`` pairs, flat-dict style."""
         for slot, nodes in self._per_slot.items():
             for node, value in nodes.items():
                 yield (slot, node), value
 
-    def values(self, slot: Optional[Hashable] = None) -> List[float]:
+    def values(self, slot: Hashable | None = None) -> list[float]:
         if slot is None:
             return [v for nodes in self._per_slot.values() for v in nodes.values()]
         return list(self._per_slot.get(slot, {}).values())
 
-    def total(self, slot: Optional[Hashable] = None) -> float:
+    def total(self, slot: Hashable | None = None) -> float:
         return sum(self.values(slot))
 
     def __len__(self) -> int:
         return self._size
 
     @property
-    def _data(self) -> Dict[Tuple[Hashable, Hashable], float]:
+    def _data(self) -> dict[tuple[Hashable, Hashable], float]:
         """Flat ``(slot, node) -> value`` view (pre-index compatibility).
 
         Read-only: mutations to the returned dict are not written back.
@@ -85,10 +85,10 @@ class PhaseTimes:
     window — those entries count as deadline misses.
     """
 
-    seeding: Optional[float] = None
-    consolidation: Optional[float] = None
-    sampling: Optional[float] = None
-    block: Optional[float] = None
+    seeding: float | None = None
+    consolidation: float | None = None
+    sampling: float | None = None
+    block: float | None = None
 
 
 @dataclass
@@ -101,7 +101,7 @@ class MetricsRecorder:
     audit and the analysis stays in one place.
     """
 
-    phase_times: Dict[Tuple[Hashable, Hashable], PhaseTimes] = field(default_factory=dict)
+    phase_times: dict[tuple[Hashable, Hashable], PhaseTimes] = field(default_factory=dict)
     messages_sent: Counter2D = field(default_factory=Counter2D)
     messages_received: Counter2D = field(default_factory=Counter2D)
     bytes_sent: Counter2D = field(default_factory=Counter2D)
@@ -110,21 +110,21 @@ class MetricsRecorder:
     # the quantity plotted in Figures 10, 13b/c and 14b/c
     fetch_messages: Counter2D = field(default_factory=Counter2D)
     fetch_bytes: Counter2D = field(default_factory=Counter2D)
-    builder_bytes_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
-    builder_messages_sent: Dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
-    round_stats: Dict[Tuple[Hashable, Hashable, int], Dict[str, float]] = field(
+    builder_bytes_sent: dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
+    builder_messages_sent: dict[Hashable, float] = field(default_factory=lambda: defaultdict(float))
+    round_stats: dict[tuple[Hashable, Hashable, int], dict[str, float]] = field(
         default_factory=dict
     )
-    custom: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    custom: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     # realized fault events by kind (link_drop, duplicate, crash, ...),
     # recorded by the fault injector so fault figures report the actual
     # injected load, not just the configured probabilities
-    fault_counts: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    fault_counts: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     # node-side defense events by kind (resp_unsolicited, cells_invalid,
     # rate_limited, quarantine, ...), recorded by PandasNode's
     # validation layer; adversarial experiments report these alongside
     # fault_counts to show how much hostile traffic was absorbed
-    defense_counts: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    defense_counts: dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
     # ------------------------------------------------------------------
     # phase completion marks
@@ -195,8 +195,8 @@ class MetricsRecorder:
     # extraction helpers
     # ------------------------------------------------------------------
     def phase_series(
-        self, phase: str, slots: Optional[Iterable[Hashable]] = None
-    ) -> List[Optional[float]]:
+        self, phase: str, slots: Iterable[Hashable] | None = None
+    ) -> list[float | None]:
         """All completion times for ``phase`` across (slot, node) pairs.
 
         Missing completions are returned as ``None`` so callers can
@@ -204,14 +204,14 @@ class MetricsRecorder:
         dropping the slowest nodes.
         """
         wanted = set(slots) if slots is not None else None
-        series: List[Optional[float]] = []
+        series: list[float | None] = []
         for (slot, _node), times in self.phase_times.items():
             if wanted is not None and slot not in wanted:
                 continue
             series.append(getattr(times, phase))
         return series
 
-    def snapshot(self) -> Tuple:
+    def snapshot(self) -> tuple[object, ...]:
         """Canonical, order-independent form of everything recorded.
 
         Two runs are behaviourally identical iff their snapshots are
@@ -219,7 +219,7 @@ class MetricsRecorder:
         (faulty) replays.
         """
 
-        def counter(c: Counter2D) -> Tuple:
+        def counter(c: Counter2D) -> tuple[object, ...]:
             return tuple(sorted(c.items()))
 
         return (
@@ -252,7 +252,7 @@ class MetricsRecorder:
         """SHA-256 digest of :meth:`snapshot` for bit-identity checks."""
         return hashlib.sha256(repr(self.snapshot()).encode()).hexdigest()
 
-    def summary(self) -> Dict[str, object]:
+    def summary(self) -> dict[str, object]:
         """Flat run totals for machine-readable reports (``--json``)."""
         slots = sorted({slot for (slot, _node) in self.phase_times})
         return {
@@ -270,15 +270,15 @@ class MetricsRecorder:
             "defenses": dict(sorted(self.defense_counts.items())),
         }
 
-    def round_table(self, max_round: int = 4) -> Dict[int, Dict[str, Tuple[float, float]]]:
+    def round_table(self, max_round: int = 4) -> dict[int, dict[str, tuple[float, float]]]:
         """Aggregate round telemetry into Table-1-style (mean, std) rows."""
-        per_round: Dict[int, Dict[str, List[float]]] = defaultdict(lambda: defaultdict(list))
+        per_round: dict[int, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))
         for (_slot, _node, rnd), stats in self.round_stats.items():
             if rnd > max_round:
                 continue
             for name, value in stats.items():
                 per_round[rnd][name].append(value)
-        table: Dict[int, Dict[str, Tuple[float, float]]] = {}
+        table: dict[int, dict[str, tuple[float, float]]] = {}
         for rnd, stats in sorted(per_round.items()):
             table[rnd] = {
                 name: (mean(values), pstdev(values) if len(values) > 1 else 0.0)

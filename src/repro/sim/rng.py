@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
 
 __all__ = ["RngRegistry", "derive_seed"]
 
@@ -39,7 +38,7 @@ class RngRegistry:
 
     def __init__(self, master_seed: int) -> None:
         self.master_seed = master_seed
-        self._streams: Dict[tuple, random.Random] = {}
+        self._streams: dict[tuple[str, ...], random.Random] = {}
 
     def stream(self, *labels: object) -> random.Random:
         """Return the RNG for ``labels``, creating it on first use."""
@@ -50,6 +49,6 @@ class RngRegistry:
             self._streams[key] = rng
         return rng
 
-    def fork(self, *labels: object) -> "RngRegistry":
+    def fork(self, *labels: object) -> RngRegistry:
         """Return a child registry with an independent master seed."""
         return RngRegistry(derive_seed(self.master_seed, "fork", *labels))

@@ -1,0 +1,16 @@
+"""Pragma fixture: documented, above-line, and undocumented suppressions."""
+
+import random
+
+
+def documented_same_line() -> float:
+    return random.random()  # reprolint: disable=RL001 -- fixture: justified same-line suppression
+
+
+def documented_line_above() -> float:
+    # reprolint: disable=RL001 -- fixture: pragma on the line above a long statement
+    return random.random()
+
+
+def undocumented() -> float:
+    return random.random()  # reprolint: disable=RL001

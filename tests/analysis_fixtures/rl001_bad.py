@@ -1,0 +1,23 @@
+"""RL001 positive fixture: module-level RNG state in protocol code."""
+
+import random
+
+import numpy as np
+from numpy import random as nprandom
+from random import choice as pick
+
+
+def jitter() -> float:
+    return random.random() * 0.05  # global stream: finding
+
+
+def reseed() -> None:
+    random.seed(1234)  # global reseed: finding
+    np.random.seed(7)  # numpy global state: finding
+
+
+def pick_peer(peers):
+    shuffled = list(peers)
+    random.shuffle(shuffled)  # global stream: finding
+    nprandom.shuffle(shuffled)  # aliased numpy.random: finding
+    return pick(shuffled)  # from-import alias of random.choice: finding

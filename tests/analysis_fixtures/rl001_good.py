@@ -1,0 +1,16 @@
+"""RL001 negative fixture: randomness drawn from registry streams."""
+
+import random
+
+
+class Sampler:
+    def __init__(self, rng: random.Random) -> None:
+        # referencing random.Random (the class) is allowed: building a
+        # seeded instance is exactly what the registry does
+        self.rng = rng or random.Random(42)
+
+    def jitter(self) -> float:
+        return self.rng.random() * 0.05
+
+    def pick_peer(self, peers):
+        return self.rng.choice(sorted(peers))

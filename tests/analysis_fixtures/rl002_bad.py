@@ -1,0 +1,19 @@
+"""RL002 positive fixture: wall-clock reads in simulation logic."""
+
+import time
+from datetime import datetime
+from time import perf_counter as tick
+
+
+def handle_event(state) -> None:
+    state.completed_at = time.time()  # wall clock: finding
+
+
+def measure(callback) -> float:
+    start = tick()  # aliased perf_counter: finding
+    callback()
+    return tick() - start  # finding
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()  # finding

@@ -1,0 +1,9 @@
+"""RL002 negative fixture: time comes from the simulated clock."""
+
+
+def handle_event(sim, state) -> None:
+    state.completed_at = sim.now
+
+
+def schedule_next(sim, callback) -> None:
+    sim.call_after(0.4, callback)

@@ -1,0 +1,25 @@
+"""RL003 positive fixture: hash-ordered iteration feeding draws/sends."""
+
+from typing import Dict, Set
+
+
+class Node:
+    def __init__(self) -> None:
+        self.peers: Set[int] = set()
+        self.mesh: Dict[int, Set[int]] = {}
+
+    def flood(self, transport, message) -> None:
+        for peer in self.peers:  # set order decides send order: finding
+            transport.send(peer, message)
+
+    def forward(self, topic: int, transport, message) -> None:
+        for peer in self.mesh.get(topic, set()):  # set via dict-of-set: finding
+            transport.send(peer, message)
+
+    def draw(self, rng):
+        return rng.choice(list(self.peers))  # rng over set order: finding
+
+    def drain(self, rng) -> None:
+        for peer, links in self.mesh.items():  # dict view feeding a draw: finding
+            if rng.random() < 0.5:
+                links.clear()

@@ -1,0 +1,31 @@
+"""RL003 negative fixture: ordered iteration, or no order-sensitive sink."""
+
+from typing import Dict, List, Set
+
+
+class Node:
+    def __init__(self) -> None:
+        self.peers: Set[int] = set()
+        self.order: List[int] = []
+        self.mesh: Dict[int, Set[int]] = {}
+
+    def flood(self, transport, message) -> None:
+        for peer in sorted(self.peers):  # sorted launders hash order
+            transport.send(peer, message)
+
+    def flood_known_order(self, transport, message) -> None:
+        for peer in self.order:  # lists carry their order in the program
+            transport.send(peer, message)
+
+    def draw(self, rng):
+        return rng.choice(sorted(self.peers))
+
+    def census(self) -> int:
+        total = 0
+        for peer in self.peers:  # order-insensitive accounting: fine
+            total += peer
+        return total
+
+    def tally(self) -> Dict[int, int]:
+        # dict views without an RNG sink are insertion-ordered: fine
+        return {topic: len(links) for topic, links in self.mesh.items()}

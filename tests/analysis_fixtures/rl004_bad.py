@@ -1,0 +1,16 @@
+"""RL004 positive fixture: trace kinds missing from the catalog."""
+
+
+def report(tracer, sim, node: int) -> None:
+    tracer.emit("fetch_startt", t=sim.now, node=node)  # typo: finding
+
+
+class Fetcher:
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+
+    def _trace(self, kind: str, **data) -> None:
+        self.ctx.trace(kind, **data)
+
+    def run(self) -> None:
+        self._trace("rounds_exhausted")  # uncataloged kind: finding

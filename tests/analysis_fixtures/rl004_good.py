@@ -1,0 +1,12 @@
+"""RL004 negative fixture: cataloged kinds, or non-literal dispatch."""
+
+
+def report(tracer, sim, node: int) -> None:
+    tracer.emit("fetch_start", t=sim.now, node=node)
+    tracer.emit("fetch_done", t=sim.now, node=node, success=True)
+
+
+def relay(tracer, kind: str, **data) -> None:
+    # non-literal kinds are the wrapper pattern (ctx.trace); the rule
+    # checks the literal call sites that feed them instead
+    tracer.emit(kind, **data)

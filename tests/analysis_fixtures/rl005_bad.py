@@ -1,0 +1,13 @@
+"""RL005 positive fixture: float equality on simulated time."""
+
+
+def expired(sim, stats) -> bool:
+    return sim.now == stats.deadline  # float equality on time: finding
+
+
+def is_fresh(event, reference) -> bool:
+    return event.started_at != reference.started_at  # finding
+
+
+def at_origin(t: float) -> bool:
+    return t == 0.0  # float-literal comparison on time: finding

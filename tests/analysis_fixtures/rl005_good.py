@@ -1,0 +1,13 @@
+"""RL005 negative fixture: order comparisons and exact sentinels."""
+
+
+def expired(sim, stats) -> bool:
+    return stats.deadline <= sim.now  # order comparison: fine
+
+
+def no_slot(slot_start_at: int) -> bool:
+    return slot_start_at == -1  # int sentinel, exact by construction: fine
+
+
+def same_kind(kind: str) -> bool:
+    return kind == "fetch_start"  # not a time value: fine

@@ -1,0 +1,16 @@
+"""RL006 positive fixture: silently swallowed broad exceptions."""
+
+
+def deliver(handler, message) -> None:
+    try:
+        handler(message)
+    except Exception:  # swallowed: finding
+        pass
+
+
+def poll(sources) -> None:
+    for source in sources:
+        try:
+            source.read()
+        except (ValueError, Exception):  # broad member swallowed: finding
+            ...

@@ -1,0 +1,13 @@
+"""RL006 negative fixture: narrow or genuinely handled exceptions."""
+
+
+def deliver(handler, message, metrics) -> None:
+    try:
+        handler(message)
+    except ValueError:
+        # narrow type, deliberate drop: allowed (the rule targets
+        # broad swallows that hide unknown failures)
+        pass
+    except Exception:
+        metrics.record_failure(message)
+        raise

@@ -9,7 +9,6 @@ paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.core.assignment import AssignmentIndex, CellAssignment
 from repro.core.builder import Builder
@@ -30,7 +29,7 @@ class MiniWorld:
     sim: Simulator
     network: Network
     ctx: ProtocolContext
-    nodes: Dict[int, PandasNode]
+    nodes: dict[int, PandasNode]
     builder: Builder
     params: PandasParams
 
@@ -45,8 +44,8 @@ class MiniWorld:
 
 def make_world(
     num_nodes: int = 30,
-    params: Optional[PandasParams] = None,
-    policy: Optional[SeedingPolicy] = None,
+    params: PandasParams | None = None,
+    policy: SeedingPolicy | None = None,
     loss_rate: float = 0.0,
     latency: float = 0.01,
     seed: int = 0,
@@ -67,7 +66,7 @@ def make_world(
     metrics = MetricsRecorder()
     assignment = CellAssignment(params, RandaoBeacon(seed))
     node_ids = list(range(num_nodes))
-    indexes: Dict[int, AssignmentIndex] = {}
+    indexes: dict[int, AssignmentIndex] = {}
 
     def index_for_epoch(epoch: int) -> AssignmentIndex:
         if epoch not in indexes:
@@ -84,7 +83,7 @@ def make_world(
         index_for_epoch=index_for_epoch,
         builder_id=num_nodes,
     )
-    nodes: Dict[int, PandasNode] = {}
+    nodes: dict[int, PandasNode] = {}
     for node_id in node_ids:
         network.register(
             node_id,

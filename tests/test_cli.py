@@ -144,7 +144,8 @@ def test_trace_command_end_to_end(tmp_path, capsys):
     assert "why:" in out
     events = load_trace(jsonl)
     assert lifecycle_problems(events) == []
-    document = json.load(open(chrome))
+    with open(chrome) as fh:
+        document = json.load(fh)
     assert document["traceEvents"]
 
 

@@ -105,6 +105,6 @@ def test_attestations_derive_from_outcomes(honest_run, registry):
     outcomes = committee_outcomes(honest_run, registry, fork_choice)
     attestations = [
         fork_choice.attestation(outcome, validator)
-        for outcome, validator in zip(outcomes, registry.committee_for_slot(0).members)
+        for outcome, validator in zip(outcomes, registry.committee_for_slot(0).members, strict=True)
     ]
     assert all(att.vote for att in attestations)

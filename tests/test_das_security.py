@@ -31,7 +31,7 @@ def test_single_sample_probability():
 
 def test_monotone_decreasing_in_samples():
     values = [false_positive_probability(s) for s in (1, 10, 30, 73, 150)]
-    assert all(a > b for a, b in zip(values, values[1:]))
+    assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
 
 def test_without_replacement_smaller_than_with():

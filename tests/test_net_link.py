@@ -123,7 +123,7 @@ def test_back_to_back_sends_serialize_in_order():
     departures = [link.reserve_uplink(0.0, size) for size in sizes]
     assert departures == sorted(departures)
     expected = 0.0
-    for size, departure in zip(sizes, departures):
+    for size, departure in zip(sizes, departures, strict=True):
         expected += size / 1e6
         assert departure == pytest.approx(expected)
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import functools
 
+import pytest
+
 from repro.core.seeding import RedundantSeeding
 from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.obs import CallbackProfiler
@@ -56,10 +58,8 @@ def test_profiler_charges_time_even_when_callback_raises():
     def boom():
         raise RuntimeError("kaput")
 
-    try:
+    with pytest.raises(RuntimeError):
         profiler.run(boom)
-    except RuntimeError:
-        pass
     assert profiler.events == 1
 
 

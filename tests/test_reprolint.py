@@ -1,0 +1,282 @@
+"""reprolint: rule fixtures, pragma semantics, engine behaviour, and
+the meta-test pinning that ``src/`` itself lints clean.
+
+Every rule has a positive fixture (must fire, with the expected count)
+and a negative fixture (must stay silent) under
+``tests/analysis_fixtures/``; the fixtures double as documentation of
+what each rule does and does not claim.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reprolint import (
+    Finding,
+    LintConfig,
+    Linter,
+    active,
+    load_trace_catalog,
+    parse_pragmas,
+    registered_rules,
+)
+from repro.analysis.reprolint.cli import run as reprolint_run
+
+TESTS_DIR = Path(__file__).parent
+FIXTURES = TESTS_DIR / "analysis_fixtures"
+REPO_ROOT = TESTS_DIR.parent
+SRC = REPO_ROOT / "src"
+
+ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+
+def lint_fixture(name: str, **config_kwargs) -> list[Finding]:
+    config = LintConfig(**config_kwargs)
+    path = FIXTURES / name
+    return Linter(config).lint_paths([path], root=FIXTURES)
+
+
+def codes(findings: list[Finding]) -> list[str]:
+    return [f.rule for f in active(findings)]
+
+
+# ----------------------------------------------------------------------
+# rule fixtures: positive (exact count) and negative (silent)
+# ----------------------------------------------------------------------
+POSITIVE_EXPECTATIONS = {
+    "rl001_bad.py": ("RL001", 6),
+    "rl002_bad.py": ("RL002", 4),
+    "rl003_bad.py": ("RL003", 4),
+    "rl004_bad.py": ("RL004", 2),
+    "rl005_bad.py": ("RL005", 3),
+    "rl006_bad.py": ("RL006", 2),
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("fixture", sorted(POSITIVE_EXPECTATIONS))
+    def test_positive_fixture_fires(self, fixture):
+        rule, count = POSITIVE_EXPECTATIONS[fixture]
+        found = codes(lint_fixture(fixture))
+        assert found == [rule] * count, found
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_negative_fixture_silent(self, rule):
+        fixture = f"{rule.lower()}_good.py"
+        assert codes(lint_fixture(fixture)) == []
+
+    def test_every_rule_has_both_fixtures(self):
+        for code in registered_rules():
+            if code == "RL000":
+                continue
+            assert (FIXTURES / f"{code.lower()}_bad.py").exists(), code
+            assert (FIXTURES / f"{code.lower()}_good.py").exists(), code
+
+    def test_findings_carry_location(self):
+        findings = active(lint_fixture("rl001_bad.py"))
+        for finding in findings:
+            assert finding.path == "rl001_bad.py"
+            assert finding.line > 0 and finding.col > 0
+            assert "RngRegistry" in finding.message
+
+
+class TestRuleDetails:
+    def test_rl001_allows_random_class_reference(self):
+        findings = Linter().lint_source(
+            "import random\nrng = random.Random(7)\n", "snippet.py"
+        )
+        assert codes(findings) == []
+
+    def test_rl001_catches_aliased_numpy(self):
+        source = "import numpy.random as npr\nnpr.standard_normal(4)\n"
+        assert codes(Linter().lint_source(source, "s.py")) == ["RL001"]
+
+    def test_rl002_allowlist_covers_profiler(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        # same source: flagged at an arbitrary path, allowed in the profiler
+        assert codes(Linter().lint_source(source, "repro/obs/other.py")) == ["RL002"]
+        assert codes(Linter().lint_source(source, "repro/obs/profiler.py")) == []
+
+    def test_rl003_requires_a_sink(self):
+        source = (
+            "def census(peers: set):\n"
+            "    total = 0\n"
+            "    for p in peers:\n"
+            "        total += p\n"
+            "    return total\n"
+        )
+        assert codes(Linter().lint_source(source, "s.py")) == []
+
+    def test_rl003_infers_through_set_operators(self):
+        source = (
+            "def go(a: set, b: set, transport):\n"
+            "    for p in a & b:\n"
+            "        transport.send(p, None)\n"
+        )
+        assert codes(Linter().lint_source(source, "s.py")) == ["RL003"]
+
+    def test_rl004_catalog_matches_ast_and_import(self):
+        static = load_trace_catalog(SRC / "repro" / "obs" / "events.py")
+        live = load_trace_catalog()
+        assert static == live
+        assert "fetch_start" in live
+
+    def test_rl005_accepts_order_comparisons(self):
+        source = "def f(now, deadline):\n    return deadline <= now\n"
+        assert codes(Linter().lint_source(source, "s.py")) == []
+
+    def test_rl006_allows_narrow_swallow(self):
+        source = "try:\n    f()\nexcept KeyError:\n    pass\n"
+        assert codes(Linter().lint_source(source, "s.py")) == []
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = Linter().lint_source("def broken(:\n", "s.py")
+        assert codes(findings) == ["RL000"]
+        assert "does not parse" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_parse_forms(self):
+        source = (
+            "x = 1  # reprolint: disable=RL001 -- because\n"
+            "# reprolint: disable=RL001,RL003 -- two codes\n"
+            "# reprolint: disable-file=RL005 -- whole module\n"
+            "y = 2  # reprolint: disable=RL002\n"
+        )
+        pragmas = parse_pragmas(source)
+        assert [p.line for p in pragmas] == [1, 2, 3, 4]
+        assert pragmas[1].codes == ("RL001", "RL003")
+        assert pragmas[2].file_wide
+        assert not pragmas[3].documented
+
+    def test_documented_pragmas_suppress(self):
+        findings = lint_fixture("pragmas.py")
+        suppressed = [f for f in findings if f.suppressed]
+        assert len(suppressed) == 3
+        # the only *active* finding is RL000 for the undocumented pragma
+        assert codes(findings) == ["RL000"]
+        documented = [f for f in suppressed if f.justification]
+        assert len(documented) == 2
+
+    def test_allow_undocumented_config(self):
+        findings = lint_fixture("pragmas.py", require_justification=False)
+        assert codes(findings) == []
+
+    def test_file_wide_pragma(self):
+        source = (
+            "# reprolint: disable-file=RL001 -- fixture-style module\n"
+            "import random\n"
+            "a = random.random()\n"
+            "b = random.random()\n"
+        )
+        findings = Linter().lint_source(source, "s.py")
+        assert codes(findings) == []
+        assert sum(f.suppressed for f in findings) == 2
+
+    def test_unknown_code_in_pragma_flagged(self):
+        source = "x = 1  # reprolint: disable=RL999 -- no such rule\n"
+        findings = Linter().lint_source(source, "s.py")
+        assert codes(findings) == ["RL000"]
+        assert "unknown rule" in findings[0].message
+
+    def test_pragma_does_not_leak_to_later_lines(self):
+        source = (
+            "import random\n"
+            "a = random.random()  # reprolint: disable=RL001 -- this one only\n"
+            "b = random.random()\n"
+        )
+        assert codes(Linter().lint_source(source, "s.py")) == ["RL001"]
+
+
+# ----------------------------------------------------------------------
+# engine behaviour
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_select_and_ignore(self):
+        findings = lint_fixture("rl001_bad.py", select=("RL002",))
+        assert codes(findings) == []
+        findings = lint_fixture("rl002_bad.py", ignore=("RL002",))
+        assert codes(findings) == []
+
+    def test_custom_allowlist(self):
+        findings = lint_fixture(
+            "rl001_bad.py",
+            allowlists={"RL001": ("rl001_bad.py",)},
+        )
+        assert codes(findings) == []
+
+    def test_findings_sorted_by_location(self):
+        findings = active(lint_fixture("rl001_bad.py"))
+        keys = [f.sort_key() for f in findings]
+        assert keys == sorted(keys)
+
+    def test_registry_is_complete(self):
+        assert set(registered_rules()) == set(ALL_RULES)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_codes(self, capsys):
+        assert reprolint_run([str(FIXTURES / "rl001_good.py")]) == 0
+        assert reprolint_run([str(FIXTURES / "rl001_bad.py")]) == 1
+        assert reprolint_run([str(FIXTURES / "no_such_file.py")]) == 2
+        capsys.readouterr()
+
+    def test_json_output(self, capsys):
+        code = reprolint_run(["--json", str(FIXTURES / "rl005_bad.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert len(payload["findings"]) == 3
+        assert {f["rule"] for f in payload["findings"]} == {"RL005"}
+
+    def test_list_rules(self, capsys):
+        assert reprolint_run(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RL003" in proc.stdout
+
+    def test_repro_lint_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(FIXTURES / "rl002_good.py")]) == 0
+        assert main(["lint", str(FIXTURES / "rl002_bad.py")]) == 1
+        capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# the meta-test: this repository obeys its own contract
+# ----------------------------------------------------------------------
+class TestTreeIsClean:
+    def test_src_lints_clean(self):
+        findings = Linter().lint_paths([SRC], root=REPO_ROOT)
+        gating = active(findings)
+        assert gating == [], "\n".join(f.format() for f in gating)
+
+    def test_every_suppression_is_documented(self):
+        findings = Linter().lint_paths([SRC], root=REPO_ROOT)
+        undocumented = [
+            f for f in findings if f.suppressed and not f.justification
+        ]
+        assert undocumented == [], "\n".join(f.format() for f in undocumented)

@@ -35,7 +35,7 @@ def test_line_without_honest_custodian_decreases_with_honest_count():
     values = [
         line_without_honest_custodian_probability(n) for n in (100, 500, 1000, 10000)
     ]
-    assert all(a > b for a, b in zip(values, values[1:]))
+    assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
 
 def test_monte_carlo_agreement():
