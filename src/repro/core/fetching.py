@@ -33,9 +33,15 @@ distinguishes replies received before and after their round's timeout.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable
+
+try:  # vectorized candidate scan; the pure-python path covers absence
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
 
 from repro.core.custody import SlotCellState
 from repro.obs.events import TraceRecorder
@@ -45,7 +51,7 @@ from repro.sim.engine import Event, Simulator
 __all__ = ["AdaptiveFetcher", "RoundStats", "FetchPlan", "plan_queries", "score_peers"]
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundStats:
     """Telemetry for one fetching round (the columns of Table 1)."""
 
@@ -63,7 +69,7 @@ class RoundStats:
     targets: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchPlan:
     """The query plan of one round: (peer, cells) pairs."""
 
@@ -126,7 +132,8 @@ def plan_queries(
         if not interesting:
             continue
         if max_cells_per_query is not None and len(interesting) > max_cells_per_query:
-            interesting = set(sorted(interesting)[:max_cells_per_query])
+            # == set(sorted(interesting)[:max]) without the full sort
+            interesting = set(heapq.nsmallest(max_cells_per_query, interesting))
         queries.append((peer, frozenset(interesting)))
         for cid in interesting:
             count = planned_count.get(cid, 0) + 1
@@ -146,6 +153,42 @@ class AdaptiveFetcher:
     - ``send_query(peer, cells)``: emit one QUERYCELLS datagram;
     - ``on_round(stats)`` / ``on_done(success)``: telemetry sinks.
     """
+
+    __slots__ = (
+        "sim",
+        "state",
+        "schedule",
+        "line_custodians",
+        "send_query",
+        "rng",
+        "cb_boost",
+        "self_id",
+        "on_round",
+        "on_done",
+        "fetch_custody",
+        "_is_complete",
+        "peer_weight",
+        "exclude_peer",
+        "on_peer_timeout",
+        "retry_unresponsive",
+        "responded",
+        "_timeouts_reported",
+        "tracer",
+        "trace_slot",
+        "_open_queries",
+        "boost",
+        "_boost_cells",
+        "inbound",
+        "max_cells_per_query",
+        "queried",
+        "query_round",
+        "_cust_arrays",
+        "rounds",
+        "started",
+        "finished",
+        "succeeded",
+        "_timer",
+    )
 
     def __init__(
         self,
@@ -211,6 +254,8 @@ class AdaptiveFetcher:
         self.max_cells_per_query = max_cells_per_query
         self.queried: set[int] = set()
         self.query_round: dict[int, int] = {}
+        # per-line custodian lists as int64 arrays (vectorized scan)
+        self._cust_arrays: dict[int, object] = {}
         self.rounds: list[RoundStats] = []
         self.started = False
         self.finished = False
@@ -222,8 +267,11 @@ class AdaptiveFetcher:
     # ------------------------------------------------------------------
     def add_boost(self, peer: int, cells: Iterable[int]) -> None:
         """Merge consolidation-boost info arriving with seed parcels."""
-        cells = set(cells)
-        self.boost.setdefault(peer, set()).update(cells)
+        bucket = self.boost.get(peer)
+        if bucket is None:
+            self.boost[peer] = set(cells)
+        else:
+            bucket.update(cells)
         self._boost_cells.update(cells)
 
     def add_inbound(self, cells: Iterable[int]) -> None:
@@ -423,7 +471,7 @@ class AdaptiveFetcher:
             # rounds 1-2 may have empty plans only because lost inbound
             # cells are still trusted; keep ticking so round 3 retries
             self._timer = self.sim.call_after(
-                self.schedule.timeout(index), lambda: self._run_round(index + 1)
+                self.schedule.timeout(index), self._run_round, index + 1
             )
             return
 
@@ -471,7 +519,7 @@ class AdaptiveFetcher:
             cells=stats.cells_requested,
         )
         self._timer = self.sim.call_after(
-            self.schedule.timeout(index), lambda: self._run_round(index + 1)
+            self.schedule.timeout(index), self._run_round, index + 1
         )
 
     def _candidate_cells(self, targets: set[int]) -> dict[int, set[int]]:
@@ -485,29 +533,159 @@ class AdaptiveFetcher:
         """
         missing_by_line: dict[int, set[int]] = {}
         params = self.state.params
+        ext_cols = params.ext_cols
+        ext_rows = params.ext_rows
+        get_line = missing_by_line.get
         for cid in targets:
-            row, col = divmod(cid, params.ext_cols)
-            missing_by_line.setdefault(row, set()).add(cid)
-            missing_by_line.setdefault(params.ext_rows + col, set()).add(cid)
-        candidates: dict[int, set[int]] = {}
-        exclude = self.exclude_peer
-        for line, cells in missing_by_line.items():
-            for peer in self.line_custodians(line):
-                if peer == self.self_id or peer in self.queried:
-                    continue
-                if exclude is not None and peer not in candidates and exclude(peer):
-                    continue
-                bucket = candidates.get(peer)
-                if bucket is None:
-                    candidates[peer] = set(cells)
-                else:
-                    bucket.update(cells)
+            row = cid // ext_cols
+            bucket = get_line(row)
+            if bucket is None:
+                missing_by_line[row] = {cid}
+            else:
+                bucket.add(cid)
+            col_line = ext_rows + cid - row * ext_cols
+            bucket = get_line(col_line)
+            if bucket is None:
+                missing_by_line[col_line] = {cid}
+            else:
+                bucket.add(cid)
+        if _np is not None and len(missing_by_line) > 8:
+            candidates = self._scan_candidates_np(missing_by_line)
+        else:
+            candidates = self._scan_candidates_py(missing_by_line)
         for peer, boosted in self.boost.items():
             if peer in candidates:
                 seeded_targets = boosted & targets
                 if seeded_targets:
                     candidates[peer] = seeded_targets
         return candidates
+
+    def _scan_candidates_py(
+        self, missing_by_line: dict[int, set[int]]
+    ) -> dict[int, set[int]]:
+        """Pure-python candidate scan (reference path, small inputs).
+
+        Gathers each peer's missing lines first (first-encounter order),
+        then materializes cell sets once per peer: most custodians share
+        exactly one line with us, so they can reference the line's
+        missing set directly instead of copying it, and multi-line
+        unions are computed once per distinct line combination. The
+        sets are read-only downstream (plan_queries intersects into
+        fresh sets), so sharing is safe — and this turns the dominant
+        O(custodians x line_size) copy work into O(custodians).
+        """
+        peer_lines: dict[int, list[int]] = {}
+        exclude = self.exclude_peer
+        queried = self.queried
+        line_custodians = self.line_custodians
+        skip: set[int] = set(queried)
+        skip.add(self.self_id)
+        for line in missing_by_line:
+            for peer in line_custodians(line):
+                if peer in skip:
+                    continue
+                lines = peer_lines.get(peer)
+                if lines is None:
+                    if exclude is not None and exclude(peer):
+                        skip.add(peer)
+                        continue
+                    peer_lines[peer] = [line]
+                else:
+                    lines.append(line)
+        candidates: dict[int, set[int]] = {}
+        union_cache: dict[tuple[int, ...], set[int]] = {}
+        for peer, lines in peer_lines.items():
+            candidates[peer] = self._peer_cells(lines, missing_by_line, union_cache)
+        return candidates
+
+    def _scan_candidates_np(
+        self, missing_by_line: dict[int, set[int]]
+    ) -> dict[int, set[int]]:
+        """Vectorized candidate scan, equivalent to the python path.
+
+        At scale the (missing line, custodian) pair stream is tens of
+        thousands of entries per round; the dedup into first-encounter
+        peer order is done with array ops instead of a python loop.
+        ``np.unique(..., return_index=True)`` yields each peer's first
+        pair index, so sorting unique peers by that index reproduces
+        the exact insertion order of the reference scan.
+        """
+        np = _np
+        arrays = self._cust_arrays
+        line_custodians = self.line_custodians
+        per_line = []
+        lines_used = []
+        for line in missing_by_line:
+            arr = arrays.get(line)
+            if arr is None:
+                arr = arrays[line] = np.asarray(line_custodians(line), dtype=np.int64)
+            if arr.shape[0]:
+                per_line.append(arr)
+                lines_used.append(line)
+        if not per_line:
+            return {}
+        peers = np.concatenate(per_line)
+        counts = np.fromiter(
+            (a.shape[0] for a in per_line), dtype=np.int64, count=len(per_line)
+        )
+        line_ids = np.repeat(
+            np.fromiter(lines_used, dtype=np.int64, count=len(lines_used)), counts
+        )
+        bound = int(peers.max()) + 1
+        skipmask = np.zeros(bound, dtype=bool)
+        queried = self.queried
+        if queried:
+            qa = np.fromiter(queried, dtype=np.int64, count=len(queried))
+            skipmask[qa[qa < bound]] = True
+        if self.self_id < bound:
+            skipmask[self.self_id] = True
+        keep = ~skipmask[peers]
+        peers = peers[keep]
+        if not peers.shape[0]:
+            return {}
+        line_ids = line_ids[keep]
+        uniq, first_idx = np.unique(peers, return_index=True)
+        encounter = uniq[np.argsort(first_idx)]
+        order = np.argsort(peers, kind="stable")
+        sorted_peers = peers[order]
+        sorted_lines = line_ids[order].tolist()
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_peers[1:] != sorted_peers[:-1]))
+        )
+        ends = np.concatenate((starts[1:], [sorted_peers.shape[0]]))
+        spans: dict[int, tuple[int, int]] = {}
+        span_peers = sorted_peers[starts].tolist()
+        starts_list = starts.tolist()
+        ends_list = ends.tolist()
+        for i, peer in enumerate(span_peers):
+            spans[peer] = (starts_list[i], ends_list[i])
+        exclude = self.exclude_peer
+        candidates: dict[int, set[int]] = {}
+        union_cache: dict[tuple[int, ...], set[int]] = {}
+        for peer in encounter.tolist():
+            if exclude is not None and exclude(peer):
+                continue
+            start, end = spans[peer]
+            candidates[peer] = self._peer_cells(
+                sorted_lines[start:end], missing_by_line, union_cache
+            )
+        return candidates
+
+    @staticmethod
+    def _peer_cells(
+        lines: list[int],
+        missing_by_line: dict[int, set[int]],
+        union_cache: dict[tuple[int, ...], set[int]],
+    ) -> set[int]:
+        """Cells one peer can be asked for: union of its missing lines."""
+        if len(lines) == 1:
+            return missing_by_line[lines[0]]
+        key = tuple(lines)
+        cells = union_cache.get(key)
+        if cells is None:
+            sets = [missing_by_line[line] for line in lines]
+            cells = union_cache[key] = set().union(*sets)
+        return cells
 
     def _recycle_unresponsive(self) -> int:
         """Return queried-but-silent peers to the candidate pool.

@@ -37,6 +37,8 @@ threat model):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Callable
+from functools import partial
 
 from repro.core.context import ProtocolContext
 from repro.core.custody import SlotCellState
@@ -49,7 +51,7 @@ from repro.sim.engine import Event
 __all__ = ["PandasNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     """A buffered query remainder, answered once fully servable."""
 
@@ -58,12 +60,16 @@ class _PendingRequest:
     missing: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _SlotState:
     """Everything a node keeps for one slot."""
 
     cells: SlotCellState
     fetcher: AdaptiveFetcher
+    # the per-cell stored hook for this slot; attached to
+    # SlotCellState.on_store only while waiting_by_cell is non-empty so
+    # bulk ingest pays nothing when no query is buffered (the common case)
+    store_sink: Callable[[int], None]
     # cell id -> buffered requests still waiting on it; each stored
     # cell resolves its waiters in O(waiters), never a full rescan
     waiting_by_cell: dict[int, list[_PendingRequest]] = field(default_factory=dict)
@@ -127,18 +133,29 @@ class PandasNode:
         custody = ctx.assignment.custody(self.node_id, epoch)
         sample_rng = ctx.rngs.stream("samples", self.node_id, slot)
         samples = sample_rng.sample(range(params.total_cells), params.samples)
-        cells = SlotCellState(
-            params,
-            custody,
-            samples,
-            on_store=lambda cid: self._on_cell_stored(slot, cid),
-        )
+        # the stored-cell sink starts detached: it only matters while a
+        # buffered query is waiting, and attaching it lazily keeps the
+        # bulk ingest path free of per-cell callback overhead
+        store_sink = partial(self._on_cell_stored, slot)
+        cells = SlotCellState(params, custody, samples, on_store=None)
 
         index = ctx.index_for_epoch(epoch)
         view = self.view
 
-        def line_custodians(line: int):
-            return index.custodians(line, view)
+        if view is None:
+            def line_custodians(line: int):
+                return index.custodians(line, None)
+        else:
+            # the view-filtered custodian list of a line is static for
+            # the whole epoch; memoize it instead of re-filtering on
+            # every fetch round
+            custodian_cache: dict[int, list[int]] = {}
+
+            def line_custodians(line: int):
+                got = custodian_cache.get(line)
+                if got is None:
+                    got = custodian_cache[line] = index.custodians(line, view)
+                return got
 
         # epoch rollover: decay reputation counters, end quarantines
         self.reputation.observe_epoch(epoch)
@@ -158,7 +175,7 @@ class PandasNode:
             tracer=ctx.tracer,
             slot=slot,
         )
-        return _SlotState(cells=cells, fetcher=fetcher)
+        return _SlotState(cells=cells, fetcher=fetcher, store_sink=store_sink)
 
     # ------------------------------------------------------------------
     # observability (repro.obs) — all no-ops without a tracer
@@ -219,13 +236,13 @@ class PandasNode:
         if delay <= 0.0:
             handler(src, msg)
             return
-        generation = self._generation
+        self.ctx.sim.call_after(
+            delay, self._deliver_verified, self._generation, handler, src, msg
+        )
 
-        def deliver() -> None:
-            if self._generation == generation:
-                handler(src, msg)
-
-        self.ctx.sim.call_after(delay, deliver)
+    def _deliver_verified(self, generation: int, handler, src: int, msg) -> None:
+        if self._generation == generation:
+            handler(src, msg)
 
     # ------------------------------------------------------------------
     # seeding
@@ -289,7 +306,7 @@ class PandasNode:
                 self.ctx.params.consolidation_timer,
                 lambda: self._fallback_start(slot),
             )
-        held = frozenset(cid for cid in msg.cells if state.cells.has_cell(cid))
+        held = msg.cells & state.cells.have
         if held:
             self._respond(slot, msg.epoch, src, tuple(sorted(held)))
         remainder = msg.cells - held
@@ -310,6 +327,8 @@ class PandasNode:
             record = _PendingRequest(src, remainder, len(remainder))
             for cid in remainder:
                 state.waiting_by_cell.setdefault(cid, []).append(record)
+            # waiters exist now: route stored cells through the sink
+            state.cells.on_store = state.store_sink
 
     def _expire_pending(self, slot: int) -> None:
         """Drop buffered request remainders at the sampling deadline."""
@@ -322,6 +341,7 @@ class PandasNode:
         expired = {id(rec): rec for recs in state.waiting_by_cell.values() for rec in recs}
         self._defense("pending_expired", len(expired), slot=slot)
         state.waiting_by_cell.clear()
+        state.cells.on_store = None
 
     def _fallback_start(self, slot: int) -> None:
         state = self._slot_state(slot)
@@ -414,13 +434,16 @@ class PandasNode:
         if state is None:
             return
         waiters = state.waiting_by_cell.pop(cid, None)
-        if not waiters:
-            return
-        epoch = self._epoch(slot)
-        for record in waiters:
-            record.missing -= 1
-            if record.missing == 0:
-                self._respond(slot, epoch, record.src, tuple(sorted(record.cells)))
+        if waiters:
+            epoch = self._epoch(slot)
+            for record in waiters:
+                record.missing -= 1
+                if record.missing == 0:
+                    self._respond(slot, epoch, record.src, tuple(sorted(record.cells)))
+        if not state.waiting_by_cell:
+            # nothing is waiting any more: detach the per-cell sink so
+            # subsequent bulk ingest skips the callback entirely
+            state.cells.on_store = None
 
     def _after_cells_changed(self, slot: int, state: _SlotState) -> None:
         now_rel = self.ctx.since_slot_start(slot)

@@ -21,11 +21,19 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.erasure.blob import ExtendedBlob
 
-__all__ = ["KzgCommitment", "KzgProof", "commit_blob", "prove_cell", "verify_cell"]
+__all__ = [
+    "KzgCommitment",
+    "KzgProof",
+    "commit_blob",
+    "prove_cell",
+    "verify_cell",
+    "verify_cells",
+]
 
 COMMITMENT_BYTES = 48
 PROOF_BYTES = 48
@@ -90,3 +98,31 @@ def verify_cell(
         return False
     expected = prove_cell(commitment, cell_index, cell)
     return hmac.compare_digest(expected.digest, proof.digest)
+
+
+def verify_cells(
+    commitment: KzgCommitment,
+    cells: Sequence[tuple[int, bytes, KzgProof | None]],
+) -> list[bool]:
+    """Verify a batch of ``(cell_index, cell, proof)`` against one commitment.
+
+    Equivalent to mapping :func:`verify_cell`, but the domain tag and
+    commitment digest are absorbed into the hash state once and the
+    state is ``copy()``-ed per cell — a real RS node verifies whole
+    response batches (up to 256 cells per line) against the same
+    commitment, so the shared prefix dominates the per-cell work for
+    the small cells used in reduced grids.
+    """
+    prefix = hashlib.sha384()
+    prefix.update(b"kzg-proof")
+    prefix.update(commitment.digest)
+    results: list[bool] = []
+    for cell_index, cell, proof in cells:
+        if proof is None or len(proof.digest) != PROOF_BYTES:
+            results.append(False)
+            continue
+        h = prefix.copy()
+        h.update(cell_index.to_bytes(8, "big"))
+        h.update(cell)
+        results.append(hmac.compare_digest(h.digest()[:PROOF_BYTES], proof.digest))
+    return results

@@ -114,23 +114,22 @@ class _SymbolCodec:
         return out.reshape(symbols.shape[0], self.cell_bytes)
 
     def encode_line(self, data_cells: npt.NDArray[np.uint8]) -> npt.NDArray[np.uint8]:
-        """Extend k cells to n cells (returns only the n-k parity cells)."""
+        """Extend k cells to n cells (returns only the n-k parity cells).
+
+        All symbol lanes of the line are encoded in one vectorized
+        Reed-Solomon call; the erasure batch suite pins equality with
+        the scalar per-lane loop.
+        """
         symbols = self.cells_to_symbols(data_cells)
-        parity = np.zeros((self.rs.n - self.rs.k, self.lanes), dtype=np.int64)
-        for lane in range(self.lanes):
-            codeword = self.rs.encode(symbols[:, lane].tolist())
-            parity[:, lane] = codeword[self.rs.k :]
-        return self.symbols_to_cells(parity)
+        codeword = self.rs.encode_batch(symbols)
+        return self.symbols_to_cells(codeword[self.rs.k :])
 
     def decode_line(self, known: dict[int, npt.NDArray[np.uint8]]) -> npt.NDArray[np.uint8]:
         """Recover all n cells of a line from >= k known (pos -> cell)."""
         positions = list(known.keys())
         stacked = np.stack([known[p] for p in positions]).astype(np.uint8)
         symbols = self.cells_to_symbols(stacked)
-        full = np.zeros((self.rs.n, self.lanes), dtype=np.int64)
-        for lane in range(self.lanes):
-            lane_known = {p: int(symbols[i, lane]) for i, p in enumerate(positions)}
-            full[:, lane] = self.rs.decode(lane_known)
+        full = self.rs.decode_batch(positions, symbols)
         return self.symbols_to_cells(full)
 
 

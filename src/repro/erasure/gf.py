@@ -110,6 +110,42 @@ class GaloisField:
             acc = self.mul(acc, x) ^ int(c)
         return acc
 
+    # ------------------------------------------------------------------
+    # matrix operations
+    # ------------------------------------------------------------------
+    def matmul(self, a: npt.ArrayLike, b: npt.ArrayLike) -> FieldArray:
+        """GF matrix product: ``out[i, j] = XOR_k a[i, k] * b[k, j]``.
+
+        The workhorse of batched Reed-Solomon: one call applies a
+        Lagrange coefficient matrix to every symbol lane of a line at
+        once instead of re-interpolating per lane. Products are taken
+        in the log domain (``exp[log a + log b]`` with zeros masked)
+        and accumulated with ``bitwise_xor.reduce``.
+
+        The intermediate product tensor is ``(rows, k, cols)``; the
+        row axis is chunked so peak scratch memory stays bounded for
+        full 512-symbol x 256-lane grids.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible matmul shapes {a.shape} x {b.shape}")
+        rows, inner = a.shape
+        cols = b.shape[1]
+        out: FieldArray = np.zeros((rows, cols), dtype=np.int64)
+        if inner == 0 or rows == 0 or cols == 0:
+            return out
+        log_b = self._log[b]
+        b_zero = b == 0
+        # cap the (chunk, inner, cols) scratch tensor at ~4M elements
+        chunk = max(1, (1 << 22) // max(1, inner * cols))
+        for start in range(0, rows, chunk):
+            a_c = a[start : start + chunk]
+            prod = self._exp[self._log[a_c][:, :, None] + log_b[None, :, :]]
+            prod[(a_c == 0)[:, :, None] | b_zero[None, :, :]] = 0
+            out[start : start + chunk] = np.bitwise_xor.reduce(prod, axis=1)
+        return out
+
 
 @lru_cache(maxsize=None)
 def _field(m: int) -> GaloisField:

@@ -76,6 +76,13 @@ class ScenarioConfig:
     # opt-in wall-clock attribution of simulator callbacks
     # (module:qualname); also behavior-neutral
     profiler: CallbackProfiler | None = None
+    # event-queue backend ("calendar" or "heap") and transport delivery
+    # scheduling ("batched" or "per-datagram"): both pairs execute
+    # bit-identically — the scale-regression and transport-conformance
+    # suites pin it — and exist so those suites (and A/B perf runs) can
+    # select either side from config
+    queue: str = "calendar"
+    delivery: str = "batched"
 
     def make_latency(self) -> LatencyModel:
         if self.latency is not None:
@@ -98,11 +105,15 @@ class BaseScenario:
 
     def __init__(self, config: ScenarioConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(queue=config.queue)
         self.rngs = RngRegistry(config.seed)
         self.latency = config.make_latency()
         self.network = Network(
-            self.sim, self.latency, config.loss_rate, self.rngs.stream("loss")
+            self.sim,
+            self.latency,
+            config.loss_rate,
+            self.rngs.stream("loss"),
+            delivery=config.delivery,
         )
         self.metrics = MetricsRecorder()
         self.params = config.params

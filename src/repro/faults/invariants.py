@@ -155,7 +155,7 @@ class InvariantChecker:
         """Run the whole-run invariants after the last slot."""
         scenario = self.scenario
         sim = scenario.sim
-        for event in sim._queue:
+        for event in sim.iter_pending():
             self.checks_run += 1
             if event.active and event.time < sim.now - _TIME_EPS:
                 raise InvariantViolation(

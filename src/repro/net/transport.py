@@ -11,27 +11,66 @@ The transport reproduces exactly that contract:
   receiver downlink serialization (see :mod:`repro.net.link`);
 - datagrams to unregistered/destroyed addresses vanish silently, which
   models departed nodes that are still present in stale views.
+
+Delivery scheduling has two modes (``delivery=`` constructor knob):
+
+- ``"batched"`` (default): each endpoint keeps one sorted pending
+  queue (inbox) of in-flight datagrams and at most **one** scheduled
+  simulator event per link, armed at the queue head. During a seeding
+  burst a receiver's downlink backlog is hundreds of datagrams;
+  batching keeps the simulator queue small instead of holding one
+  event per in-flight datagram.
+- ``"per-datagram"``: the original one-event-per-datagram scheduling,
+  kept as the conformance oracle — the batched-transport test suite
+  pins that both modes produce identical metrics snapshots under
+  loss, duplication, jitter and partition faults.
+
+Batched mode is *bit-identical* to per-datagram mode, including tie
+order against unrelated simulator events: every datagram copy reserves
+its engine sequence number at send time (``Simulator.reserve_seq``),
+exactly when per-datagram mode would have scheduled its delivery
+event, and the armed event replays the head's reserved ``(time, seq)``
+key. One fired event delivers a run of consecutive entries only when
+nothing can sort between them — same timestamp and adjacent sequence
+numbers — so handler interleaving is provably unchanged at any scale.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from bisect import insort
+from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import Any
 
 from repro.net.latency import LatencyModel
 from repro.net.link import AccessLink
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
-__all__ = ["Datagram", "Endpoint", "Network", "DEFAULT_LOSS_RATE"]
+__all__ = ["Datagram", "Endpoint", "Network", "DEFAULT_LOSS_RATE", "DELIVERY_MODES"]
 
 DEFAULT_LOSS_RATE = 0.03  # observed UDP loss in the paper's cluster
 
+DELIVERY_MODES = ("batched", "per-datagram")
 
-@dataclass(frozen=True)
+# One in-flight datagram on a link queue: (delivered_at, reserved
+# engine seq, dgram). Inbox order IS global pop order for these keys.
+_Pending = tuple[float, int, "Datagram"]
+
+# Compact the consumed prefix of an inbox once it grows past this many
+# entries (amortized O(1); avoids O(n) list surgery per delivery).
+_COMPACT_THRESHOLD = 256
+
+
+@dataclass(slots=True)
 class Datagram:
-    """One message on the wire."""
+    """One message on the wire. Treated as immutable once sent.
+
+    Not ``frozen=True``: a full-parameter slot creates hundreds of
+    thousands of datagrams, and the frozen ``__init__`` pays an
+    ``object.__setattr__`` per field on the hottest allocation site
+    in the transport.
+    """
 
     src: int
     dst: int
@@ -40,7 +79,7 @@ class Datagram:
     sent_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class Endpoint:
     """A registered network participant."""
 
@@ -49,6 +88,11 @@ class Endpoint:
     link: AccessLink
     handler: Callable[[Datagram], None]
     alive: bool = True
+    # batched delivery state: the sorted pending queue (valid from
+    # inbox_head on) and the single armed delivery event, if any
+    inbox: list[_Pending] = field(default_factory=list)
+    inbox_head: int = 0
+    inbox_event: Event | None = None
 
 
 class Network:
@@ -65,13 +109,19 @@ class Network:
         latency: LatencyModel,
         loss_rate: float = DEFAULT_LOSS_RATE,
         rng: random.Random | None = None,
+        delivery: str = "batched",
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode {delivery!r}; choose from {DELIVERY_MODES}"
+            )
         self.sim = sim
         self.latency = latency
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else random.Random(0)
+        self.delivery = delivery
         self._endpoints: dict[int, Endpoint] = {}
         self.on_send: list[Callable[[Datagram], None]] = []
         self.on_deliver: list[Callable[[Datagram], None]] = []
@@ -164,12 +214,13 @@ class Network:
             raise ValueError(f"unknown sender {src}")
         if size <= 0:
             raise ValueError(f"datagram size must be positive, got {size}")
-        dgram = Datagram(src, dst, payload, size, self.sim.now)
+        now = self.sim.now
+        dgram = Datagram(src, dst, payload, size, now)
         self.datagrams_sent += 1
         for observer in self.on_send:
             observer(dgram)
 
-        departure = sender.link.reserve_uplink(self.sim.now, size)
+        departure = sender.link.reserve_uplink(now, size)
         receiver = self._endpoints.get(dst)
         if receiver is None or not receiver.alive or not sender.alive:
             self._drop(dgram, "dead")
@@ -184,11 +235,15 @@ class Network:
                 self._drop(dgram, "fault")
                 return
         arrival = departure + self.latency.one_way(sender.vertex, receiver.vertex)
+        batched = self.delivery == "batched"
         for copy_index, extra in enumerate(extra_delays):
             if copy_index:
                 self.datagrams_duplicated += 1
             delivered_at = receiver.link.reserve_downlink(arrival + extra, size)
-            self.sim.call_at(delivered_at, lambda: self._deliver(receiver, dgram))
+            if batched:
+                self._enqueue(receiver, delivered_at, dgram)
+            else:
+                self.sim.call_at(delivered_at, self._deliver, receiver, dgram)
 
     def _drop(self, dgram: Datagram, reason: str) -> None:
         """Account one lost datagram and notify drop observers."""
@@ -204,3 +259,94 @@ class Network:
         for observer in self.on_deliver:
             observer(dgram)
         receiver.handler(dgram)
+
+    # ------------------------------------------------------------------
+    # batched delivery
+    # ------------------------------------------------------------------
+    def _enqueue(self, receiver: Endpoint, delivered_at: float, dgram: Datagram) -> None:
+        """Queue one in-flight datagram on the receiver's link.
+
+        The entry's tie-break is an engine seq reserved *now* — the
+        instant per-datagram mode would have scheduled the delivery —
+        so inbox order equals global pop order. Shaped links hand out
+        monotone delivery times, so the common case is a plain append;
+        unshaped links (unit harnesses) and jittered duplicates may
+        interleave, handled by an insort into the live suffix. The
+        single armed event always replays the head's (time, seq) key.
+        """
+        inbox = receiver.inbox
+        entry = (delivered_at, self.sim.reserve_seq(), dgram)
+        if inbox and entry < inbox[-1]:
+            insort(inbox, entry, lo=receiver.inbox_head)
+        else:
+            inbox.append(entry)
+        armed = receiver.inbox_event
+        head_time, head_seq, _ = inbox[receiver.inbox_head]
+        if armed is None:
+            receiver.inbox_event = self.sim.call_at(
+                head_time, self._deliver_batch, receiver, seq=head_seq
+            )
+        elif (head_time, head_seq) < (armed.time, armed.seq):
+            # a faster copy (jitter, unshaped link) now leads the queue
+            armed.cancel()
+            receiver.inbox_event = self.sim.call_at(
+                head_time, self._deliver_batch, receiver, seq=head_seq
+            )
+
+    def _deliver_batch(self, receiver: Endpoint) -> None:
+        """Deliver the inbox head, plus any provably adjacent entries.
+
+        A trailing entry joins the batch only if it shares the head's
+        timestamp and the sequence numbers are consecutive — then no
+        other simulator event can sort between the two deliveries, so
+        merging them into one callback is unobservable. Anything else
+        is re-armed under its own reserved (time, seq) key, preserving
+        exact interleaving with unrelated same-instant events.
+        """
+        receiver.inbox_event = None
+        inbox = receiver.inbox
+        head = receiver.inbox_head
+        now = self.sim.now
+        size = len(inbox)
+        batch_start = head
+        last_seq = inbox[head][1]
+        head += 1
+        while head < size:
+            when, seq, _ = inbox[head]
+            # Exact equality is the merge correctness condition: only a
+            # bit-identical instant with adjacent seqs can share one
+            # event without reordering against other same-time events.
+            # reprolint: disable=RL005 -- intentional exact-tie match, see above
+            if when != now or seq != last_seq + 1:
+                break
+            last_seq = seq
+            head += 1
+        batch = [inbox[i][2] for i in range(batch_start, head)]
+        if head >= size:
+            inbox.clear()
+            receiver.inbox_head = 0
+        elif head >= _COMPACT_THRESHOLD:
+            del inbox[:head]
+            receiver.inbox_head = 0
+        else:
+            receiver.inbox_head = head
+        for dgram in batch:
+            # handlers run with the same per-datagram semantics as the
+            # one-event-per-datagram mode, including late-death drops
+            if not receiver.alive:
+                self._drop(dgram, "dead_late")
+                continue
+            self.datagrams_delivered += 1
+            for observer in self.on_deliver:
+                observer(dgram)
+            receiver.handler(dgram)
+        # a handler may have sent to this same endpoint and re-armed the
+        # delivery event; only arm here if the queue is idle with backlog
+        if receiver.inbox_event is None:
+            inbox = receiver.inbox
+            head = receiver.inbox_head
+            if head < len(inbox):
+                when, seq, _ = inbox[head]
+                receiver.inbox_event = self.sim.call_at(
+                    when, self._deliver_batch, receiver, seq=seq
+                )

@@ -75,8 +75,8 @@ class CallbackProfiler:
     # ------------------------------------------------------------------
     # the engine-facing hook
     # ------------------------------------------------------------------
-    def run(self, callback: Callable[[], None]) -> None:
-        """Execute ``callback``, charging its cost to its site."""
+    def run(self, callback: Callable[..., Any], *args: Any) -> None:
+        """Execute ``callback(*args)``, charging its cost to its site."""
         target: Any = callback
         while isinstance(target, functools.partial):
             target = target.func
@@ -88,7 +88,7 @@ class CallbackProfiler:
             self._labels[key] = label
         start = time.perf_counter()
         try:
-            callback()
+            callback(*args)
         finally:
             elapsed = time.perf_counter() - start
             stats = self._sites.get(label)

@@ -36,10 +36,12 @@ class Counter2D:
         nodes = self._per_slot.get(slot)
         if nodes is None:
             nodes = self._per_slot[slot] = {}
-        if node not in nodes:
-            nodes[node] = 0.0
+        prev = nodes.get(node)
+        if prev is None:
             self._size += 1
-        nodes[node] += amount
+            nodes[node] = amount + 0.0  # callers may pass ints; store floats
+        else:
+            nodes[node] = prev + amount
 
     def get(self, slot: Hashable, node: Hashable) -> float:
         nodes = self._per_slot.get(slot)

@@ -1,0 +1,108 @@
+"""Unit tests for the benchmark runner and its regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    PRE_SCALE_UP_BASELINE,
+    bench_scale,
+    check_against_baseline,
+    next_bench_path,
+    run_bench,
+)
+
+
+def _snapshot(rows):
+    return {"schema": 1, "scales": rows, "pre_scale_up_baseline": PRE_SCALE_UP_BASELINE}
+
+
+def _row(nodes=100, reduced=0, seed=7, eps=1000.0, fingerprint="aa" * 32):
+    return {
+        "nodes": nodes,
+        "reduced": reduced,
+        "seed": seed,
+        "wall_s": 1.0,
+        "events": int(eps),
+        "events_per_sec": eps,
+        "fingerprint": fingerprint,
+    }
+
+
+@pytest.fixture
+def baseline_path(tmp_path):
+    path = tmp_path / "BENCH_1.json"
+    path.write_text(json.dumps(_snapshot([_row()])))
+    return path
+
+
+def test_check_passes_when_within_regression_budget(baseline_path):
+    report = _snapshot([_row(eps=800.0)])  # -20%, inside the 25% budget
+    assert check_against_baseline(report, baseline_path) == []
+
+
+def test_check_fails_on_large_events_per_sec_regression(baseline_path):
+    report = _snapshot([_row(eps=700.0)])  # -30%
+    failures = check_against_baseline(report, baseline_path)
+    assert len(failures) == 1
+    assert "below baseline" in failures[0]
+
+
+def test_check_fails_on_fingerprint_drift(baseline_path):
+    report = _snapshot([_row(fingerprint="bb" * 32)])
+    failures = check_against_baseline(report, baseline_path)
+    assert len(failures) == 1
+    assert "behaviour changed" in failures[0]
+
+
+def test_check_ignores_scales_missing_from_baseline(baseline_path):
+    report = _snapshot([_row(nodes=500, eps=1.0)])
+    assert check_against_baseline(report, baseline_path) == []
+
+
+def test_check_keys_on_nodes_reduced_and_seed(baseline_path):
+    # same node count but a reduced grid is a different configuration
+    report = _snapshot([_row(reduced=4, eps=1.0, fingerprint="cc" * 32)])
+    assert check_against_baseline(report, baseline_path) == []
+
+
+def test_check_respects_custom_max_regression(baseline_path):
+    report = _snapshot([_row(eps=899.0)])  # -10.1%
+    assert check_against_baseline(report, baseline_path, max_regression=0.10)
+    assert not check_against_baseline(report, baseline_path, max_regression=0.15)
+
+
+def test_next_bench_path_skips_existing_snapshots(tmp_path):
+    assert next_bench_path(tmp_path).name == "BENCH_1.json"
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_2.json").write_text("{}")
+    assert next_bench_path(tmp_path).name == "BENCH_3.json"
+
+
+def test_bench_scale_measures_a_real_run():
+    row = bench_scale(20, reduced=16)
+    assert row["nodes"] == 20
+    assert row["events"] > 0
+    assert row["wall_s"] > 0
+    assert len(row["fingerprint"]) == 64
+    # same configuration, same behaviour: only the timing may differ
+    again = bench_scale(20, reduced=16)
+    assert again["fingerprint"] == row["fingerprint"]
+    assert again["events"] == row["events"]
+
+
+def test_run_bench_annotates_full_grid_1k_speedup(monkeypatch):
+    import repro.experiments.bench as bench_mod
+
+    def fake_bench_scale(nodes, seed=7, reduced=0):
+        return _row(nodes=nodes, reduced=reduced, seed=seed, eps=10_000.0)
+
+    monkeypatch.setattr(bench_mod, "bench_scale", fake_bench_scale)
+    report = run_bench([100, 1000], trace_overhead=False)
+    by_nodes = {row["nodes"]: row for row in report["scales"]}
+    assert "speedup_vs_pre_scale_up" not in by_nodes[100]
+    expected = round(PRE_SCALE_UP_BASELINE["wall_s"] / 1.0, 2)
+    assert by_nodes[1000]["speedup_vs_pre_scale_up"] == expected
+    assert report["pre_scale_up_baseline"] == PRE_SCALE_UP_BASELINE

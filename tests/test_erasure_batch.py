@@ -1,0 +1,222 @@
+"""Golden and performance tests for the vectorized erasure paths.
+
+The batch Reed-Solomon codec (``encode_batch`` / ``decode_batch``) and
+the GF matrix multiply behind it must be bit-identical to the scalar
+reference implementation — the scalar path stays in the tree as the
+oracle. A micro-benchmark pins that the batch path is actually faster
+at realistic lane counts (1,000 cells), so the vectorization cannot
+silently rot into a slow path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.crypto.kzg import (
+    KzgProof,
+    commit_blob,
+    prove_cell,
+    verify_cell,
+    verify_cells,
+)
+from repro.erasure.blob import Blob, _SymbolCodec
+from repro.erasure.gf import GF256, GF65536
+from repro.erasure.reed_solomon import ReedSolomon
+
+
+# ----------------------------------------------------------------------
+# GF matrix multiply vs scalar reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("field_fn", [GF256, GF65536])
+def test_matmul_matches_scalar(field_fn):
+    gf = field_fn()
+    rng = random.Random(11)
+    a = np.array(
+        [[rng.randrange(gf.order) for _ in range(5)] for _ in range(4)], dtype=np.int64
+    )
+    b = np.array(
+        [[rng.randrange(gf.order) for _ in range(3)] for _ in range(5)], dtype=np.int64
+    )
+    out = gf.matmul(a, b)
+    for i in range(4):
+        for j in range(3):
+            acc = 0
+            for k in range(5):
+                acc ^= gf.mul(int(a[i, k]), int(b[k, j]))
+            assert out[i, j] == acc
+
+
+def test_matmul_zero_rows_and_columns():
+    gf = GF256()
+    a = np.zeros((3, 4), dtype=np.int64)
+    b = np.ones((4, 2), dtype=np.int64)
+    assert np.all(gf.matmul(a, b) == 0)
+    assert gf.matmul(np.zeros((0, 4), dtype=np.int64), b).shape == (0, 2)
+
+
+def test_matmul_chunked_equals_unchunked():
+    # force the row-chunking path by exceeding the scratch cap
+    gf = GF256()
+    rng = np.random.default_rng(5)
+    a = rng.integers(0, 256, size=(64, 64)).astype(np.int64)
+    b = rng.integers(0, 256, size=(64, 2048)).astype(np.int64)
+    whole = gf.matmul(a, b)
+    top = gf.matmul(a[:7], b)
+    assert np.array_equal(whole[:7], top)
+
+
+def test_matmul_rejects_shape_mismatch():
+    gf = GF256()
+    with pytest.raises(ValueError, match="incompatible"):
+        gf.matmul(np.zeros((2, 3), dtype=np.int64), np.zeros((4, 2), dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# batched Reed-Solomon vs the scalar oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k,n", [(4, 8), (16, 32), (130, 260)])
+def test_encode_batch_matches_scalar(k, n):
+    rs = ReedSolomon(k, n)
+    rng = random.Random(k)
+    lanes = 3
+    data = np.array(
+        [[rng.randrange(rs.field.order) for _ in range(lanes)] for _ in range(k)],
+        dtype=np.int64,
+    )
+    batch = rs.encode_batch(data)
+    assert batch.shape == (n, lanes)
+    for lane in range(lanes):
+        scalar = rs.encode(data[:, lane].tolist())
+        assert batch[:, lane].tolist() == scalar
+
+
+@pytest.mark.parametrize("k,n", [(4, 8), (16, 32), (130, 260)])
+def test_decode_batch_matches_scalar(k, n):
+    rs = ReedSolomon(k, n)
+    rng = random.Random(n)
+    lanes = 3
+    codewords = np.array(
+        [rs.encode([rng.randrange(rs.field.order) for _ in range(k)]) for _ in range(lanes)],
+        dtype=np.int64,
+    ).T  # (n, lanes)
+    positions = rng.sample(range(n), k + 2)
+    symbols = codewords[positions]
+    batch = rs.decode_batch(positions, symbols)
+    assert np.array_equal(batch, codewords)
+    for lane in range(lanes):
+        known = {pos: int(codewords[pos, lane]) for pos in positions}
+        assert batch[:, lane].tolist() == rs.decode(known)
+
+
+def test_decode_batch_validation():
+    rs = ReedSolomon(4, 8)
+    with pytest.raises(ValueError, match="at least"):
+        rs.decode_batch([0, 1], np.zeros((2, 1), dtype=np.int64))
+    with pytest.raises(ValueError, match="outside"):
+        rs.decode_batch([0, 1, 2, 9], np.zeros((4, 1), dtype=np.int64))
+    with pytest.raises(ValueError, match="does not match"):
+        rs.decode_batch([0, 1, 2, 3], np.zeros((3, 1), dtype=np.int64))
+
+
+def test_encode_batch_validation():
+    rs = ReedSolomon(4, 8)
+    with pytest.raises(ValueError, match="expected"):
+        rs.encode_batch(np.zeros((3, 2), dtype=np.int64))
+
+
+def test_decode_batch_no_missing_positions():
+    rs = ReedSolomon(4, 8)
+    codeword = rs.encode([1, 2, 3, 4])
+    symbols = np.array(codeword, dtype=np.int64).reshape(8, 1)
+    out = rs.decode_batch(list(range(8)), symbols)
+    assert out[:, 0].tolist() == codeword
+
+
+# ----------------------------------------------------------------------
+# byte-level codec golden: batch line codec vs per-lane scalar loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("wide", [False, True])
+def test_symbol_codec_lines_match_per_lane_loop(wide):
+    k, n, cell_bytes = 4, 8, 8
+    codec = _SymbolCodec(k, n, cell_bytes, wide=wide)
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 256, size=(k, cell_bytes)).astype(np.uint8)
+
+    parity = codec.encode_line(data)
+    symbols = codec.cells_to_symbols(data)
+    expect = np.zeros((n - k, codec.lanes), dtype=np.int64)
+    for lane in range(codec.lanes):
+        codeword = codec.rs.encode(symbols[:, lane].tolist())
+        expect[:, lane] = codeword[k:]
+    assert np.array_equal(parity, codec.symbols_to_cells(expect))
+
+    full = np.concatenate([data, parity], axis=0)
+    known = {pos: full[pos] for pos in (0, 2, 5, 7)}
+    decoded = codec.decode_line(known)
+    assert np.array_equal(decoded, full)
+
+
+def test_blob_extend_round_trip_after_vectorization():
+    blob = Blob.from_bytes(bytes(range(256)) * 2, 4, 4, 32)
+    ext = blob.extend()
+    assert np.array_equal(ext.to_blob().cells, blob.cells)
+    # any half of a row reconstructs it: drop the odd columns of row 1
+    codec = _SymbolCodec(4, 8, 32)
+    known = {c: ext.cells[1, c] for c in range(0, 8, 2)}
+    assert np.array_equal(codec.decode_line(known), ext.cells[1])
+
+
+# ----------------------------------------------------------------------
+# batched KZG verification
+# ----------------------------------------------------------------------
+def test_verify_cells_matches_scalar():
+    blob = Blob.from_bytes(b"pandas" * 100, 2, 2, 256)
+    ext = blob.extend()
+    commitment = commit_blob(ext)
+    items = []
+    for cid in range(8):
+        cell = ext.cell_by_id(cid)
+        proof = prove_cell(commitment, cid, cell)
+        items.append((cid, cell, proof))
+    # corrupt one proof, drop another
+    items[3] = (items[3][0], items[3][1], KzgProof(b"\x00" * 48))
+    items[5] = (items[5][0], items[5][1], None)
+    batch = verify_cells(commitment, items)
+    scalar = [verify_cell(commitment, cid, cell, proof) for cid, cell, proof in items]
+    assert batch == scalar
+    assert batch == [True, True, True, False, True, False, True, True]
+
+
+# ----------------------------------------------------------------------
+# micro-benchmark: the batch path must actually be faster
+# ----------------------------------------------------------------------
+def test_batch_encode_faster_than_scalar_at_1k_cells():
+    """1,000 lanes through one batch call vs 1,000 scalar encodes.
+
+    The margin at this size is >10x in practice; asserting a plain win
+    keeps the test robust on loaded CI machines while still catching a
+    batch path that regressed to per-lane work.
+    """
+    k, n, lanes = 16, 32, 1000
+    rs = ReedSolomon(k, n)
+    rng = np.random.default_rng(17)
+    data = rng.integers(0, 256, size=(k, lanes)).astype(np.int64)
+
+    start = time.perf_counter()
+    batch = rs.encode_batch(data)
+    batch_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar = np.empty((n, lanes), dtype=np.int64)
+    for lane in range(lanes):
+        scalar[:, lane] = rs.encode(data[:, lane].tolist())
+    scalar_elapsed = time.perf_counter() - start
+
+    assert np.array_equal(batch, scalar)
+    assert batch_elapsed < scalar_elapsed, (
+        f"batch {batch_elapsed:.4f}s not faster than scalar {scalar_elapsed:.4f}s"
+    )

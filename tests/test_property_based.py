@@ -158,3 +158,58 @@ class TestAssignmentProperties:
         row_line, col_line = lines_of_cell(cid, params.ext_rows, params.ext_cols)
         assert cid in cells_of_line(row_line, params.ext_rows, params.ext_cols)
         assert cid in cells_of_line(col_line, params.ext_rows, params.ext_cols)
+
+
+# ----------------------------------------------------------------------
+# event-queue backend equivalence
+# ----------------------------------------------------------------------
+@st.composite
+def event_schedule(draw):
+    """A batch of event times with deliberate tie mass, plus a subset
+    to cancel. Times are snapped to a coarse grid so exact-equality
+    ties (the hard case for any bucketed queue) occur constantly."""
+    times = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5000).map(lambda t: t / 1000.0),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    cancel_mask = draw(
+        st.lists(st.booleans(), min_size=len(times), max_size=len(times))
+    )
+    return times, cancel_mask
+
+
+class TestQueueBackendEquivalence:
+    @FAST
+    @given(event_schedule())
+    def test_calendar_matches_heap_pop_order(self, schedule):
+        from repro.sim.engine import Simulator
+
+        times, cancel_mask = schedule
+        orders = {}
+        for backend in ("calendar", "heap"):
+            sim = Simulator(queue=backend)
+            popped: list[tuple[float, int]] = []
+            events = []
+            for index, t in enumerate(times):
+                events.append(
+                    sim.call_at(t, lambda t=t, i=index: popped.append((t, i)))
+                )
+            for event, cancel in zip(events, cancel_mask):
+                if cancel:
+                    event.cancel()
+            sim.run()
+            orders[backend] = popped
+        assert orders["calendar"] == orders["heap"]
+        live = [t for t, cancel in zip(times, cancel_mask) if not cancel]
+        assert [t for t, _ in orders["calendar"]] == sorted(live)
+        # ties must fire in scheduling order
+        fired_ids = [i for _, i in orders["calendar"]]
+        by_time: dict[float, list[int]] = {}
+        for t, i in orders["calendar"]:
+            by_time.setdefault(t, []).append(i)
+        for ids in by_time.values():
+            assert ids == sorted(ids)
+        assert len(fired_ids) == len(live)

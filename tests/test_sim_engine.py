@@ -189,3 +189,68 @@ def test_determinism_across_instances():
         return trace
 
     assert run_once() == run_once()
+
+
+# ----------------------------------------------------------------------
+# cancellation at run boundaries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("queue", ["calendar", "heap"])
+def test_cancelled_event_at_until_boundary_is_discarded(queue):
+    """A cancelled event popped exactly when ``until`` stops the run
+    must be dropped, not re-queued: resuming the run later must not
+    resurrect it. Regression test for the formerly duplicated
+    cancelled-pop paths (one per stop condition)."""
+    sim = Simulator(queue=queue)
+    fired = []
+    doomed = sim.call_at(1.0, lambda: fired.append("doomed"))
+    sim.call_at(1.0, lambda: fired.append("kept"))
+    sim.call_at(2.0, lambda: fired.append("late"))
+    doomed.cancel()
+    sim.run(until=1.0)
+    assert fired == ["kept"]
+    sim.run()
+    assert fired == ["kept", "late"]
+
+
+@pytest.mark.parametrize("queue", ["calendar", "heap"])
+def test_cancelled_event_at_max_events_boundary(queue):
+    sim = Simulator(queue=queue)
+    fired = []
+    doomed = sim.call_at(0.5, lambda: fired.append("doomed"))
+    doomed.cancel()
+    sim.call_at(0.5, lambda: fired.append("a"))
+    sim.call_at(0.6, lambda: fired.append("b"))
+    sim.run(max_events=1)
+    assert fired == ["a"]
+    assert sim.events_processed == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# reserved sequence numbers
+# ----------------------------------------------------------------------
+def test_reserve_seq_fixes_tie_order(sim):
+    """An event scheduled late under a reserved seq sorts exactly where
+    a call_at at reservation time would have."""
+    fired = []
+    reserved = sim.reserve_seq()
+    sim.call_at(1.0, lambda: fired.append("second"))
+    sim.call_at(1.0, lambda: fired.append("reserved"), seq=reserved)
+    sim.run()
+    assert fired == ["reserved", "second"]
+
+
+def test_reserve_seq_advances_shared_counter(sim):
+    reserved = sim.reserve_seq()
+    event = sim.call_at(1.0, lambda: None)
+    assert event.seq == reserved + 1
+
+
+def test_reserved_seq_event_cancellable(sim):
+    fired = []
+    reserved = sim.reserve_seq()
+    event = sim.call_at(1.0, lambda: fired.append("x"), seq=reserved)
+    event.cancel()
+    sim.run()
+    assert fired == []
