@@ -11,7 +11,8 @@ original system's reproducibility material drives its simulator:
 - ``security``   the Section 3 sampling math for a given grid;
 - ``trace``      run with structured tracing and write/analyze a trace;
 - ``profile``    run with callback profiling and print hot sites;
-- ``bench``      measure full slots at several scales, write BENCH_<n>.json.
+- ``bench``      measure full slots at several scales, write BENCH_<n>.json;
+- ``pipeline``   sustained multi-slot pipeline with churn and overload control.
 
 Examples::
 
@@ -27,6 +28,8 @@ Examples::
     python -m repro profile --nodes 200 --top 15
     python -m repro bench --scales 100,1000
     python -m repro bench --scales 100 --check BENCH_1.json
+    python -m repro pipeline --nodes 60 --reduced 32 --slots 4 --churn 0.1
+    python -m repro pipeline --nodes 60 --reduced 32 --check-invariants --json
 """
 
 from __future__ import annotations
@@ -187,6 +190,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace-overhead", action="store_true",
         help="skip the tracing-overhead measurement",
     )
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="sustained multi-slot pipeline: churn, bounded queues, load shedding",
+    )
+    _common_scale_args(pipeline)
+    pipeline.add_argument("--policy", default="redundant", help="minimal|single|redundant")
+    pipeline.add_argument("--redundancy", type=int, default=8)
+    pipeline.add_argument("--slots", type=int, default=4)
+    pipeline.add_argument("--churn", type=float, default=0.05, help="membership turnover per slot")
+    pipeline.add_argument("--view-lag", type=int, default=1, help="slots of view staleness")
+    pipeline.add_argument("--retention", type=int, default=2, help="slots of state kept behind the head")
+    pipeline.add_argument("--max-inbox", type=int, default=4096, help="bounded transport inbox (0 = unbounded)")
+    pipeline.add_argument("--pending-limit", type=int, default=256, help="bounded per-node request buffer (0 = unbounded)")
+    pipeline.add_argument(
+        "--admit-rate", type=float, default=200.0,
+        help="per-node retrieval admission tokens/s (0 = unbounded)",
+    )
+    pipeline.add_argument(
+        "--admit-burst", type=float, default=20.0,
+        help="per-node retrieval admission bucket burst (tokens)",
+    )
+    pipeline.add_argument(
+        "--no-retry", action="store_true",
+        help="disable deadline-aware retry/backoff between fetch rounds",
+    )
+    pipeline.add_argument("--probes", type=int, default=2, help="measured retrieval probes per slot")
+    pipeline.add_argument(
+        "--client-rate", type=float, default=1e6,
+        help="aggregate layer-2 arrival rate, requests/s",
+    )
+    pipeline.add_argument(
+        "--service-rate", type=float, default=2e6,
+        help="serving-tier capacity, requests/s (0 disables the aggregate model)",
+    )
+    pipeline.add_argument("--max-backlog", type=float, default=4e6, help="aggregate backlog bound")
+    pipeline.add_argument(
+        "--check-invariants", action="store_true",
+        help="enforce protocol invariants online (I5: no unbounded backlog)",
+    )
+    pipeline.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON object instead of text",
+    )
+    _obs_args(pipeline)
 
     lint = sub.add_parser(
         "lint",
@@ -545,6 +593,101 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_pipeline(args) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.pipeline import PipelineScenario
+    from repro.experiments.scenario import ScenarioConfig
+    from repro.params import RetryPolicy
+
+    params = replace(
+        _params(args),
+        fetch_retry=None if args.no_retry else RetryPolicy(),
+        pending_request_limit=args.pending_limit if args.pending_limit > 0 else None,
+        retrieval_admit_rate=args.admit_rate if args.admit_rate > 0 else None,
+        retrieval_admit_burst=args.admit_burst,
+    )
+    tracer, profiler = _make_obs(args)
+    config = ScenarioConfig(
+        num_nodes=args.nodes,
+        params=params,
+        policy=policy_by_name(args.policy, args.redundancy),
+        seed=args.seed,
+        slots=args.slots,
+        check_invariants=args.check_invariants,
+        tracer=tracer,
+        profiler=profiler,
+        max_inbox=args.max_inbox if args.max_inbox > 0 else None,
+    )
+    scenario = PipelineScenario(
+        config,
+        churn_fraction=args.churn,
+        view_lag_slots=args.view_lag,
+        retention_slots=args.retention,
+        probes_per_slot=args.probes,
+        client_rate=args.client_rate,
+        service_rate=args.service_rate if args.service_rate > 0 else None,
+        max_backlog=args.max_backlog if args.max_backlog > 0 else None,
+    ).run()
+    report = scenario.report()
+    if args.json:
+        payload = report.to_dict()
+        if scenario.invariants is not None:
+            payload["invariants"] = {"checks_run": scenario.invariants.checks_run}
+        if tracer is not None:
+            tracer.close()
+            payload["trace"] = {"file": args.trace, "events": tracer.accepted}
+        print(json.dumps(payload, default=float))
+        if profiler is not None:
+            print(profiler.format(top=12), file=sys.stderr)
+        return 0 if report.deadline_hit_rate > 0 else 1
+    print(
+        f"sustained pipeline: {args.slots} slot(s), {args.nodes} nodes, "
+        f"{args.churn:.0%} churn/slot ({config.policy.name})"
+    )
+    for row in report.rows:
+        print(
+            f"  slot {row['slot']:>3} (epoch {row['epoch']:>2})  "
+            f"deadline-hit {row['deadline_hit']:>6.1%}  "
+            f"live {row['live_nodes']:>5}  "
+            f"queue-depth {row['max_queue_depth']:>4}  "
+            f"shed {row['shed_total']:>8.0f}"
+        )
+    print(f"  deadline-hit rate  {report.deadline_hit_rate:.1%}")
+    probe = report.probe
+    if probe.get("completed"):
+        print(
+            f"  probe retrieval    {probe['completed']}/{probe['issued']} complete, "
+            f"p50 {probe['latency_p50'] * 1e3:.0f} ms, "
+            f"p99 {probe['latency_p99'] * 1e3:.0f} ms "
+            f"({probe['shed']} shed)"
+        )
+    aggregate = report.aggregate
+    if aggregate:
+        line = (
+            f"  aggregate load     {aggregate['served']:.3g} served / "
+            f"{aggregate['offered']:.3g} offered, "
+            f"shed {aggregate['shed_admission'] + aggregate['shed_overflow']:.3g}, "
+            f"backlog peak {aggregate['peak_backlog']:.3g}"
+        )
+        if "latency_p99" in aggregate:
+            line += f", model p99 {aggregate['latency_p99']:.2f} s"
+        print(line)
+    if report.sheds:
+        shed_line = ", ".join(f"{k}={v:.0f}" for k, v in report.sheds.items())
+        print(f"  sheds              {shed_line}")
+    if report.queue_depth_peaks:
+        peaks = ", ".join(f"{k}={v}" for k, v in report.queue_depth_peaks.items())
+        print(f"  queue peaks        {peaks}")
+    if report.datagrams_overflowed:
+        print(f"  inbox overflow     {report.datagrams_overflowed} datagrams")
+    if scenario.invariants is not None:
+        print(f"  invariants         ok ({scenario.invariants.checks_run} checks)")
+    print(f"  fingerprint        {report.fingerprint[:16]}…")
+    _finish_obs(tracer, profiler, args)
+    return 0 if report.deadline_hit_rate > 0 else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.reprolint.cli import run
 
@@ -610,6 +753,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "bench": _cmd_bench,
+        "pipeline": _cmd_pipeline,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

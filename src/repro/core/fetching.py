@@ -45,7 +45,7 @@ except ImportError:  # pragma: no cover
 
 from repro.core.custody import SlotCellState
 from repro.obs.events import TraceRecorder
-from repro.params import FetchSchedule
+from repro.params import FetchSchedule, RetryPolicy
 from repro.sim.engine import Event, Simulator
 
 __all__ = ["AdaptiveFetcher", "RoundStats", "FetchPlan", "plan_queries", "score_peers"]
@@ -171,6 +171,10 @@ class AdaptiveFetcher:
         "exclude_peer",
         "on_peer_timeout",
         "retry_unresponsive",
+        "retry_policy",
+        "deadline_at",
+        "retry_waves",
+        "retry_abandoned",
         "responded",
         "_timeouts_reported",
         "tracer",
@@ -209,6 +213,8 @@ class AdaptiveFetcher:
         exclude_peer: Callable[[int], bool] | None = None,
         on_peer_timeout: Callable[[int], None] | None = None,
         retry_unresponsive: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        deadline_at: float | None = None,
         tracer: TraceRecorder | None = None,
         slot: int = -1,
     ) -> None:
@@ -237,6 +243,16 @@ class AdaptiveFetcher:
         # partitions or withholding peers can permanently starve a node
         # that has already spent its one query per custodian.
         self.retry_unresponsive = retry_unresponsive
+        # Deadline-aware backoff on top of the recycle hatch (overload
+        # control). ``retry_policy is None`` keeps the legacy immediate
+        # recycle bit-identical; with a policy, exhausted-pool retries
+        # wait a seeded jittered exponential backoff between waves and
+        # are abandoned outright once ``deadline_at`` (absolute sim
+        # time) can no longer be met or ``max_waves`` is spent.
+        self.retry_policy = retry_policy
+        self.deadline_at = deadline_at
+        self.retry_waves = 0
+        self.retry_abandoned = False
         self.responded: set[int] = set()
         self._timeouts_reported: set[int] = set()
         # Query-lifecycle tracing (repro.obs): every query gets a
@@ -371,9 +387,11 @@ class AdaptiveFetcher:
         it is sending us count toward the reconstruction threshold, so
         fetching them from peers would only duplicate the seed stream
         (when the per-node seed share already exceeds half a line, the
-        correct fetch volume is zero). From round 3 on (~600 ms after
-        the burst began) undelivered inbound cells are treated as lost
-        — the 3% UDP loss escape hatch — and become fetchable again.
+        correct fetch volume is zero). Once the schedule settles onto
+        its tail timeout (``schedule.settle_round`` — round 3, ~600 ms
+        after the burst began, on the default schedule) undelivered
+        inbound cells are treated as lost — the 3% UDP loss escape
+        hatch — and become fetchable again.
 
         Within a line, prefer boost-located cells (retrievable *now*),
         then other non-inbound cells, then stale inbound.
@@ -381,7 +399,7 @@ class AdaptiveFetcher:
         targets = set(self.state.missing_samples())
         if not self.fetch_custody:
             return targets
-        trust_inbound = round_index <= 2
+        trust_inbound = round_index < self.schedule.settle_round
         inbound = self.inbound
         for line in self.state.custody_lines:
             deficit = self.state.line_deficit(line)
@@ -431,8 +449,14 @@ class AdaptiveFetcher:
 
         targets = self.round_targets(index)
         stats.targets = len(targets)
+        settle = self.schedule.settle_round
         candidate_cells = self._candidate_cells(targets)
-        if not candidate_cells and targets and index >= 3 and self.retry_unresponsive:
+        if (
+            not candidate_cells
+            and targets
+            and index >= settle
+            and self.retry_unresponsive
+        ):
             # Every custodian of the remaining targets has been queried
             # once already. Under loss, partitions or withholding peers
             # that is not the end: peers whose round expired without any
@@ -440,36 +464,76 @@ class AdaptiveFetcher:
             # (their earlier query or reply was probably lost). Peers
             # that *did* reply stay consumed — re-asking a peer that
             # answered only manufactures duplicates.
-            recycled = self._recycle_unresponsive()
-            if recycled:
-                self._trace("query_recycle", pool="unresponsive", count=recycled)
-                candidate_cells = self._candidate_cells(targets)
-            if not candidate_cells:
-                # Still nothing: the remaining targets' custodians all
-                # *answered*, yet the cells never materialized — corrupt
-                # responders whose payloads failed verification, or
-                # replies that did not cover these cells. Re-open them
-                # too; reputation weighting and quarantine steer the
-                # retry toward whoever served honestly.
-                recycled = self._recycle_responded()
+            policy = self.retry_policy
+            if policy is not None and not self._retry_wave_allowed(policy, index):
+                # deadline-aware budget: a backed-off wave could no
+                # longer complete before the fetcher's deadline (or the
+                # wave budget is spent), so the work is abandoned rather
+                # than retried into a slot it already missed
+                self.retry_abandoned = True
+                self._trace(
+                    "retry_abandoned",
+                    round=index,
+                    waves=self.retry_waves,
+                    targets=stats.targets,
+                )
+            else:
+                recycled = self._recycle_unresponsive()
                 if recycled:
-                    self._trace("query_recycle", pool="responded", count=recycled)
+                    self._trace("query_recycle", pool="unresponsive", count=recycled)
                     candidate_cells = self._candidate_cells(targets)
+                if not candidate_cells:
+                    # Still nothing: the remaining targets' custodians all
+                    # *answered*, yet the cells never materialized — corrupt
+                    # responders whose payloads failed verification, or
+                    # replies that did not cover these cells. Re-open them
+                    # too; reputation weighting and quarantine steer the
+                    # retry toward whoever served honestly.
+                    recycled = self._recycle_responded()
+                    if recycled:
+                        self._trace("query_recycle", pool="responded", count=recycled)
+                        candidate_cells = self._candidate_cells(targets)
+                if candidate_cells and policy is not None:
+                    # back off before re-querying: the recycled peers go
+                    # back in the pool now, but the wave itself runs
+                    # after a seeded jittered exponential delay instead
+                    # of re-hammering them on the round tick
+                    delay = self._next_backoff(policy)
+                    self._trace(
+                        "retry_backoff",
+                        round=index,
+                        wave=self.retry_waves,
+                        delay=delay,
+                    )
+                    if self.on_round is not None:
+                        self.on_round(stats)
+                    self._trace(
+                        "fetch_round",
+                        round=index,
+                        targets=stats.targets,
+                        queries=0,
+                        cells=0,
+                    )
+                    self._timer = self.sim.call_after(
+                        delay, self._run_round, index + 1
+                    )
+                    return
         if not candidate_cells:
             if self.on_round is not None:
                 self.on_round(stats)
             self._trace(
                 "fetch_round", round=index, targets=stats.targets, queries=0, cells=0
             )
-            if index >= 3:
-                # Inbound cells are no longer trusted from round 3 and
-                # even already-queried peers are recycled above, so an
-                # empty plan here means nobody reachable can serve the
-                # remaining targets. Stop scheduling; buffered replies
-                # already in flight may still complete the state.
+            if index >= settle:
+                # Inbound cells are no longer trusted once the schedule
+                # settles and even already-queried peers are recycled
+                # above, so an empty plan here means nobody reachable can
+                # serve the remaining targets. Stop scheduling; buffered
+                # replies already in flight may still complete the state.
                 return
-            # rounds 1-2 may have empty plans only because lost inbound
-            # cells are still trusted; keep ticking so round 3 retries
+            # pre-settle rounds may have empty plans only because lost
+            # inbound cells are still trusted; keep ticking so the
+            # settle round retries
             self._timer = self.sim.call_after(
                 self.schedule.timeout(index), self._run_round, index + 1
             )
@@ -686,6 +750,36 @@ class AdaptiveFetcher:
             sets = [missing_by_line[line] for line in lines]
             cells = union_cache[key] = set().union(*sets)
         return cells
+
+    def _retry_wave_allowed(self, policy: RetryPolicy, index: int) -> bool:
+        """Can one more retry wave still pay off before the deadline?
+
+        Checked with the *worst-case* jittered delay so the RNG is only
+        drawn when a wave is actually scheduled: an abandoned retry
+        consumes no randomness and replays identically. The wave must
+        leave room for its own round timeout — a reply that cannot
+        arrive before ``deadline_at`` is not worth asking for.
+        """
+        if self.retry_waves >= policy.max_waves:
+            return False
+        if self.deadline_at is None:
+            return True
+        worst = policy.backoff(self.retry_waves) * (1.0 + policy.jitter)
+        return self.sim.now + worst + self.schedule.timeout(index + 1) <= self.deadline_at
+
+    def _next_backoff(self, policy: RetryPolicy) -> float:
+        """Consume one retry wave; return its jittered backoff delay.
+
+        The jitter multiplier draws from the fetcher's seeded stream
+        (``self.rng``), never the global ``random`` module, so backoff
+        timing is part of the deterministic replay like everything else.
+        """
+        wave = self.retry_waves
+        self.retry_waves = wave + 1
+        delay = policy.backoff(wave)
+        if policy.jitter > 0.0:
+            delay *= 1.0 + policy.jitter * self.rng.random()
+        return delay
 
     def _recycle_unresponsive(self) -> int:
         """Return queried-but-silent peers to the candidate pool.

@@ -18,7 +18,14 @@ from dataclasses import dataclass
 
 from repro.params import PandasParams
 
-__all__ = ["SeedMessage", "CellRequest", "CellResponse", "BoostMap"]
+__all__ = [
+    "SeedMessage",
+    "CellRequest",
+    "CellResponse",
+    "BoostMap",
+    "PRIORITY_SAMPLING",
+    "PRIORITY_RETRIEVAL",
+]
 
 CELL_ID_BYTES = 4
 NODE_REF_BYTES = 8
@@ -58,13 +65,28 @@ class SeedMessage:
         )
 
 
+# CellRequest traffic classes. Sampling/consolidation queries are the
+# protocol's own traffic — the consensus timebound depends on them and
+# they are never shed by admission control. Retrieval-class requests
+# (layer-2 clients reading blob data back) are best-effort and shed
+# first under overload.
+PRIORITY_SAMPLING = 0
+PRIORITY_RETRIEVAL = 1
+
+
 @dataclass(frozen=True)
 class CellRequest:
-    """QUERYCELLS: ask a peer for specific cells (consolidation/sampling)."""
+    """QUERYCELLS: ask a peer for specific cells (consolidation/sampling).
+
+    ``priority`` is the traffic class (``PRIORITY_SAMPLING`` or
+    ``PRIORITY_RETRIEVAL``); it rides in existing header bits, so it
+    does not change the wire size.
+    """
 
     slot: int
     epoch: int
     cells: frozenset[int]
+    priority: int = PRIORITY_SAMPLING
 
     def wire_size(self, params: PandasParams) -> int:
         return params.message_overhead_bytes + len(self.cells) * CELL_ID_BYTES

@@ -43,7 +43,12 @@ from functools import partial
 from repro.core.context import ProtocolContext
 from repro.core.custody import SlotCellState
 from repro.core.fetching import AdaptiveFetcher
-from repro.core.messages import CellRequest, CellResponse, SeedMessage
+from repro.core.messages import (
+    PRIORITY_RETRIEVAL,
+    CellRequest,
+    CellResponse,
+    SeedMessage,
+)
 from repro.core.reputation import ReputationLedger, TokenBucket
 from repro.net.transport import Datagram
 from repro.sim.engine import Event
@@ -53,11 +58,21 @@ __all__ = ["PandasNode"]
 
 @dataclass(slots=True)
 class _PendingRequest:
-    """A buffered query remainder, answered once fully servable."""
+    """A buffered query remainder, answered once fully servable.
+
+    ``priority`` is the request's traffic class; under a
+    ``pending_request_limit`` retrieval-class records are shed first.
+    ``shed``/``done`` records stay in the per-cell waiter lists (lazy
+    removal — evicting them eagerly would cost O(cells) per shed) and
+    are skipped when their cells arrive.
+    """
 
     src: int
     cells: frozenset[int]
     missing: int
+    priority: int = 0
+    shed: bool = False
+    done: bool = False
 
 
 @dataclass(slots=True)
@@ -73,6 +88,11 @@ class _SlotState:
     # cell id -> buffered requests still waiting on it; each stored
     # cell resolves its waiters in O(waiters), never a full rescan
     waiting_by_cell: dict[int, list[_PendingRequest]] = field(default_factory=dict)
+    # live (not done, not shed) buffered records — the I5-bounded depth
+    pending_count: int = 0
+    # live retrieval-class records in admission order; the eviction
+    # queue when a sampling-class request needs room under the limit
+    pending_retrieval: list[_PendingRequest] = field(default_factory=list)
     # peer -> cells we asked it for this slot; a CellResponse is only
     # accepted when its source and cells match an entry here
     outstanding: dict[int, set[int]] = field(default_factory=dict)
@@ -111,6 +131,10 @@ class PandasNode:
             quarantine_threshold=params.quarantine_threshold,
         )
         self._buckets: dict[int, TokenBucket] = {}
+        # aggregate admission bucket over *all* inbound retrieval-class
+        # requests (the load-shedding priority lane: sampling traffic
+        # never passes through it); created lazily iff configured
+        self._retrieval_bucket: TokenBucket | None = None
         self._retired: set[int] = set()
         # bumped on crash so delayed verify callbacks from a previous
         # incarnation never touch post-restart state
@@ -172,6 +196,12 @@ class PandasNode:
             exclude_peer=self.reputation.quarantined,
             on_peer_timeout=self._on_peer_timeout,
             retry_unresponsive=params.fetch_retry_unresponsive,
+            retry_policy=params.fetch_retry,
+            deadline_at=(
+                ctx.slot_start(slot) + params.deadline
+                if params.fetch_retry is not None
+                else None
+            ),
             tracer=ctx.tracer,
             slot=slot,
         )
@@ -206,6 +236,12 @@ class PandasNode:
             if not self._admit(dgram.src):
                 self._defense("rate_limited", slot=payload.slot)
                 return
+            if (
+                payload.priority == PRIORITY_RETRIEVAL
+                and not self._admit_retrieval()
+            ):
+                self._shed("retrieval_admission", slot=payload.slot)
+                return
             self._on_request(dgram.src, payload)
         elif isinstance(payload, CellResponse):
             if not self._admit(dgram.src):
@@ -221,6 +257,27 @@ class PandasNode:
             bucket = TokenBucket(params.inbound_msg_rate, params.inbound_msg_burst)
             self._buckets[src] = bucket
         return bucket.allow(self.ctx.sim.now)
+
+    def _admit_retrieval(self) -> bool:
+        """Aggregate token bucket over retrieval-class requests.
+
+        Unconfigured (``retrieval_admit_rate is None``) admits
+        everything — the legacy behaviour. Sampling/consolidation
+        requests never consult this bucket.
+        """
+        rate = self.ctx.params.retrieval_admit_rate
+        if rate is None:
+            return True
+        bucket = self._retrieval_bucket
+        if bucket is None:
+            bucket = TokenBucket(rate, self.ctx.params.retrieval_admit_burst)
+            self._retrieval_bucket = bucket
+        return bucket.allow(self.ctx.sim.now)
+
+    def _shed(self, kind: str, amount: float = 1.0, slot: int = -1) -> None:
+        """Count one load-shedding action in the metrics and the trace."""
+        self.ctx.metrics.record_shed(kind, amount)
+        self._trace("load_shed", slot=slot, shed=kind, amount=amount)
 
     def _dispatch_verified(self, src: int, msg, cell_count: int, handler) -> None:
         """Charge KZG verification time, then deliver to ``handler``.
@@ -320,15 +377,57 @@ class PandasNode:
             if elapsed >= params.deadline:
                 self._defense("pending_expired", len(remainder), slot=slot)
                 return
+            limit = params.pending_request_limit
+            if limit is not None and state.pending_count >= limit:
+                if not self._make_pending_room(state, msg.priority, slot):
+                    return
             if state.expiry_timer is None:
                 state.expiry_timer = self.ctx.sim.call_after(
                     params.deadline - elapsed, lambda: self._expire_pending(slot)
                 )
-            record = _PendingRequest(src, remainder, len(remainder))
+            record = _PendingRequest(src, remainder, len(remainder), msg.priority)
+            state.pending_count += 1
+            if limit is not None:
+                # gauge only under overload control so legacy runs keep
+                # their exact historical metrics snapshot
+                self.ctx.metrics.observe_queue_depth(
+                    "pending_requests", state.pending_count
+                )
+            if msg.priority == PRIORITY_RETRIEVAL:
+                state.pending_retrieval.append(record)
             for cid in remainder:
                 state.waiting_by_cell.setdefault(cid, []).append(record)
             # waiters exist now: route stored cells through the sink
             state.cells.on_store = state.store_sink
+
+    def _make_pending_room(
+        self, state: _SlotState, priority: int, slot: int
+    ) -> bool:
+        """Enforce ``pending_request_limit``; returns True if admitted.
+
+        Retrieval-class load is shed first: an incoming retrieval
+        remainder at a full buffer is dropped outright, while an
+        incoming sampling-class remainder evicts the oldest live
+        retrieval record to make room. Only when no retrieval record
+        is left does sampling traffic itself get shed — client load
+        can fill the buffer, but it can never crowd out the sampling
+        traffic the consensus timebound depends on.
+        """
+        if priority != PRIORITY_RETRIEVAL:
+            queue = state.pending_retrieval
+            while queue:
+                victim = queue.pop(0)
+                if victim.shed or victim.done:
+                    continue  # lazily discarded tombstone
+                victim.shed = True
+                state.pending_count -= 1
+                self._shed("pending_evicted", slot=slot)
+                return True
+        self._shed(
+            "pending_retrieval" if priority == PRIORITY_RETRIEVAL else "pending_sampling",
+            slot=slot,
+        )
+        return False
 
     def _expire_pending(self, slot: int) -> None:
         """Drop buffered request remainders at the sampling deadline."""
@@ -338,9 +437,17 @@ class PandasNode:
         state.expiry_timer = None
         if not state.waiting_by_cell:
             return
-        expired = {id(rec): rec for recs in state.waiting_by_cell.values() for rec in recs}
-        self._defense("pending_expired", len(expired), slot=slot)
+        expired = {
+            id(rec): rec
+            for recs in state.waiting_by_cell.values()
+            for rec in recs
+            if not rec.shed and not rec.done
+        }
+        if expired:
+            self._defense("pending_expired", len(expired), slot=slot)
         state.waiting_by_cell.clear()
+        state.pending_count = 0
+        state.pending_retrieval.clear()
         state.cells.on_store = None
 
     def _fallback_start(self, slot: int) -> None:
@@ -437,8 +544,12 @@ class PandasNode:
         if waiters:
             epoch = self._epoch(slot)
             for record in waiters:
+                if record.shed:
+                    continue  # evicted under the pending limit
                 record.missing -= 1
                 if record.missing == 0:
+                    record.done = True
+                    state.pending_count -= 1
                     self._respond(slot, epoch, record.src, tuple(sorted(record.cells)))
         if not state.waiting_by_cell:
             # nothing is waiting any more: detach the per-cell sink so
@@ -511,6 +622,18 @@ class PandasNode:
     def slot_fetcher(self, slot: int) -> AdaptiveFetcher | None:
         state = self._slots.get(slot)
         return state.fetcher if state is not None else None
+
+    def pending_depth(self, slot: int | None = None) -> int:
+        """Live buffered-remainder count (one slot, or the node total).
+
+        The node half of the I5 "no unbounded backlog" invariant: with
+        ``pending_request_limit`` configured this may never exceed the
+        limit per slot.
+        """
+        if slot is not None:
+            state = self._slots.get(slot)
+            return 0 if state is None else state.pending_count
+        return sum(state.pending_count for state in self._slots.values())
 
     def drop_slot(self, slot: int) -> None:
         """Free per-slot state (old blob data is discarded after expiry).

@@ -8,10 +8,25 @@ the adaptive fetcher with the requested lines as synthetic custody, so
 retrieval inherits the same redundancy-escalation and reconstruction
 behaviour as consolidation, without the client being a custodian of
 anything itself.
+
+Two overload-control layers ride on top for the sustained pipeline:
+
+- ``RetrievalClient`` admission control (``max_concurrent`` /
+  ``defer_limit``): concurrent retrievals beyond the cap wait in a
+  bounded FIFO defer queue; past the bound they are shed immediately
+  (callback with ``shed=True``) instead of queueing forever.
+- :class:`AggregateRetrievalLoad`: a deterministic fluid-queue (rate
+  process) model of the *population* of layer-2 clients — millions of
+  requests per slot as arrival/service rates, never per-request
+  simulator events. The pipeline steps it once per slot phase, feeds
+  it the capacity left over by sampling traffic (sampling has
+  priority), and reads shed/backlog totals and M/M/1-style latency
+  estimates out of it.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
@@ -19,15 +34,24 @@ from repro.core.assignment import Custody
 from repro.core.context import ProtocolContext
 from repro.core.custody import SlotCellState
 from repro.core.fetching import AdaptiveFetcher
-from repro.core.messages import CellRequest, CellResponse
+from repro.core.messages import PRIORITY_RETRIEVAL, CellRequest, CellResponse
 from repro.net.transport import Datagram
 
-__all__ = ["RetrievalClient", "RetrievalResult"]
+__all__ = [
+    "AggregateRetrievalLoad",
+    "RetrievalClient",
+    "RetrievalResult",
+]
 
 
 @dataclass
 class RetrievalResult:
-    """Outcome of one retrieval request."""
+    """Outcome of one retrieval request.
+
+    ``shed=True`` means admission control rejected the request before
+    any query was sent (the defer queue was full); ``complete`` stays
+    False and the callback fires immediately.
+    """
 
     slot: int
     rows: tuple[int, ...]
@@ -35,6 +59,7 @@ class RetrievalResult:
     cells: set[int] = field(default_factory=set)
     complete: bool = False
     elapsed: float = 0.0
+    shed: bool = False
 
 
 @dataclass
@@ -58,10 +83,27 @@ class RetrievalClient:
         ctx: ProtocolContext,
         client_id: int,
         view: set[int] | None = None,
+        max_concurrent: int | None = None,
+        defer_limit: int = 32,
     ) -> None:
+        if max_concurrent is not None and max_concurrent <= 0:
+            raise ValueError(f"max_concurrent must be positive or None, got {max_concurrent}")
+        if defer_limit < 0:
+            raise ValueError(f"defer_limit must be non-negative, got {defer_limit}")
         self.ctx = ctx
         self.client_id = client_id
         self.view = view
+        # Admission control (``None`` = legacy unbounded): at most
+        # ``max_concurrent`` retrievals run at once; the next
+        # ``defer_limit`` wait in FIFO order; anything beyond that is
+        # shed immediately rather than queued forever (the client half
+        # of the I5 backlog bound).
+        self.max_concurrent = max_concurrent
+        self.defer_limit = defer_limit
+        self.shed_count = 0
+        self.deferred_peak = 0
+        self._running = 0
+        self._deferred: list[tuple[RetrievalResult, Callable[[RetrievalResult], None]]] = []
         self._active: dict[int, list[_Retrieval]] = {}
 
     # ------------------------------------------------------------------
@@ -76,15 +118,39 @@ class RetrievalClient:
 
         The callback fires once every requested line is complete
         (received or erasure-reconstructed). The returned result object
-        is updated in place as cells arrive.
+        is updated in place as cells arrive. Under admission control a
+        request may instead be deferred (starts when a running one
+        finishes) or shed (``result.shed``, callback fires at once).
         """
         if not rows and not cols:
             raise ValueError("nothing to retrieve")
+        result = RetrievalResult(
+            slot=slot, rows=tuple(sorted(rows)), cols=tuple(sorted(cols))
+        )
+        if self.max_concurrent is None or self._running < self.max_concurrent:
+            self._start(result, callback)
+        elif len(self._deferred) < self.defer_limit:
+            self._deferred.append((result, callback))
+            if len(self._deferred) > self.deferred_peak:
+                self.deferred_peak = len(self._deferred)
+            self.ctx.metrics.observe_queue_depth(
+                "retrieval_deferred", len(self._deferred)
+            )
+        else:
+            result.shed = True
+            self.shed_count += 1
+            self.ctx.metrics.record_shed("retrieval_client")
+            callback(result)
+        return result
+
+    def _start(
+        self, result: RetrievalResult, callback: Callable[[RetrievalResult], None]
+    ) -> None:
         ctx = self.ctx
         params = ctx.params
+        slot = result.slot
         epoch = ctx.epoch_of(slot)
-        custody = Custody(rows=tuple(sorted(rows)), cols=tuple(sorted(cols)))
-        result = RetrievalResult(slot=slot, rows=custody.rows, cols=custody.cols)
+        custody = Custody(rows=result.rows, cols=result.cols)
 
         state = SlotCellState(params, custody, samples=(), on_store=result.cells.add)
         index = ctx.index_for_epoch(epoch)
@@ -97,11 +163,14 @@ class RetrievalClient:
             callback=callback,
             started_at=ctx.sim.now,
         )
+        self._running += 1
 
         def on_done(success: bool) -> None:
             result.complete = success and state.consolidation_complete
             result.elapsed = ctx.sim.now - retrieval.started_at
+            self._running -= 1
             callback(result)
+            self._drain_deferred()
 
         retrieval.fetcher = AdaptiveFetcher(
             sim=ctx.sim,
@@ -117,7 +186,19 @@ class RetrievalClient:
         )
         self._active.setdefault(slot, []).append(retrieval)
         retrieval.fetcher.start()
-        return result
+
+    def _drain_deferred(self) -> None:
+        """Start deferred retrievals while slots are free (FIFO order)."""
+        while self._deferred and (
+            self.max_concurrent is None or self._running < self.max_concurrent
+        ):
+            result, callback = self._deferred.pop(0)
+            self._start(result, callback)
+
+    @property
+    def queue_depth(self) -> int:
+        """Live admission backlog (running + deferred)."""
+        return self._running + len(self._deferred)
 
     # ------------------------------------------------------------------
     def on_datagram(self, dgram: Datagram) -> None:
@@ -129,7 +210,114 @@ class RetrievalClient:
                 retrieval.fetcher.on_response(dgram.src, payload.cells)
 
     def _send_query(self, slot: int, epoch: int, peer: int, cells: frozenset[int]) -> None:
-        request = CellRequest(slot=slot, epoch=epoch, cells=cells)
+        # retrieval-class traffic: serving nodes shed it before sampling
+        # traffic under overload (see PandasNode._admit_retrieval)
+        request = CellRequest(
+            slot=slot, epoch=epoch, cells=cells, priority=PRIORITY_RETRIEVAL
+        )
         self.ctx.network.send(
             self.client_id, peer, request, request.wire_size(self.ctx.params)
         )
+
+
+class AggregateRetrievalLoad:
+    """Fluid-queue model of the aggregate layer-2 client population.
+
+    Millions of retrieval requests per slot cannot be simulated as
+    per-request events; they are modeled as deterministic *rate
+    processes* instead (pure arithmetic — no RNG, no simulator events,
+    so stepping the model is behavior-neutral for the packet-level
+    simulation running beside it).
+
+    Each :meth:`offer` call advances the model by one phase of
+    ``duration`` seconds during which clients generate ``rate``
+    requests/second against a serving tier that can absorb
+    ``capacity`` requests/second *after* sampling traffic took its
+    share (sampling has strict priority; the caller computes the
+    leftover capacity). Admission is capped at ``admit_rate`` and the
+    waiting pool is bounded by ``max_backlog`` — excess load is shed
+    and counted, never queued forever (the rate-process half of the
+    I5 invariant).
+
+    Latency estimates use the M/M/1 sojourn-time approximation on the
+    current backlog and service rate — honest about being a model, but
+    good enough to show the degradation curve under 2x overload.
+    """
+
+    def __init__(
+        self,
+        service_rate: float,
+        admit_rate: float | None = None,
+        max_backlog: float | None = None,
+    ) -> None:
+        if service_rate <= 0.0:
+            raise ValueError(f"service_rate must be positive, got {service_rate}")
+        if admit_rate is not None and admit_rate < 0.0:
+            raise ValueError(f"admit_rate must be non-negative, got {admit_rate}")
+        if max_backlog is not None and max_backlog < 0.0:
+            raise ValueError(f"max_backlog must be non-negative, got {max_backlog}")
+        self.service_rate = service_rate
+        self.admit_rate = admit_rate
+        self.max_backlog = max_backlog
+        self.backlog = 0.0
+        self.peak_backlog = 0.0
+        self.offered_total = 0.0
+        self.admitted_total = 0.0
+        self.served_total = 0.0
+        self.shed_admission = 0.0
+        self.shed_overflow = 0.0
+        self._last_capacity = service_rate
+
+    def offer(self, rate: float, duration: float, capacity: float | None = None) -> float:
+        """Advance one phase; returns requests served during it."""
+        if rate < 0.0 or duration < 0.0:
+            raise ValueError("rate and duration must be non-negative")
+        effective = self.service_rate if capacity is None else max(0.0, capacity)
+        self._last_capacity = effective
+        offered = rate * duration
+        self.offered_total += offered
+        admitted = offered
+        if self.admit_rate is not None:
+            admitted = min(offered, self.admit_rate * duration)
+            self.shed_admission += offered - admitted
+        self.admitted_total += admitted
+        served = min(self.backlog + admitted, effective * duration)
+        self.served_total += served
+        self.backlog += admitted - served
+        if self.max_backlog is not None and self.backlog > self.max_backlog:
+            self.shed_overflow += self.backlog - self.max_backlog
+            self.backlog = self.max_backlog
+        if self.backlog > self.peak_backlog:
+            self.peak_backlog = self.backlog
+        return served
+
+    @property
+    def shed_total(self) -> float:
+        return self.shed_admission + self.shed_overflow
+
+    def latency_quantile(self, q: float) -> float | None:
+        """M/M/1-style sojourn-time quantile at the current backlog.
+
+        Mean sojourn = (backlog + 1) / capacity (Little's law on the
+        waiting pool plus own service); quantile ``q`` of the matching
+        exponential is ``-ln(1 - q)`` means. ``None`` when the serving
+        tier has zero capacity left (every estimate would be infinite).
+        """
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantile must be in [0, 1), got {q}")
+        if self._last_capacity <= 0.0:
+            return None
+        mean = (self.backlog + 1.0) / self._last_capacity
+        return mean * -math.log(1.0 - q)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat totals for reports (stable key order for replays)."""
+        return {
+            "offered": self.offered_total,
+            "admitted": self.admitted_total,
+            "served": self.served_total,
+            "shed_admission": self.shed_admission,
+            "shed_overflow": self.shed_overflow,
+            "backlog": self.backlog,
+            "peak_backlog": self.peak_backlog,
+        }

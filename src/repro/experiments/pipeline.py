@@ -1,0 +1,356 @@
+"""Sustained multi-slot pipeline with overload control.
+
+Every other experiment driver runs slots one at a time and lets each
+drain completely before the next begins. The real protocol never gets
+that luxury: slot N+1's seeding starts while slot N's stragglers are
+still retrying, membership churns at epoch/slot boundaries, and layer-2
+clients keep asking for data whether or not the serving tier has
+capacity left. :class:`PipelineScenario` is that regime:
+
+- **Overlapping phases**: slot N+1 begins exactly one
+  ``slot_duration`` after slot N, while slot N's fetchers (and its
+  probe retrievals) are still live. Per-slot state is only released
+  ``retention_slots`` slots later, so work in flight is never yanked
+  at an artificial barrier.
+- **Churn mid-stream**: membership turns over at every slot boundary
+  (``ChurnScenario`` machinery), which under overlap means nodes
+  disappear *while still owing responses* for earlier slots.
+- **Overload control end to end**: bounded transport inboxes
+  (``ScenarioConfig.max_inbox``), bounded per-node request buffers
+  (``PandasParams.pending_request_limit``), retrieval admission
+  (``retrieval_admit_rate``), deadline-aware retry/backoff
+  (``PandasParams.fetch_retry``) and the aggregate layer-2 load model
+  (:class:`~repro.core.retrieval.AggregateRetrievalLoad`) all engage
+  at once; the I5 invariant checks no queue ever exceeds its bound.
+- **Measured retrieval**: a handful of *probe* ``RetrievalClient``
+  instances issue real per-request retrievals each slot, giving
+  measured latency percentiles to place next to the aggregate model's
+  M/M/1 estimates. Sampling keeps strict priority: the aggregate
+  model is only offered the capacity left over after the slot's
+  sampling traffic.
+
+Everything is seeded: two runs with the same config and knobs produce
+bit-identical metrics fingerprints (``PipelineReport.fingerprint``),
+which is what lets overload behaviour be regression-tested at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import percentile
+from repro.core.retrieval import AggregateRetrievalLoad, RetrievalClient, RetrievalResult
+from repro.experiments.churn import ChurnScenario
+from repro.experiments.scenario import ScenarioConfig
+
+__all__ = ["PROBE_BASE_ADDRESS", "PipelineReport", "PipelineScenario"]
+
+# Probe clients live far above any address churn can ever allocate
+# (joiners are numbered up from builder_id + 1, one per departure).
+PROBE_BASE_ADDRESS = 10_000_000
+
+
+@dataclass
+class PipelineReport:
+    """Machine-readable outcome of one sustained pipeline run."""
+
+    slots: int
+    deadline_hit_rate: float
+    rows: list[dict[str, object]] = field(default_factory=list)
+    probe: dict[str, object] = field(default_factory=dict)
+    aggregate: dict[str, object] = field(default_factory=dict)
+    sheds: dict[str, float] = field(default_factory=dict)
+    queue_drops: dict[str, float] = field(default_factory=dict)
+    queue_depth_peaks: dict[str, int] = field(default_factory=dict)
+    datagrams_overflowed: int = 0
+    fingerprint: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "slots": self.slots,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "rows": self.rows,
+            "probe": self.probe,
+            "aggregate": self.aggregate,
+            "sheds": self.sheds,
+            "queue_drops": self.queue_drops,
+            "queue_depth_peaks": self.queue_depth_peaks,
+            "datagrams_overflowed": self.datagrams_overflowed,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class PipelineScenario(ChurnScenario):
+    """Continuous slot pipeline over a churning, overloaded network.
+
+    Knobs beyond :class:`ChurnScenario`:
+
+    - ``retention_slots``: how many slots of per-node state stay live
+      behind the head slot before being released (>= 1);
+    - ``probes_per_slot`` / ``probe_delay`` / ``probe_rows``: measured
+      retrieval probes launched ``probe_delay`` seconds into every
+      slot, each asking for ``probe_rows`` full rows;
+    - ``probe_max_concurrent`` / ``probe_defer_limit``: client-side
+      admission control for the probes (``None`` = unbounded);
+    - ``client_rate``: aggregate layer-2 arrival rate in requests/s —
+      a float, or a sequence cycled per slot (to model overload
+      bursts); ``service_rate``/``admit_rate_aggregate``/
+      ``max_backlog`` parameterize the serving-tier fluid model
+      (``service_rate=None`` disables it);
+    - ``sampling_cost``: serving-tier requests/s consumed per observed
+      sampling message/s (sampling's strict priority over retrieval).
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        churn_fraction: float = 0.05,
+        view_lag_slots: int = 1,
+        retention_slots: int = 2,
+        probes_per_slot: int = 2,
+        probe_delay: float = 1.0,
+        probe_rows: int = 1,
+        probe_max_concurrent: int | None = 4,
+        probe_defer_limit: int = 8,
+        client_rate: float | Sequence[float] = 0.0,
+        service_rate: float | None = None,
+        admit_rate_aggregate: float | None = None,
+        max_backlog: float | None = None,
+        sampling_cost: float = 1.0,
+    ) -> None:
+        if retention_slots < 1:
+            raise ValueError("retention_slots must be at least 1")
+        if probes_per_slot < 0:
+            raise ValueError("probes_per_slot must be non-negative")
+        if probe_delay < 0.0:
+            raise ValueError("probe_delay must be non-negative")
+        if probe_rows < 1:
+            raise ValueError("probe_rows must be at least 1")
+        if sampling_cost < 0.0:
+            raise ValueError("sampling_cost must be non-negative")
+        self.retention_slots = retention_slots
+        self.probes_per_slot = probes_per_slot
+        self.probe_delay = probe_delay
+        self.probe_rows = probe_rows
+        self.client_rate = client_rate
+        self.sampling_cost = sampling_cost
+        self.aggregate: AggregateRetrievalLoad | None = None
+        if service_rate is not None:
+            self.aggregate = AggregateRetrievalLoad(
+                service_rate,
+                admit_rate=admit_rate_aggregate,
+                max_backlog=max_backlog,
+            )
+        self.probe_results: list[RetrievalResult] = []
+        self._slot_rows: list[dict[str, object]] = []
+        self._retired = 0
+        super().__init__(config, churn_fraction, view_lag_slots)
+        self.probes: list[RetrievalClient] = []
+        if probes_per_slot > 0:
+            rng = self.rngs.stream("pipeline-probe-topology")
+            for i in range(max(1, min(probes_per_slot, 4))):
+                address = PROBE_BASE_ADDRESS + i
+                client = RetrievalClient(
+                    self.ctx,
+                    address,
+                    max_concurrent=probe_max_concurrent,
+                    defer_limit=probe_defer_limit,
+                )
+                self.network.register(
+                    address,
+                    rng.randrange(self.latency.num_vertices),
+                    client.on_datagram,
+                    config.node_profile.up_rate,
+                    config.node_profile.down_rate,
+                )
+                self.probes.append(client)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, slots: int | None = None) -> PipelineScenario:
+        """Run the continuous pipeline: one slot begins every
+        ``slot_duration`` seconds regardless of what is still in
+        flight, then a final drain window lets the tail settle."""
+        total = slots if slots is not None else self.config.slots
+        duration = self.params.slot_duration
+        for slot in range(total):
+            start = slot * duration
+            if self.sim.now < start:
+                self.sim.run(until=start)
+            if slot > 0:
+                # boundary churn happens while the previous slots'
+                # fetchers and probes are still live — mid-stream
+                self._apply_churn(slot - 1)
+            self._retire_through(slot - self.retention_slots)
+            self.ctx.begin_slot(slot)
+            self._begin_slot(slot)
+            self._launch_probes(slot)
+            self.sim.run(until=start + duration)
+            self._step_aggregate(slot, duration)
+            self._record_slot(slot)
+        # drain: the last slots keep their state for the configured
+        # window so late retries/probes can still land
+        drain_until = max(
+            total * duration, (total - 1) * duration + self.config.slot_window
+        )
+        self.sim.run(until=drain_until)
+        self._retire_through(total - 1)
+        if self.invariants is not None:
+            self.invariants.check_final()
+        return self
+
+    def _retire_through(self, slot: int) -> None:
+        """Release per-node state for every slot up to ``slot``."""
+        while self._retired <= slot:
+            retiring = self._retired
+            self._retired += 1
+            for node in self.nodes.values():
+                node.drop_slot(retiring)
+
+    # ------------------------------------------------------------------
+    # measured retrieval probes
+    # ------------------------------------------------------------------
+    def _launch_probes(self, slot: int) -> None:
+        if not self.probes or self.probes_per_slot == 0:
+            return
+        rng = self.rngs.stream("pipeline-probe", slot)
+        ext_rows = self.params.ext_rows
+        for i in range(self.probes_per_slot):
+            client = self.probes[i % len(self.probes)]
+            rows = tuple(
+                sorted(rng.sample(range(ext_rows), min(self.probe_rows, ext_rows)))
+            )
+            self.sim.call_after(
+                self.probe_delay,
+                lambda client=client, rows=rows: self.probe_results.append(
+                    client.fetch_lines(slot, rows=rows)
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # aggregate layer-2 load (fluid model, sampling has priority)
+    # ------------------------------------------------------------------
+    def _client_rate_for(self, slot: int) -> float:
+        rate = self.client_rate
+        if isinstance(rate, (int, float)):
+            return float(rate)
+        if not rate:
+            return 0.0
+        return float(rate[slot % len(rate)])
+
+    def _sampling_message_rate(self, slot: int, duration: float) -> float:
+        """Observed sampling-path messages/s for the slot (both
+        directions over honest fetch traffic)."""
+        total = sum(
+            value
+            for (s, _node), value in self.metrics.fetch_messages.items()
+            if s == slot
+        )
+        return total / duration if duration > 0 else 0.0
+
+    def _step_aggregate(self, slot: int, duration: float) -> None:
+        aggregate = self.aggregate
+        if aggregate is None:
+            return
+        sampling_share = self.sampling_cost * self._sampling_message_rate(
+            slot, duration
+        )
+        capacity = max(0.0, aggregate.service_rate - sampling_share)
+        aggregate.offer(self._client_rate_for(slot), duration, capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # per-slot bookkeeping
+    # ------------------------------------------------------------------
+    def _record_slot(self, slot: int) -> None:
+        shed_total = sum(self.metrics.shed_counts.values())
+        row: dict[str, object] = {
+            "slot": slot,
+            "epoch": self.ctx.epoch_of(slot),
+            "live_nodes": len(self.current_members),
+            "max_queue_depth": self.network.max_queue_depth(),
+            "datagrams_overflowed": self.network.datagrams_overflowed,
+            "shed_total": shed_total,
+        }
+        if self.aggregate is not None:
+            row["aggregate_backlog"] = self.aggregate.backlog
+            row["aggregate_shed"] = self.aggregate.shed_total
+        self._slot_rows.append(row)
+        self.ctx.trace(
+            "pipeline_slot",
+            slot=slot,
+            live=row["live_nodes"],
+            depth=row["max_queue_depth"],
+            shed=shed_total,
+        )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def deadline_hit_by_slot(self) -> dict[int, float]:
+        """Fraction of each slot's live nodes that sampled within the
+        protocol deadline (``params.deadline``)."""
+        deadline = self.params.deadline
+        outcome: dict[int, float] = {}
+        history = self._membership_history
+        for slot in self.ctx.slot_starts:
+            live = history[min(slot, len(history) - 1)]
+            if not live:
+                continue
+            within = 0
+            for node in live:
+                times = self.metrics.phase_times.get((slot, node))
+                if times and times.sampling is not None and times.sampling <= deadline:
+                    within += 1
+            outcome[slot] = within / len(live)
+        return outcome
+
+    def _probe_summary(self) -> dict[str, object]:
+        issued = len(self.probe_results)
+        completed = sorted(
+            r.elapsed for r in self.probe_results if r.complete and not r.shed
+        )
+        shed = sum(1 for r in self.probe_results if r.shed)
+        summary: dict[str, object] = {
+            "issued": issued,
+            "completed": len(completed),
+            "shed": shed,
+            "client_shed": sum(c.shed_count for c in self.probes),
+            "deferred_peak": max((c.deferred_peak for c in self.probes), default=0),
+        }
+        if completed:
+            summary["latency_p50"] = percentile(completed, 50.0)
+            summary["latency_p90"] = percentile(completed, 90.0)
+            summary["latency_p99"] = percentile(completed, 99.0)
+        return summary
+
+    def report(self) -> PipelineReport:
+        hits = self.deadline_hit_by_slot()
+        overall = sum(hits.values()) / len(hits) if hits else 0.0
+        aggregate: dict[str, object] = {}
+        if self.aggregate is not None:
+            aggregate = dict(self.aggregate.snapshot())
+            for label, q in (("latency_p50", 0.5), ("latency_p99", 0.99)):
+                value = self.aggregate.latency_quantile(q)
+                if value is not None:
+                    aggregate[label] = value
+        rows: list[dict[str, object]] = []
+        for row in self._slot_rows:
+            slot = row["slot"]
+            hit = hits.get(slot, 0.0) if isinstance(slot, int) else 0.0
+            rows.append(dict(row, deadline_hit=hit))
+        return PipelineReport(
+            slots=len(self._slot_rows),
+            deadline_hit_rate=overall,
+            rows=rows,
+            probe=self._probe_summary(),
+            aggregate=aggregate,
+            sheds={k: v for k, v in sorted(self.metrics.shed_counts.items())},
+            queue_drops={k: v for k, v in sorted(self.metrics.queue_drop_counts.items())},
+            queue_depth_peaks={
+                k: int(v) for k, v in sorted(self.metrics.queue_depth_peaks.items())
+            },
+            datagrams_overflowed=self.network.datagrams_overflowed,
+            fingerprint=self.metrics.fingerprint(),
+        )

@@ -83,6 +83,11 @@ class ScenarioConfig:
     # select either side from config
     queue: str = "calendar"
     delivery: str = "batched"
+    # bounded per-endpoint transport queues (None = legacy unbounded);
+    # overflowing datagrams are tail-dropped with reason "overflow" and
+    # the I5 backlog invariant enforces the bound when check_invariants
+    # is on (sustained-pipeline overload control)
+    max_inbox: int | None = None
 
     def make_latency(self) -> LatencyModel:
         if self.latency is not None:
@@ -114,6 +119,7 @@ class BaseScenario:
             config.loss_rate,
             self.rngs.stream("loss"),
             delivery=config.delivery,
+            max_inbox=config.max_inbox,
         )
         self.metrics = MetricsRecorder()
         self.params = config.params
@@ -313,8 +319,15 @@ class BaseScenario:
                 metrics.fetch_messages.add(slot, dgram.dst)
                 metrics.fetch_bytes.add(slot, dgram.dst, dgram.size)
 
+        def on_drop(dgram: Datagram, reason: str) -> None:
+            # bounded-inbox drops (only possible when max_inbox is set)
+            # feed the backlog counters the pipeline report surfaces
+            if reason == "overflow":
+                metrics.record_queue_drop("inbox_overflow")
+
         self.network.on_send.append(on_send)
         self.network.on_deliver.append(on_deliver)
+        self.network.on_drop.append(on_drop)
 
     def _wire_tracing(self) -> None:
         """Mirror the transport's send/deliver/drop flow into the trace.
@@ -380,6 +393,22 @@ class BaseScenario:
                 )
 
             self.network.on_drop.append(on_drop)
+
+        if tracer.enabled("queue_overflow"):
+
+            def on_overflow(dgram: Datagram, reason: str) -> None:
+                if reason != "overflow":
+                    return
+                tracer.emit(
+                    "queue_overflow",
+                    t=self.sim.now,
+                    slot=payload_slot(dgram),
+                    node=dgram.dst,
+                    src=dgram.src,
+                    size=dgram.size,
+                )
+
+            self.network.on_drop.append(on_overflow)
 
     # ------------------------------------------------------------------
     # execution

@@ -16,7 +16,13 @@ enforces, *while the run executes and under any fault mix*:
   actually fully held or reconstructable;
 - **I4 — honest sampling**: sampling success is only recorded when all
   ``params.samples`` (73 at full scale) sample cells are verified held,
-  and never with a negative completion time.
+  and never with a negative completion time;
+- **I5 — no unbounded backlog**: whenever queue bounds are configured
+  (transport ``max_inbox``, node ``pending_request_limit``, retrieval
+  admission), no live queue depth ever exceeds its bound. Depth checks
+  are O(1) against live gauges on every delivery, plus a final sweep
+  over every endpoint/node — a leak that only shows up between
+  deliveries still fails at :meth:`InvariantChecker.check_final`.
 
 Violations raise :class:`InvariantViolation` (an ``AssertionError``
 subclass, so plain pytest runs fail loudly) at the moment the bad
@@ -97,6 +103,51 @@ class InvariantChecker:
                 f"datagram {dgram.src}->{dgram.dst} delivered at "
                 f"{self.scenario.sim.now:.6f} before being sent at {dgram.sent_at:.6f}"
             )
+        self._check_backlog_bounds(dgram.dst)
+
+    # ------------------------------------------------------------------
+    # I5: bounded backlog (only active when bounds are configured)
+    # ------------------------------------------------------------------
+    def _check_backlog_bounds(self, address: int | None = None) -> None:
+        network = self.scenario.network
+        max_inbox = getattr(network, "max_inbox", None)
+        if max_inbox is not None:
+            self.checks_run += 1
+            if address is not None:
+                depths = ((address, network.queue_depth(address)),)
+            else:
+                depths = tuple(
+                    (addr, network.queue_depth(addr)) for addr in network.addresses
+                )
+            for addr, depth in depths:
+                if depth > max_inbox:
+                    raise InvariantViolation(
+                        f"endpoint {addr} holds {depth} in-flight datagrams, "
+                        f"bounded inbox is {max_inbox}"
+                    )
+        limit = getattr(self.scenario.params, "pending_request_limit", None)
+        if limit is None:
+            return
+        nodes = getattr(self.scenario, "nodes", None)
+        if not nodes:
+            return
+        if address is not None:
+            candidates = [nodes.get(address)]
+        else:
+            candidates = list(nodes.values())
+        for node_obj in candidates:
+            if node_obj is None or not hasattr(node_obj, "pending_depth"):
+                continue
+            self.checks_run += 1
+            slots = getattr(node_obj, "_slots", {})
+            for slot in slots:
+                depth = node_obj.pending_depth(slot)
+                if depth > limit:
+                    raise InvariantViolation(
+                        f"node {getattr(node_obj, 'node_id', '?')} buffered "
+                        f"{depth} request remainders for slot {slot}, "
+                        f"pending_request_limit is {limit}"
+                    )
 
     # ------------------------------------------------------------------
     # I3 / I4: completion marks must reflect real cell state
@@ -155,6 +206,9 @@ class InvariantChecker:
         """Run the whole-run invariants after the last slot."""
         scenario = self.scenario
         sim = scenario.sim
+        # I5 full sweep: every endpoint and every node, not just the
+        # ones that happened to receive the last datagrams
+        self._check_backlog_bounds()
         for event in sim.iter_pending():
             self.checks_run += 1
             if event.active and event.time < sim.now - _TIME_EPS:

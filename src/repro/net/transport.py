@@ -93,6 +93,14 @@ class Endpoint:
     inbox: list[_Pending] = field(default_factory=list)
     inbox_head: int = 0
     inbox_event: Event | None = None
+    # in-flight datagram count toward this endpoint — the live queue
+    # depth. Maintained identically in both delivery modes (batched
+    # mode's live inbox length equals it by construction), so the
+    # ``max_inbox`` overflow policy drops the very same datagrams in
+    # both modes and the mode-equivalence fingerprint pins still hold.
+    in_flight: int = 0
+    # datagrams this endpoint rejected because its queue was full
+    overflowed: int = 0
 
 
 class Network:
@@ -110,6 +118,7 @@ class Network:
         loss_rate: float = DEFAULT_LOSS_RATE,
         rng: random.Random | None = None,
         delivery: str = "batched",
+        max_inbox: int | None = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -117,11 +126,20 @@ class Network:
             raise ValueError(
                 f"unknown delivery mode {delivery!r}; choose from {DELIVERY_MODES}"
             )
+        if max_inbox is not None and max_inbox <= 0:
+            raise ValueError(f"max_inbox must be positive or None, got {max_inbox}")
         self.sim = sim
         self.latency = latency
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else random.Random(0)
         self.delivery = delivery
+        # Bound on in-flight datagrams per endpoint. ``None`` is the
+        # legacy unbounded queue; with a limit, a datagram arriving at
+        # a full queue is dropped at send-resolution time with reason
+        # "overflow" — real NICs tail-drop, they do not buffer forever.
+        # This is the transport half of the I5 "no unbounded backlog"
+        # invariant (repro.faults.invariants).
+        self.max_inbox = max_inbox
         self._endpoints: dict[int, Endpoint] = {}
         self.on_send: list[Callable[[Datagram], None]] = []
         self.on_deliver: list[Callable[[Datagram], None]] = []
@@ -129,7 +147,8 @@ class Network:
         # datagram and a reason — "dead" (destination unregistered or
         # not alive at send time), "loss" (Bernoulli draw), "fault"
         # (fault_filter returned no copies), "dead_late" (receiver died
-        # while the datagram was in flight).
+        # while the datagram was in flight), "overflow" (receiver's
+        # bounded queue was full).
         self.on_drop: list[Callable[[Datagram, str], None]] = []
         # Optional fault-injection hook (see repro.faults.injector):
         # called per datagram with (dgram, reliable), returns one extra
@@ -140,6 +159,7 @@ class Network:
         self.datagrams_delivered = 0
         self.datagrams_lost = 0
         self.datagrams_duplicated = 0
+        self.datagrams_overflowed = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -193,6 +213,21 @@ class Network:
     def addresses(self) -> list[int]:
         return list(self._endpoints)
 
+    def queue_depth(self, address: int) -> int:
+        """Live in-flight datagram count toward ``address`` (0 if unknown).
+
+        Identical in both delivery modes; this is the gauge the I5
+        backlog invariant and the overload metrics sample.
+        """
+        endpoint = self._endpoints.get(address)
+        return 0 if endpoint is None else endpoint.in_flight
+
+    def max_queue_depth(self) -> int:
+        """Largest live queue depth across all endpoints."""
+        if not self._endpoints:
+            return 0
+        return max(e.in_flight for e in self._endpoints.values())
+
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
@@ -236,9 +271,19 @@ class Network:
                 return
         arrival = departure + self.latency.one_way(sender.vertex, receiver.vertex)
         batched = self.delivery == "batched"
+        max_inbox = self.max_inbox
         for copy_index, extra in enumerate(extra_delays):
+            if max_inbox is not None and receiver.in_flight >= max_inbox:
+                # bounded queue full: tail-drop this copy. Checked per
+                # copy so a duplicate can overflow while the original
+                # squeaked in — exactly what a real NIC queue would do.
+                receiver.overflowed += 1
+                self.datagrams_overflowed += 1
+                self._drop(dgram, "overflow")
+                continue
             if copy_index:
                 self.datagrams_duplicated += 1
+            receiver.in_flight += 1
             delivered_at = receiver.link.reserve_downlink(arrival + extra, size)
             if batched:
                 self._enqueue(receiver, delivered_at, dgram)
@@ -252,6 +297,7 @@ class Network:
             observer(dgram, reason)
 
     def _deliver(self, receiver: Endpoint, dgram: Datagram) -> None:
+        receiver.in_flight -= 1
         if not receiver.alive:
             self._drop(dgram, "dead_late")
             return
@@ -333,6 +379,10 @@ class Network:
         for dgram in batch:
             # handlers run with the same per-datagram semantics as the
             # one-event-per-datagram mode, including late-death drops
+            # and the one-at-a-time in_flight decrement (a handler that
+            # sends back to this endpoint must see the same queue depth
+            # in both modes, or max_inbox would drop different copies)
+            receiver.in_flight -= 1
             if not receiver.alive:
                 self._drop(dgram, "dead_late")
                 continue

@@ -61,9 +61,15 @@ KINDS: Mapping[str, str] = {
     "query_cancel": "fetcher ended first (req, peer, round) — closes req",
     "query_late_reply": "reply for an already-closed req (peer, new)",
     "query_recycle": "exhausted pool re-opened peers (pool, count)",
+    "retry_backoff": "exhausted-pool retry wave backed off (round, wave, delay)",
+    "retry_abandoned": "retry dropped — deadline/wave budget spent (round, waves)",
     "fetch_done": "Algorithm 1 finished (success, reason)",
+    # overload control (net.transport bounds, node admission, retrieval)
+    "queue_overflow": "bounded transport inbox dropped a datagram (node, src, size)",
+    "load_shed": "admission control shed work (node, shed, amount)",
     # experiment layer
     "sweep_point": "sweep moved to the next configuration (label)",
+    "pipeline_slot": "sustained pipeline finished one slot (slot, live, depth, shed)",
 }
 
 # A query opened by ``query_issue`` terminates in exactly one of these

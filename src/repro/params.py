@@ -28,7 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["PandasParams", "FetchSchedule", "SLOT_SECONDS", "DEADLINE_SECONDS"]
+__all__ = [
+    "PandasParams",
+    "FetchSchedule",
+    "RetryPolicy",
+    "SLOT_SECONDS",
+    "DEADLINE_SECONDS",
+]
 
 SLOT_SECONDS = 12.0
 DEADLINE_SECONDS = 4.0
@@ -58,12 +64,75 @@ class FetchSchedule:
             raise ValueError(f"rounds are 1-based, got {round_index}")
         return self.redundancy[min(round_index, len(self.redundancy)) - 1]
 
+    @property
+    def settle_round(self) -> int:
+        """First round running on the schedule's repeating tail timeout.
+
+        Round ``i > len(timeouts)`` reuses the last timeout entry, so by
+        round ``len(timeouts)`` the escalation phase of the schedule has
+        "settled". Two gates key off this round rather than a hard-coded
+        ``3``: declared-inbound cells stop being trusted (the builder's
+        burst plus the escalation rounds have elapsed — anything still
+        undelivered is presumed lost), and the exhausted-pool retry
+        machinery becomes eligible. Deriving it here keeps both gates
+        correct when the timeout vector is reconfigured.
+        """
+        return min(len(self.timeouts), self.max_rounds)
+
     @staticmethod
     def constant(
         timeout: float = 0.4, redundancy: int = 1, max_rounds: int = 50
     ) -> FetchSchedule:
         """The non-adaptive baseline of Figure 11 (fixed t, fixed k)."""
         return FetchSchedule((timeout,), (redundancy,), max_rounds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware retry with seeded exponential backoff + jitter.
+
+    Governs what happens when Algorithm 1 exhausts its candidate pool
+    (every custodian of the remaining targets has been queried). The
+    legacy behaviour — recycle silent peers immediately, once per
+    round, forever — is what you get with ``RetryPolicy`` unset
+    (``None``); under sustained multi-slot load that immediate retry
+    turns loss bursts into synchronized re-query storms and keeps
+    burning traffic on slots that already missed their deadline.
+
+    With a policy attached, each retry *wave* ``k`` (0-based) waits
+
+        ``min(base * multiplier**k, max_backoff) * (1 + jitter * u)``
+
+    where ``u`` is a uniform draw from the fetcher's own seeded RNG
+    stream (never the global ``random`` module — reprolint RL001
+    enforces this), so replays stay bit-identical while concurrent
+    retriers decorrelate. A wave is only scheduled if the backed-off
+    round could still complete before the fetcher's deadline; work
+    that can no longer meet the slot deadline is abandoned instead of
+    retried. ``max_waves`` caps total retry waves per fetcher.
+    """
+
+    base: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 0.8
+    jitter: float = 0.5
+    max_waves: int = 6
+
+    def backoff(self, wave: int) -> float:
+        """Deterministic (pre-jitter) backoff delay of 0-based ``wave``."""
+        if wave < 0:
+            raise ValueError(f"waves are 0-based, got {wave}")
+        return min(self.base * self.multiplier**wave, self.max_backoff)
+
+    def validate(self) -> None:
+        if self.base < 0.0 or self.max_backoff < 0.0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter fraction must be non-negative")
+        if self.max_waves < 0:
+            raise ValueError("max_waves must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -115,6 +184,27 @@ class PandasParams:
     # escape hatch a loss burst or Byzantine withholding can
     # permanently starve a node.
     fetch_retry_unresponsive: bool = True
+    # --- overload control (sustained multi-slot pipeline) ----------------
+    # Deadline-aware retry with seeded exponential backoff + jitter.
+    # ``None`` keeps the legacy immediate-recycle behaviour (the replay
+    # pins of single-slot runs depend on it); the sustained pipeline
+    # attaches a policy so exhausted-pool retries back off instead of
+    # hammering the same peers every round, and stop once the slot
+    # deadline is out of reach.
+    fetch_retry: RetryPolicy | None = None
+    # Bound on a node's buffered deferred-reply remainders per slot
+    # (the waiting_by_cell records). ``None`` is unbounded (legacy);
+    # with a limit, new remainders are shed once the buffer is full —
+    # retrieval-class requests first, so client load can never crowd
+    # out the sampling traffic the consensus timebound depends on.
+    pending_request_limit: int | None = None
+    # Aggregate admission control for retrieval-class (layer-2 client)
+    # requests: a per-node token bucket over *all* inbound retrieval
+    # traffic, independent of the per-peer buckets. ``None`` admits
+    # everything (legacy). Sampling/consolidation traffic never passes
+    # through this bucket — it is the load-shedding priority lane.
+    retrieval_admit_rate: float | None = None
+    retrieval_admit_burst: float = 20.0
 
     # ------------------------------------------------------------------
     # derived geometry

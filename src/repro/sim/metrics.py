@@ -127,6 +127,16 @@ class MetricsRecorder:
     # validation layer; adversarial experiments report these alongside
     # fault_counts to show how much hostile traffic was absorbed
     defense_counts: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    # --- overload control (sustained pipeline) ------------------------
+    # Admission-control load shedding by kind (retrieval_admission,
+    # pending_shed, ...), bounded-queue drops by reason (overflow, ...),
+    # and high-water queue-depth gauges by name. All three stay empty on
+    # legacy single-slot runs, and snapshot() only appends them when
+    # non-empty, so pinned fingerprints of runs without overload
+    # machinery are untouched.
+    shed_counts: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    queue_drop_counts: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    queue_depth_peaks: dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # phase completion marks
@@ -183,6 +193,23 @@ class MetricsRecorder:
         self.defense_counts[kind] += amount
 
     # ------------------------------------------------------------------
+    # overload control (bounded queues, admission, backlog gauges)
+    # ------------------------------------------------------------------
+    def record_shed(self, kind: str, amount: float = 1.0) -> None:
+        """Count load shed by admission control (``kind`` = what/why)."""
+        self.shed_counts[kind] += amount
+
+    def record_queue_drop(self, reason: str, amount: float = 1.0) -> None:
+        """Count one bounded-queue rejection (e.g. transport overflow)."""
+        self.queue_drop_counts[reason] += amount
+
+    def observe_queue_depth(self, gauge: str, depth: float) -> None:
+        """Track the high-water mark of a named queue-depth gauge."""
+        prev = self.queue_depth_peaks.get(gauge)
+        if prev is None or depth > prev:
+            self.queue_depth_peaks[gauge] = depth
+
+    # ------------------------------------------------------------------
     # fetching round telemetry (Table 1)
     # ------------------------------------------------------------------
     def record_round(
@@ -224,7 +251,7 @@ class MetricsRecorder:
         def counter(c: Counter2D) -> tuple[object, ...]:
             return tuple(sorted(c.items()))
 
-        return (
+        base: tuple[object, ...] = (
             tuple(
                 sorted(
                     (key, (t.seeding, t.consolidation, t.sampling, t.block))
@@ -249,6 +276,17 @@ class MetricsRecorder:
             tuple(sorted(self.fault_counts.items())),
             tuple(sorted(self.defense_counts.items())),
         )
+        # The overload section rides along only when something was
+        # recorded: legacy runs keep their exact historical snapshot
+        # shape (and therefore their pinned fingerprints).
+        overload = (
+            tuple(sorted(self.shed_counts.items())),
+            tuple(sorted(self.queue_drop_counts.items())),
+            tuple(sorted(self.queue_depth_peaks.items())),
+        )
+        if any(overload):
+            return base + (overload,)
+        return base
 
     def fingerprint(self) -> str:
         """SHA-256 digest of :meth:`snapshot` for bit-identity checks."""
@@ -270,6 +308,9 @@ class MetricsRecorder:
             "builder_bytes": sum(self.builder_bytes_sent.values()),
             "faults": dict(sorted(self.fault_counts.items())),
             "defenses": dict(sorted(self.defense_counts.items())),
+            "sheds": dict(sorted(self.shed_counts.items())),
+            "queue_drops": dict(sorted(self.queue_drop_counts.items())),
+            "queue_depth_peaks": dict(sorted(self.queue_depth_peaks.items())),
         }
 
     def round_table(self, max_round: int = 4) -> dict[int, dict[str, tuple[float, float]]]:

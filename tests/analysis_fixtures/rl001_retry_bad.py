@@ -1,0 +1,25 @@
+"""RL001 positive fixture: retry-backoff jitter from the global stream.
+
+The sustained pipeline's deadline-aware retry path jitters its
+exponential backoff. Drawing that jitter from the process-global
+``random`` module makes every retry wave land at a different simulated
+time on each run — the exact regression that breaks bit-identical
+replay of `repro pipeline` fingerprints.
+"""
+
+import random
+
+
+class Retrier:
+    def __init__(self, base: float, multiplier: float) -> None:
+        self.base = base
+        self.multiplier = multiplier
+        self.waves = 0
+
+    def next_backoff(self) -> float:
+        self.waves += 1
+        delay = self.base * self.multiplier**self.waves
+        return delay * (1.0 + 0.5 * random.random())  # global stream: finding
+
+    def reseed_between_waves(self) -> None:
+        random.seed(self.waves)  # global reseed: finding

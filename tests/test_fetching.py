@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 from repro.core.assignment import Custody, cells_of_line
 from repro.core.custody import SlotCellState
 from repro.core.fetching import AdaptiveFetcher, plan_queries, score_peers
-from repro.params import FetchSchedule, PandasParams
+from repro.params import FetchSchedule, PandasParams, RetryPolicy
 from repro.sim.engine import Simulator
 
 
@@ -372,6 +372,158 @@ class TestExhaustionAndQuarantine:
         assert fetcher._timer is None
         sim.run(until=10.0)
         assert sim.pending == 0
+
+
+class TestSettleRoundGate:
+    """The recycle/inbound gates derive from the schedule, not a
+    hard-coded round 3 (regression: the gate used to be ``index >= 3``
+    even for single-timeout schedules)."""
+
+    def test_settle_round_derivation(self):
+        assert FetchSchedule().settle_round == 3
+        assert FetchSchedule(timeouts=(0.1,), redundancy=(1,)).settle_round == 1
+        assert FetchSchedule(timeouts=(0.4, 0.2), redundancy=(1,)).settle_round == 2
+        # max_rounds clamps the derivation for degenerate schedules
+        assert FetchSchedule(timeouts=(0.4, 0.2, 0.1), max_rounds=2).settle_round == 2
+
+    def test_recycle_begins_at_schedule_settle_round(self):
+        """A two-timeout schedule recycles silent peers at round 2
+        (t=0.4), not at the default schedule's round 3 (t=0.6)."""
+        schedule = FetchSchedule(timeouts=(0.4, 0.2), redundancy=(1,), max_rounds=50)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule, retry_unresponsive=True
+        )
+        fetcher.start()
+        sim.run(until=0.45)
+        times = [t for t, _p, _c in sent]
+        assert times[0] == pytest.approx(0.0)
+        assert times[1] == pytest.approx(0.4)  # recycled at the settle round
+
+    def test_inbound_distrust_follows_settle_round(self):
+        """Declared-inbound cells become fetchable exactly at the
+        settle round of whatever schedule is configured."""
+        constant = FetchSchedule.constant(0.4, 1)  # settle_round == 1
+        fetcher, _state, _sim, _sent = make_fetcher(schedule=constant)
+        fetcher.add_inbound(fetcher.round_targets(1))
+        # settle round already reached: lost inbound is fetchable at once
+        assert fetcher.round_targets(1)
+        default_fetcher, _s, _si, _se = make_fetcher()
+        default_fetcher.add_inbound(default_fetcher.round_targets(1))
+        # default schedule trusts inbound until round 3
+        assert not default_fetcher.round_targets(2)
+        assert default_fetcher.round_targets(3)
+
+
+class TestRetryBackoff:
+    """Deadline-aware retry waves with seeded exponential backoff."""
+
+    def test_backoff_waves_follow_policy_delays(self):
+        policy = RetryPolicy(base=0.05, multiplier=2.0, max_backoff=0.8,
+                             jitter=0.0, max_waves=3)
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=50)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule,
+            retry_unresponsive=True, retry_policy=policy,
+        )
+        fetcher.start()
+        sim.run(until=5.0)
+        times = [t for t, _p, _c in sent]
+        # waves at +0.05, +0.1, +0.2 after each 0.1s round expiry
+        assert times == pytest.approx([0.0, 0.15, 0.35, 0.65])
+        assert fetcher.retry_waves == 3
+        assert fetcher.retry_abandoned  # wave budget spent
+        assert fetcher._timer is None  # nothing left scheduled
+        assert sim.pending == 0
+
+    def test_backoff_exhaustion_at_slot_deadline(self):
+        """Waves stop as soon as a backed-off round could no longer
+        complete before ``deadline_at`` — not when max_waves runs out."""
+        policy = RetryPolicy(base=0.05, multiplier=2.0, max_backoff=0.8,
+                             jitter=0.0, max_waves=50)
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=50)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule,
+            retry_unresponsive=True, retry_policy=policy, deadline_at=0.5,
+        )
+        fetcher.start()
+        sim.run(until=5.0)
+        # wave 0 (0.1+0.05+0.1 <= 0.5) and wave 1 (0.25+0.1+0.1 <= 0.5)
+        # fit; wave 2 (0.45+0.2+0.1 > 0.5) is abandoned
+        assert [t for t, _p, _c in sent] == pytest.approx([0.0, 0.15, 0.35])
+        assert fetcher.retry_waves == 2
+        assert fetcher.retry_abandoned
+        assert fetcher._timer is None
+        # every query (original + both retry waves) went to the lone peer
+        assert {p for _t, p, _c in sent} == {1}
+
+    def test_abandoned_retry_draws_no_randomness(self):
+        """The deadline check uses worst-case jitter so an abandoned
+        wave consumes nothing from the seeded stream."""
+        policy = RetryPolicy(base=10.0, multiplier=2.0, max_backoff=10.0,
+                             jitter=0.5, max_waves=50)
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=50)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule,
+            retry_unresponsive=True, retry_policy=policy, deadline_at=4.0,
+        )
+        fetcher.start()
+        before = fetcher.rng.getstate()
+        sim.run(until=5.0)
+        assert fetcher.retry_waves == 0
+        assert fetcher.retry_abandoned
+        assert fetcher.rng.getstate() == before
+
+    def test_retry_against_fully_quarantined_peers(self):
+        """A retry policy never resurrects quarantined peers: no
+        queries, no waves, and the schedule still terminates."""
+        policy = RetryPolicy(jitter=0.0)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={line: [1, 2, 3] for line in range(32)},
+            retry_unresponsive=True, retry_policy=policy,
+            exclude_peer=lambda peer: True,
+        )
+        fetcher.start()
+        sim.run(until=10.0)
+        assert sent == []
+        assert fetcher.retry_waves == 0
+        assert fetcher._timer is None
+        assert sim.pending == 0
+
+    def test_jittered_backoff_replays_bit_identically(self):
+        """Same seeds, same config: jittered wave timing is part of the
+        deterministic replay."""
+        policy = RetryPolicy(base=0.05, multiplier=2.0, max_backoff=0.8,
+                             jitter=0.5, max_waves=4)
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=50)
+
+        def run_once():
+            fetcher, _state, sim, sent = make_fetcher(
+                custodians={0: [1]}, schedule=schedule,
+                retry_unresponsive=True, retry_policy=policy,
+            )
+            fetcher.start()
+            sim.run(until=5.0)
+            return [(t, p) for t, p, _c in sent]
+
+        first, second = run_once(), run_once()
+        assert first == second
+        # the jitter actually perturbed the wave timing (first wave is
+        # 0.05 * (1 + 0.5 * u) after the 0.1s round, u drawn seeded)
+        assert first[1][0] != pytest.approx(0.15)
+        assert 0.15 < first[1][0] <= 0.175 + 1e-9
+
+    def test_policy_none_keeps_legacy_recycle_timing(self):
+        """No policy: the recycle hatch re-queries on the round tick
+        with no backoff (the pre-policy behaviour, pinned)."""
+        schedule = FetchSchedule(timeouts=(0.1,), redundancy=(1,), max_rounds=6)
+        fetcher, _state, sim, sent = make_fetcher(
+            custodians={0: [1]}, schedule=schedule, retry_unresponsive=True
+        )
+        fetcher.start()
+        sim.run(until=5.0)
+        times = [t for t, _p, _c in sent]
+        assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+        assert fetcher.retry_waves == 0 and not fetcher.retry_abandoned
 
 
 @given(

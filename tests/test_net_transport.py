@@ -173,3 +173,110 @@ def test_counters(sim, lossless_network):
     assert lossless_network.datagrams_sent == 2
     assert lossless_network.datagrams_delivered == 1
     assert lossless_network.datagrams_lost == 1
+
+
+# ----------------------------------------------------------------------
+# bounded inbox (max_inbox) — the transport half of invariant I5
+# ----------------------------------------------------------------------
+
+def _bounded_network(sim, max_inbox, delivery="batched", loss=0.0, seed=7):
+    return Network(
+        sim,
+        ConstantLatency(0.01, 16),
+        loss_rate=loss,
+        rng=random.Random(seed),
+        delivery=delivery,
+        max_inbox=max_inbox,
+    )
+
+
+class TestBoundedInbox:
+    @pytest.mark.parametrize("delivery", ["batched", "per-datagram"])
+    def test_excess_concurrent_sends_tail_drop(self, sim, delivery):
+        net = _bounded_network(sim, max_inbox=3, delivery=delivery)
+        inbox = _register_sink(net, 1)
+        _register_sink(net, 2)
+        for i in range(8):
+            net.send(2, 1, i, 10)
+        # all eight resolve at send time; only three fit the queue
+        assert net.queue_depth(1) == 3
+        assert net.endpoint(1).overflowed == 5
+        assert net.datagrams_overflowed == 5
+        sim.run()
+        assert [d.payload for d in inbox] == [0, 1, 2]  # FIFO survivors
+        assert net.queue_depth(1) == 0
+        assert net.datagrams_delivered == 3
+        assert net.datagrams_lost == 5
+
+    def test_overflow_reports_drop_reason(self, sim):
+        net = _bounded_network(sim, max_inbox=1)
+        _register_sink(net, 1)
+        _register_sink(net, 2)
+        drops = []
+        net.on_drop.append(lambda d, reason: drops.append((d.payload, reason)))
+        net.send(2, 1, "kept", 10)
+        net.send(2, 1, "shed", 10)
+        sim.run()
+        assert drops == [("shed", "overflow")]
+
+    def test_depth_frees_up_as_datagrams_deliver(self, sim):
+        net = _bounded_network(sim, max_inbox=1)
+        inbox = _register_sink(net, 1)
+        _register_sink(net, 2)
+        net.send(2, 1, "a", 10)
+        sim.run()  # drain: depth back to zero
+        net.send(2, 1, "b", 10)
+        sim.run()
+        assert [d.payload for d in inbox] == ["a", "b"]
+        assert net.datagrams_overflowed == 0
+
+    def test_duplicate_copy_can_overflow_alone(self, sim):
+        # per-copy check: the original squeaks in, the duplicate drops
+        net = _bounded_network(sim, max_inbox=1)
+        inbox = _register_sink(net, 1)
+        _register_sink(net, 2)
+        net.fault_filter = lambda dgram, reliable: (0.0, 0.0)
+        net.send(2, 1, "x", 10)
+        sim.run()
+        assert len(inbox) == 1
+        assert net.datagrams_overflowed == 1
+        assert net.datagrams_duplicated == 0  # the dropped copy is not counted
+
+    def test_modes_drop_identical_datagrams(self, sim):
+        from repro.sim.engine import Simulator
+
+        outcomes = []
+        for delivery in ("batched", "per-datagram"):
+            local = Simulator()
+            net = _bounded_network(local, max_inbox=4, delivery=delivery, loss=0.2)
+            inbox = _register_sink(net, 1)
+            _register_sink(net, 2)
+            for i in range(40):
+                net.send(2, 1, i, 10)
+            local.run()
+            outcomes.append(
+                (
+                    [d.payload for d in inbox],
+                    net.datagrams_overflowed,
+                    net.datagrams_delivered,
+                    net.datagrams_lost,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_max_queue_depth_tracks_live_peak(self, sim):
+        net = _bounded_network(sim, max_inbox=None)
+        _register_sink(net, 1)
+        _register_sink(net, 2)
+        for i in range(5):
+            net.send(2, 1, i, 10)
+        assert net.max_queue_depth() == 5
+        sim.run()
+        assert net.max_queue_depth() == 0
+        assert net.queue_depth(404) == 0  # unknown address reads as empty
+
+    def test_non_positive_max_inbox_rejected(self, sim):
+        with pytest.raises(ValueError):
+            _bounded_network(sim, max_inbox=0)
+        with pytest.raises(ValueError):
+            _bounded_network(sim, max_inbox=-4)

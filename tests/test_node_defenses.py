@@ -10,7 +10,12 @@ buffered request remainders expire at the sampling deadline.
 
 from __future__ import annotations
 
-from repro.core.messages import CellRequest, CellResponse, SeedMessage
+from repro.core.messages import (
+    PRIORITY_RETRIEVAL,
+    CellRequest,
+    CellResponse,
+    SeedMessage,
+)
 from repro.params import PandasParams
 from tests.helpers import make_world
 
@@ -213,3 +218,93 @@ class TestPendingExpiry:
         # one buffered request -> one expiry, not four
         assert world.ctx.metrics.defense_counts["pending_expired"] == 1
         assert node._slots[0].expiry_timer is None
+
+
+class TestOverloadAdmission:
+    """Bounded pending buffer + retrieval-class admission (I5's node half)."""
+
+    def _retrieval(self, cells) -> CellRequest:
+        return CellRequest(
+            slot=0, epoch=0, cells=frozenset(cells), priority=PRIORITY_RETRIEVAL
+        )
+
+    def _sampling(self, cells) -> CellRequest:
+        return CellRequest(slot=0, epoch=0, cells=frozenset(cells))
+
+    def test_pending_limit_sheds_incoming_retrieval(self):
+        world = make_world(num_nodes=1, params=small_params(pending_request_limit=2))
+        node = world.nodes[0]
+        node._on_request(8, self._retrieval({1}))
+        node._on_request(9, self._retrieval({2}))
+        node._on_request(10, self._retrieval({3}))  # buffer full: shed
+        state = node._slots[0]
+        assert state.pending_count == 2
+        assert node.pending_depth() == 2
+        assert world.ctx.metrics.shed_counts["pending_retrieval"] == 1
+
+    def test_sampling_evicts_retrieval_then_sheds_itself(self):
+        world = make_world(num_nodes=1, params=small_params(pending_request_limit=2))
+        node = world.nodes[0]
+        node._on_request(8, self._retrieval({1}))
+        node._on_request(9, self._retrieval({2}))
+        # sampling at a full buffer evicts the oldest retrieval record
+        node._on_request(10, self._sampling({3}))
+        node._on_request(11, self._sampling({4}))
+        state = node._slots[0]
+        assert state.pending_count == 2
+        assert world.ctx.metrics.shed_counts["pending_evicted"] == 2
+        # no retrieval victim left: sampling itself is finally shed
+        node._on_request(12, self._sampling({5}))
+        assert state.pending_count == 2
+        assert world.ctx.metrics.shed_counts["pending_sampling"] == 1
+
+    def test_evicted_record_never_answered(self):
+        world = make_world(num_nodes=1, params=small_params(pending_request_limit=1))
+        node = world.nodes[0]
+        victim = self._retrieval({1})
+        node._on_request(8, victim)
+        node._on_request(9, self._sampling({2}))  # evicts the retrieval record
+        # the cell arriving later must only answer the live sampling record
+        sent = []
+        world.network.on_send.append(lambda d: sent.append(d))
+        node._slots[0].cells.add_cells({1, 2})
+        world.sim.run(until=0.2)
+        assert {d.dst for d in sent} == {9}
+
+    def test_queue_depth_gauge_tracks_high_water(self):
+        world = make_world(num_nodes=1, params=small_params(pending_request_limit=8))
+        node = world.nodes[0]
+        for i, src in enumerate((8, 9, 10)):
+            node._on_request(src, self._sampling({i + 1}))
+        assert world.ctx.metrics.queue_depth_peaks["pending_requests"] == 3
+
+    def test_unconfigured_limit_keeps_legacy_metrics(self):
+        world = make_world(num_nodes=1)
+        node = world.nodes[0]
+        for i, src in enumerate((8, 9, 10)):
+            node._on_request(src, self._sampling({i + 1}))
+        assert node.pending_depth() == 3
+        # no gauge, no sheds: the DENSE_PIN fingerprint must not move
+        assert not world.ctx.metrics.queue_depth_peaks
+        assert not world.ctx.metrics.shed_counts
+
+    def test_retrieval_admission_bucket_is_aggregate(self):
+        world = make_world(
+            params=small_params(retrieval_admit_rate=1.0, retrieval_admit_burst=2.0)
+        )
+        req = self._retrieval({1})
+        for src in (4, 5, 6, 7):  # distinct peers share the one bucket
+            world.network.send(src, 0, req, req.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert world.ctx.metrics.shed_counts["retrieval_admission"] == 2
+        assert "rate_limited" not in world.ctx.metrics.defense_counts
+
+    def test_sampling_requests_skip_retrieval_bucket(self):
+        world = make_world(
+            params=small_params(retrieval_admit_rate=1.0, retrieval_admit_burst=1.0)
+        )
+        req = self._sampling({1})
+        for src in (4, 5, 6, 7):
+            world.network.send(src, 0, req, req.wire_size(world.params))
+        world.sim.run(until=0.1)
+        assert "retrieval_admission" not in world.ctx.metrics.shed_counts

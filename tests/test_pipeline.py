@@ -1,0 +1,213 @@
+"""Sustained multi-slot pipeline: overlap, churn, overload control."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.seeding import RedundantSeeding
+from repro.experiments.pipeline import PipelineScenario
+from repro.experiments.scenario import ScenarioConfig
+from repro.obs import TraceRecorder
+from repro.params import PandasParams, RetryPolicy
+
+
+def overload_params(**overrides):
+    """Small dense grid with every overload-control knob engaged."""
+    defaults = dict(
+        base_rows=8,
+        base_cols=8,
+        custody_rows=4,
+        custody_cols=4,
+        samples=10,
+        fetch_retry=RetryPolicy(),
+        pending_request_limit=256,
+        retrieval_admit_rate=50.0,
+    )
+    defaults.update(overrides)
+    return PandasParams(**defaults)
+
+
+def make_config(params=None, **overrides):
+    defaults = dict(
+        num_nodes=40,
+        params=params or overload_params(),
+        policy=RedundantSeeding(4),
+        seed=3,
+        slots=3,
+        num_vertices=500,
+        check_invariants=True,
+        max_inbox=4096,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def make_pipeline(config=None, **knobs):
+    defaults = dict(
+        churn_fraction=0.1,
+        retention_slots=2,
+        probes_per_slot=2,
+        client_rate=1_000_000.0,
+        service_rate=500_000.0,
+        max_backlog=2_000_000.0,
+    )
+    defaults.update(knobs)
+    return PipelineScenario(config or make_config(), **defaults)
+
+
+class TestSustainedPipeline:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_pipeline().run()
+
+    def test_all_slots_hit_deadline_under_churn(self, scenario):
+        hits = scenario.deadline_hit_by_slot()
+        assert len(hits) == 3
+        assert all(rate == 1.0 for rate in hits.values())
+
+    def test_probes_complete_with_latency_percentiles(self, scenario):
+        probe = scenario.report().probe
+        assert probe["issued"] == 6
+        assert probe["completed"] == 6
+        assert 0.0 < probe["latency_p50"] <= probe["latency_p90"] <= probe["latency_p99"]
+
+    def test_membership_churned_mid_stream(self, scenario):
+        assert scenario.departed  # someone left while slots overlapped
+        assert len(scenario.current_members) == 40  # and was replaced
+
+    def test_all_slot_state_retired_after_drain(self, scenario):
+        for node in scenario.nodes.values():
+            assert node.pending_depth() == 0
+        assert scenario._retired == 3
+
+    def test_i5_invariant_checked_throughout(self, scenario):
+        assert scenario.invariants is not None
+        assert scenario.invariants.checks_run > 0
+
+    def test_report_is_json_round_trippable(self, scenario):
+        report = scenario.report()
+        decoded = json.loads(json.dumps(report.to_dict(), default=float))
+        assert decoded["slots"] == 3
+        assert decoded["deadline_hit_rate"] == 1.0
+        assert len(decoded["rows"]) == 3
+        assert decoded["fingerprint"] == report.fingerprint
+
+
+class TestReplayDeterminism:
+    def test_fingerprint_equal_across_two_runs(self):
+        """Acceptance: a 3+ slot pipeline under churn + overload replays
+        fingerprint-equal across two independent runs."""
+        first = make_pipeline().run().report()
+        second = make_pipeline().run().report()
+        assert first.fingerprint == second.fingerprint
+        assert first.to_dict() == second.to_dict()
+
+    def test_different_seed_changes_fingerprint(self):
+        first = make_pipeline().run().report()
+        other = make_pipeline(make_config(seed=4)).run().report()
+        assert first.fingerprint != other.fingerprint
+
+
+class TestOverloadControl:
+    def test_retrieval_shed_before_sampling(self):
+        """Under 2x retrieval overload the pipeline degrades gracefully:
+        retrieval-class work is shed, sampling keeps its deadline, the
+        I5 invariant holds, and nothing deadlocks."""
+        params = overload_params(
+            retrieval_admit_rate=0.25, retrieval_admit_burst=1.0
+        )
+        scenario = make_pipeline(
+            make_config(params=params),
+            probes_per_slot=8,
+            probe_max_concurrent=2,
+            probe_defer_limit=2,
+        ).run()
+        report = scenario.report()
+        assert report.sheds.get("retrieval_admission", 0.0) > 0
+        assert "pending_sampling" not in report.sheds
+        assert report.deadline_hit_rate == 1.0
+        # the aggregate model sheds its 2x overload rather than queueing
+        assert report.aggregate["shed_overflow"] > 0
+        assert scenario.aggregate.backlog <= 2_000_000.0
+
+    def test_aggregate_admission_rate_caps_intake(self):
+        scenario = make_pipeline(
+            service_rate=500_000.0,
+            admit_rate_aggregate=250_000.0,
+            client_rate=1_000_000.0,
+        ).run()
+        aggregate = scenario.report().aggregate
+        assert aggregate["shed_admission"] > 0
+        assert aggregate["admitted"] < aggregate["offered"]
+
+    def test_sampling_priority_consumes_aggregate_capacity(self):
+        """Sampling traffic eats serving capacity first: with a tiny
+        serving tier the same client load backs up much further."""
+        starved = make_pipeline(service_rate=50.0, client_rate=100.0,
+                                max_backlog=None).run()
+        roomy = make_pipeline(service_rate=500_000.0, client_rate=100.0,
+                              max_backlog=None).run()
+        assert starved.aggregate.peak_backlog > roomy.aggregate.peak_backlog
+
+    def test_bounded_inbox_drops_without_deadlock(self):
+        """A pathologically small transport inbox sheds datagrams but
+        the run still completes and I5 still holds."""
+        scenario = make_pipeline(make_config(max_inbox=8, slots=2)).run()
+        report = scenario.report()
+        assert report.datagrams_overflowed > 0
+        assert report.queue_drops.get("inbox_overflow", 0.0) > 0
+        # overflow never exceeded the bound (I5 would have raised)
+        assert scenario.invariants is not None
+
+    def test_client_rate_sequence_cycles_per_slot(self):
+        scenario = make_pipeline(client_rate=[0.0, 600_000.0]).run()
+        offered = scenario.aggregate.offered_total
+        # slots 0 and 2 offer nothing; slot 1 offers 600k * 12s
+        assert offered == pytest.approx(600_000.0 * 12.0)
+
+
+class TestPipelineStructure:
+    def test_epoch_rotation_mid_pipeline(self):
+        params = overload_params(slots_per_epoch=2)
+        scenario = make_pipeline(make_config(params=params, slots=4)).run()
+        report = scenario.report()
+        assert [row["epoch"] for row in report.rows] == [0, 0, 1, 1]
+        assert report.deadline_hit_rate == 1.0
+
+    def test_pipeline_slot_trace_events_emitted(self):
+        tracer = TraceRecorder(kinds=["pipeline_slot"])
+        make_pipeline(make_config(tracer=tracer)).run()
+        events = [e for e in tracer.events if e.kind == "pipeline_slot"]
+        assert [e.slot for e in events] == [0, 1, 2]
+        assert all("live" in e.data and "shed" in e.data for e in events)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            make_pipeline(retention_slots=0)
+        with pytest.raises(ValueError):
+            make_pipeline(probes_per_slot=-1)
+        with pytest.raises(ValueError):
+            make_pipeline(probe_rows=0)
+
+    def test_probe_addresses_never_collide_with_churn_joiners(self):
+        scenario = make_pipeline(make_config(slots=2), churn_fraction=0.2).run()
+        joiner_max = max(scenario.node_ids)
+        probe_min = min(c.client_id for c in scenario.probes)
+        assert joiner_max < probe_min
+
+
+def test_cli_pipeline_json(capsys):
+    from repro.cli import main
+
+    code = main([
+        "pipeline", "--nodes", "60", "--reduced", "32", "--slots", "2",
+        "--churn", "0.1", "--check-invariants", "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["slots"] == 2
+    assert payload["deadline_hit_rate"] > 0
+    assert "fingerprint" in payload and "probe" in payload

@@ -96,6 +96,21 @@ class TestRuleDetails:
         source = "import numpy.random as npr\nnpr.standard_normal(4)\n"
         assert codes(Linter().lint_source(source, "s.py")) == ["RL001"]
 
+    def test_rl001_catches_retry_jitter_regression(self):
+        """Backoff jitter in the retry path must come from the seeded
+        sim RNG (``RngRegistry.stream``), never the ``random`` module —
+        a global draw would desync every `repro pipeline` replay."""
+        assert codes(lint_fixture("rl001_retry_bad.py")) == ["RL001"] * 2
+        assert codes(lint_fixture("rl001_retry_good.py")) == []
+
+    def test_fetching_retry_path_draws_from_stream_rng(self):
+        """The real retry implementation lints clean and carries no
+        reprolint suppression around its jitter draw."""
+        path = SRC / "repro" / "core" / "fetching.py"
+        findings = Linter().lint_paths([path], root=SRC)
+        assert [f.rule for f in active(findings)] == []
+        assert "reprolint: disable=RL001" not in path.read_text()
+
     def test_rl002_allowlist_covers_profiler(self):
         source = "import time\nstart = time.perf_counter()\n"
         # same source: flagged at an arbitrary path, allowed in the profiler

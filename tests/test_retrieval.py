@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.retrieval import RetrievalClient
+from repro.core.retrieval import AggregateRetrievalLoad, RetrievalClient
 from tests.helpers import make_world
 
 
-def make_world_with_client(**kwargs):
+def make_world_with_client(client_kwargs=None, **kwargs):
     world = make_world(**kwargs)
     client_id = 1000
-    client = RetrievalClient(world.ctx, client_id)
+    client = RetrievalClient(world.ctx, client_id, **(client_kwargs or {}))
     world.network.register(client_id, len(world.nodes) + 1, client.on_datagram, None, None)
     return world, client
 
@@ -71,3 +71,137 @@ def test_concurrent_retrievals_independent():
     second = client.fetch_lines(0, cols=(3,))
     world.sim.run(until=world.sim.now + 3.0)
     assert first.complete and second.complete
+
+
+# ----------------------------------------------------------------------
+# client-side admission control (max_concurrent / defer_limit)
+# ----------------------------------------------------------------------
+
+class TestClientAdmission:
+    def test_concurrency_cap_defers_fifo(self):
+        world, client = make_world_with_client(
+            num_nodes=30, client_kwargs=dict(max_concurrent=1, defer_limit=4)
+        )
+        world.run_slot(0)
+        done = []
+        for row in (0, 1, 2):
+            client.fetch_lines(0, rows=(row,), callback=done.append)
+        assert client.queue_depth == 3  # 1 running + 2 deferred
+        assert client.deferred_peak == 2
+        world.sim.run(until=world.sim.now + 6.0)
+        assert [r.rows for r in done] == [(0,), (1,), (2,)]  # FIFO drain
+        assert all(r.complete for r in done)
+        assert client.queue_depth == 0
+        assert world.ctx.metrics.queue_depth_peaks["retrieval_deferred"] == 2
+
+    def test_defer_limit_sheds_immediately(self):
+        world, client = make_world_with_client(
+            num_nodes=30, client_kwargs=dict(max_concurrent=1, defer_limit=1)
+        )
+        world.run_slot(0)
+        done = []
+        client.fetch_lines(0, rows=(0,), callback=done.append)
+        client.fetch_lines(0, rows=(1,), callback=done.append)
+        shed = client.fetch_lines(0, rows=(2,), callback=done.append)
+        # the shed callback fires synchronously, before any completion
+        assert shed.shed and not shed.complete
+        assert done == [shed]
+        assert client.shed_count == 1
+        assert world.ctx.metrics.shed_counts["retrieval_client"] == 1
+        world.sim.run(until=world.sim.now + 6.0)
+        assert sum(r.complete for r in done) == 2
+
+    def test_unconfigured_client_never_sheds(self):
+        world, client = make_world_with_client(num_nodes=30)
+        world.run_slot(0)
+        results = [client.fetch_lines(0, rows=(r,)) for r in range(6)]
+        world.sim.run(until=world.sim.now + 6.0)
+        assert all(r.complete and not r.shed for r in results)
+        assert client.shed_count == 0
+
+    def test_invalid_admission_knobs_rejected(self):
+        world = make_world(num_nodes=30)
+        with pytest.raises(ValueError):
+            RetrievalClient(world.ctx, 1000, max_concurrent=0)
+        with pytest.raises(ValueError):
+            RetrievalClient(world.ctx, 1000, defer_limit=-1)
+
+
+# ----------------------------------------------------------------------
+# aggregate fluid-queue model (pure arithmetic, no simulator)
+# ----------------------------------------------------------------------
+
+class TestAggregateRetrievalLoad:
+    def test_underload_serves_everything(self):
+        load = AggregateRetrievalLoad(service_rate=100.0)
+        served = load.offer(50.0, 2.0)
+        assert served == 100.0
+        assert load.backlog == 0.0
+        assert load.shed_total == 0.0
+
+    def test_overload_builds_backlog(self):
+        load = AggregateRetrievalLoad(service_rate=100.0)
+        load.offer(200.0, 1.0)
+        assert load.backlog == 100.0
+        assert load.peak_backlog == 100.0
+        # the backlog drains when load drops below capacity
+        load.offer(0.0, 1.0)
+        assert load.backlog == 0.0
+        assert load.served_total == 200.0
+        assert load.peak_backlog == 100.0  # high-water mark sticks
+
+    def test_admit_rate_caps_intake(self):
+        load = AggregateRetrievalLoad(service_rate=100.0, admit_rate=50.0)
+        load.offer(100.0, 1.0)
+        assert load.admitted_total == 50.0
+        assert load.shed_admission == 50.0
+
+    def test_max_backlog_sheds_overflow(self):
+        load = AggregateRetrievalLoad(service_rate=10.0, max_backlog=20.0)
+        load.offer(100.0, 1.0)  # admits 100, serves 10, 90 would queue
+        assert load.backlog == 20.0
+        assert load.shed_overflow == 70.0
+
+    def test_capacity_override_models_sampling_priority(self):
+        load = AggregateRetrievalLoad(service_rate=100.0)
+        served = load.offer(50.0, 1.0, capacity=0.0)
+        assert served == 0.0
+        assert load.backlog == 50.0
+        assert load.latency_quantile(0.5) is None  # no capacity left
+
+    def test_latency_quantiles_follow_mm1_sojourn(self):
+        load = AggregateRetrievalLoad(service_rate=10.0)
+        load.offer(20.0, 1.0)  # backlog 10
+        mean = (10.0 + 1.0) / 10.0
+        assert load.latency_quantile(0.5) == pytest.approx(mean * 0.6931471805599453)
+        assert load.latency_quantile(0.5) < load.latency_quantile(0.99)
+        with pytest.raises(ValueError):
+            load.latency_quantile(1.0)
+
+    def test_snapshot_totals(self):
+        load = AggregateRetrievalLoad(
+            service_rate=10.0, admit_rate=50.0, max_backlog=20.0
+        )
+        load.offer(100.0, 1.0)
+        snap = load.snapshot()
+        assert snap == {
+            "offered": 100.0,
+            "admitted": 50.0,
+            "served": 10.0,
+            "shed_admission": 50.0,
+            "shed_overflow": 20.0,
+            "backlog": 20.0,
+            "peak_backlog": 20.0,
+        }
+        assert load.shed_total == 70.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregateRetrievalLoad(service_rate=0.0)
+        with pytest.raises(ValueError):
+            AggregateRetrievalLoad(service_rate=1.0, admit_rate=-1.0)
+        with pytest.raises(ValueError):
+            AggregateRetrievalLoad(service_rate=1.0, max_backlog=-1.0)
+        load = AggregateRetrievalLoad(service_rate=1.0)
+        with pytest.raises(ValueError):
+            load.offer(-1.0, 1.0)

@@ -106,3 +106,45 @@ class TestRoundTable:
         metrics.record_round(0, "a", 1, cells_requested=3)
         mean, _ = metrics.round_table()[1]["cells_requested"]
         assert mean == 8.0
+
+
+class TestOverloadCounters:
+    def test_shed_and_drop_counters_accumulate(self):
+        metrics = MetricsRecorder()
+        metrics.record_shed("retrieval_admission")
+        metrics.record_shed("retrieval_admission", 2.0)
+        metrics.record_queue_drop("inbox_overflow", 5.0)
+        assert metrics.shed_counts["retrieval_admission"] == 3.0
+        assert metrics.queue_drop_counts["inbox_overflow"] == 5.0
+        summary = metrics.summary()
+        assert summary["sheds"] == {"retrieval_admission": 3.0}
+        assert summary["queue_drops"] == {"inbox_overflow": 5.0}
+
+    def test_queue_depth_gauge_keeps_high_water_mark(self):
+        metrics = MetricsRecorder()
+        metrics.observe_queue_depth("pending_requests", 3)
+        metrics.observe_queue_depth("pending_requests", 7)
+        metrics.observe_queue_depth("pending_requests", 2)
+        assert metrics.queue_depth_peaks == {"pending_requests": 7}
+
+    def test_snapshot_shape_unchanged_without_overload_data(self):
+        """Legacy runs must keep their exact historical snapshot shape
+        (the DENSE_PIN fingerprint protection): the overload section is
+        appended only once an overload counter actually fires."""
+        legacy = MetricsRecorder()
+        legacy.record_send(0, "n", 100)
+        baseline = legacy.fingerprint()
+
+        loaded = MetricsRecorder()
+        loaded.record_send(0, "n", 100)
+        assert loaded.fingerprint() == baseline  # no overload data yet
+        loaded.record_shed("retrieval_admission")
+        assert len(loaded.snapshot()) == len(legacy.snapshot()) + 1
+        assert loaded.fingerprint() != baseline
+
+    def test_overload_counters_change_fingerprint(self):
+        first = MetricsRecorder()
+        first.record_queue_drop("inbox_overflow")
+        second = MetricsRecorder()
+        second.record_queue_drop("inbox_overflow", 2.0)
+        assert first.fingerprint() != second.fingerprint()
