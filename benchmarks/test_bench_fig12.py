@@ -1,6 +1,6 @@
-"""Figure 12: PANDAS vs GossipSub and DHT baselines, one scale.
+"""Figure 12: PANDAS vs GossipSub, DHT, and PeerDAS baselines, one scale.
 
-Equal builder egress budget (8x the extended blob) for all three.
+Equal builder egress budget (8x the extended blob) for all four.
 Paper (1,000 nodes): 24% of GossipSub nodes and 17% of DHT nodes miss
 the 4 s sampling deadline; PANDAS completes everywhere (mean 882 ms).
 Messages: PANDAS 1,613 < GossipSub 2,370 < DHT 3,021 sent per node.
@@ -19,7 +19,7 @@ from repro.experiments.report import (
     shape_checks,
 )
 
-SYSTEMS = ("pandas", "gossipsub", "dht")
+SYSTEMS = ("pandas", "gossipsub", "dht", "peerdas")
 
 
 def test_fig12_baseline_comparison(benchmark):
@@ -57,6 +57,7 @@ def test_fig12_baseline_comparison(benchmark):
     pandas_dist = results["pandas"].sampling
     gossip_dist = results["gossipsub"].sampling
     dht_dist = results["dht"].sampling
+    peerdas_dist = results["peerdas"].sampling
     shape_checks(
         [
             (
@@ -68,6 +69,14 @@ def test_fig12_baseline_comparison(benchmark):
                 "PANDAS median sampling beats both baselines",
                 pandas_dist.median <= gossip_dist.median
                 and pandas_dist.median <= dht_dist.median,
+            ),
+            (
+                "PeerDAS column subnets complete sampling for every node",
+                peerdas_dist.misses == 0,
+            ),
+            (
+                "PeerDAS deadline coverage beats the DHT's",
+                peerdas_dist.fraction_within(4.0) >= dht_dist.fraction_within(4.0),
             ),
             (
                 "baselines exchange more messages than PANDAS",

@@ -12,7 +12,7 @@ from benchmarks.common import baseline_params, bench_scales, bench_seed, bench_s
 from repro.experiments.figures import run_scaling
 from repro.experiments.report import format_distribution_row, print_header, print_row, shape_checks
 
-SYSTEMS = ("pandas", "gossipsub", "dht")
+SYSTEMS = ("pandas", "gossipsub", "dht", "peerdas")
 
 
 def test_fig14_baseline_scaling(benchmark):

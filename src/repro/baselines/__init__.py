@@ -1,7 +1,8 @@
-"""DAS baselines: GossipSub channels and Kademlia DHT put/get."""
+"""DAS baselines: GossipSub channels, Kademlia DHT put/get, PeerDAS subnets."""
 
 from repro.baselines.dht_das import DhtDasScenario, PARCEL_CELLS, parcel_key, parcel_of_cell
 from repro.baselines.gossipsub_das import GossipDasNode, GossipDasScenario, UnitAssignment
+from repro.baselines.peerdas_das import PeerDasNode, PeerDasScenario, SubnetAssignment
 
 __all__ = [
     "DhtDasScenario",
@@ -11,4 +12,7 @@ __all__ = [
     "GossipDasNode",
     "GossipDasScenario",
     "UnitAssignment",
+    "PeerDasNode",
+    "PeerDasScenario",
+    "SubnetAssignment",
 ]

@@ -5,7 +5,7 @@ original system's reproducibility material drives its simulator:
 
 - ``slot``       run PANDAS slots and print phase distributions;
 - ``figure``     regenerate one of the paper's figures/tables;
-- ``baselines``  the three-system comparison at one scale;
+- ``baselines``  the four-system comparison at one scale;
 - ``faults``     dead-node / out-of-view sweeps;
 - ``adversary``  Byzantine-fraction degradation sweeps;
 - ``security``   the Section 3 sampling math for a given grid;
@@ -94,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common_scale_args(figure)
     figure.add_argument("--scales", default="250,350,500", help="node counts for fig13/14")
 
-    baselines = sub.add_parser("baselines", help="PANDAS vs GossipSub vs DHT")
+    baselines = sub.add_parser("baselines", help="PANDAS vs GossipSub vs DHT vs PeerDAS")
     _common_scale_args(baselines)
 
     faults = sub.add_parser("faults", help="fault sweeps (Figure 15)")
@@ -411,7 +411,11 @@ def _cmd_figure(args) -> int:
             print(f"{name:<10} {summarize(result.sampling, 4.0)}")
     elif args.which in ("fig13", "fig14"):
         scales = [int(s) for s in args.scales.split(",")]
-        systems = ["pandas"] if args.which == "fig13" else ["pandas", "gossipsub", "dht"]
+        systems = (
+            ["pandas"]
+            if args.which == "fig13"
+            else ["pandas", "gossipsub", "dht", "peerdas"]
+        )
         for system in systems:
             results = figures.run_scaling(
                 node_counts=scales, seed=args.seed, system=system, params=params

@@ -147,12 +147,22 @@ def check_against_baseline(
 ) -> list[str]:
     """Compare a fresh report against a committed snapshot.
 
-    Returns a list of human-readable failures: events/sec more than
-    ``max_regression`` below the baseline at the same (nodes, reduced)
-    scale, or a changed fingerprint for an identical configuration.
-    Scales present in only one of the two documents are ignored.
+    Returns a list of human-readable failures: a missing or unreadable
+    baseline snapshot (a gate pointed at nothing must fail loudly, not
+    silently pass or crash), events/sec more than ``max_regression``
+    below the baseline at the same (nodes, reduced) scale, or a changed
+    fingerprint for an identical configuration. Scales present in only
+    one of the two documents are ignored.
     """
-    baseline = json.loads(baseline_path.read_text())
+    if not baseline_path.exists():
+        return [
+            f"baseline snapshot {baseline_path} does not exist — run "
+            f"`repro bench` and commit the BENCH_<n>.json it writes"
+        ]
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"baseline snapshot {baseline_path} is not valid JSON: {exc}"]
     base_rows = {
         (row["nodes"], row.get("reduced", 0), row.get("seed", 7)): row
         for row in baseline.get("scales", [])

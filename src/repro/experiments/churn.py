@@ -85,6 +85,10 @@ class ChurnScenario(Scenario):
         for leaver in leavers:
             self.departed.add(leaver)
             self.network.kill(leaver)
+            if self.block_overlay is not None:
+                # a departed node's dedup ids and mesh edges would
+                # otherwise be retained for the whole sustained run
+                self.block_overlay.retire_member(leaver)
         for _ in range(leave_count):
             self._spawn_node()
         # crawls see the post-churn world from now on

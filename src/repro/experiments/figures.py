@@ -38,6 +38,7 @@ __all__ = [
     "run_adaptive_vs_constant",
     "run_baseline_comparison",
     "run_scaling",
+    "run_size_sweep",
     "run_fault_sweep",
     "run_adversarial_sweep",
     "SEEDING_POLICIES",
@@ -184,10 +185,18 @@ def run_baseline_comparison(
     slots: int = 1,
     seed: int = 7,
     params: PandasParams | None = None,
+    faults=None,
 ) -> dict[str, PolicyPhases]:
-    """Figure 12: PANDAS (redundant r=8) vs GossipSub vs DHT baselines."""
+    """Figure 12: PANDAS (redundant r=8) vs GossipSub vs DHT vs PeerDAS.
+
+    All four systems share the seeded network construction and the
+    same builder egress budget (8x the extended blob). ``faults``
+    optionally applies a :class:`repro.faults.plan.FaultPlan` —
+    including the PR 2 adversary mixes — identically to every system.
+    """
     from repro.baselines.dht_das import DhtDasScenario
     from repro.baselines.gossipsub_das import GossipDasScenario
+    from repro.baselines.peerdas_das import PeerDasScenario
 
     results: dict[str, PolicyPhases] = {}
     pandas_config = ScenarioConfig(
@@ -196,6 +205,7 @@ def run_baseline_comparison(
         seed=seed,
         policy=RedundantSeeding(8),
         params=params if params is not None else PandasParams.full(),
+        faults=faults,
     )
     results["pandas"] = _phase_result(Scenario(pandas_config).run(), "pandas")
     results["gossipsub"] = _phase_result(
@@ -203,6 +213,9 @@ def run_baseline_comparison(
     )
     results["dht"] = _phase_result(
         DhtDasScenario(pandas_config.with_changes()).run(), "dht"
+    )
+    results["peerdas"] = _phase_result(
+        PeerDasScenario(pandas_config.with_changes()).run(), "peerdas"
     )
     return results
 
@@ -217,11 +230,13 @@ def run_scaling(
     """Figures 13 (system='pandas') and 14 (baselines): size sweeps."""
     from repro.baselines.dht_das import DhtDasScenario
     from repro.baselines.gossipsub_das import GossipDasScenario
+    from repro.baselines.peerdas_das import PeerDasScenario
 
     makers = {
         "pandas": Scenario,
         "gossipsub": GossipDasScenario,
         "dht": DhtDasScenario,
+        "peerdas": PeerDasScenario,
     }
     if system not in makers:
         raise ValueError(f"unknown system {system!r}")
@@ -237,6 +252,10 @@ def run_scaling(
         scenario = makers[system](config).run()
         results[count] = _phase_result(scenario, f"{system}@{count}")
     return results
+
+
+# the Figure 14 sweep under its conventional name
+run_size_sweep = run_scaling
 
 
 def _mark_sweep_point(tracer, sweep: str, **data) -> None:

@@ -203,11 +203,19 @@ class PipelineScenario(ChurnScenario):
 
     def _retire_through(self, slot: int) -> None:
         """Release per-node state for every slot up to ``slot``."""
+        advanced = False
         while self._retired <= slot:
             retiring = self._retired
             self._retired += 1
+            advanced = True
             for node in self.nodes.values():
                 node.drop_slot(retiring)
+        if advanced and self.block_overlay is not None:
+            # the single-slot paths call reset_seen() between slots; a
+            # sustained pipeline never ends a slot, so gossip dedup ids
+            # are expired with the same retention window instead of
+            # accumulating for the whole run
+            self.block_overlay.expire_seen(self._retired)
 
     # ------------------------------------------------------------------
     # measured retrieval probes

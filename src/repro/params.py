@@ -205,6 +205,24 @@ class PandasParams:
     # through this bucket — it is the load-shedding priority lane.
     retrieval_admit_rate: float | None = None
     retrieval_admit_burst: float = 20.0
+    # --- PeerDAS baseline (consensus-specs column-subnet gossip) ---------
+    # DATA_COLUMN_SIDECAR_SUBNET_COUNT: extended columns are spread over
+    # this many gossip subnets (column -> subnet by modulo). Reduced test
+    # grids with fewer extended columns than subnets simply use one
+    # subnet per column.
+    peerdas_subnet_count: int = 32
+    # CUSTODY_REQUIREMENT: subnets every node custodies, derived from the
+    # node id alone (custody-group style; epoch-independent).
+    peerdas_custody_subnets: int = 4
+    # SAMPLES_PER_SLOT, expressed in subnets: custody subnets plus extra
+    # per-slot subnets the node must observe to accept the block.
+    peerdas_sample_subnets: int = 8
+    # DataColumnSidecarByRoot req/resp fallback: nodes whose sampled
+    # subnets are still incomplete this long into the slot start pulling
+    # the missing columns directly from custodians, retrying every
+    # ``peerdas_fallback_interval`` until the slot window closes.
+    peerdas_fallback_after: float = 2.0
+    peerdas_fallback_interval: float = 0.4
 
     # ------------------------------------------------------------------
     # derived geometry

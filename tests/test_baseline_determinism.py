@@ -1,0 +1,57 @@
+"""Absolute replay anchors for the baseline scenarios.
+
+The scale-regression suite pins the PANDAS path with ``DENSE_PIN``;
+these pins extend the same guarantee to the three baseline systems the
+four-way comparison (Figure 12) depends on. Each constant is the
+``MetricsRecorder.fingerprint()`` of one fixed dense-grid run — any
+code change that moves one of these values changed baseline *behavior*
+(message timing, peer choice, RNG consumption), not just performance,
+and must update the pin deliberately with a CHANGES.md note.
+
+The configuration deliberately mirrors ``tests/test_determinism.py``'s
+``dense_config`` / ``tests/test_scale_regression.py``'s DENSE_PIN
+setup: 35 nodes, 8x8 dense grid, custody 4+4, 8 samples, seed 9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DhtDasScenario, GossipDasScenario, PeerDasScenario
+from repro.core.seeding import RedundantSeeding
+from repro.experiments.scenario import ScenarioConfig
+from repro.params import PandasParams
+
+GOSSIPSUB_PIN = "56e5e3da590c7f7888cef57653c47be5bdc5e97f9c3a8a9f9cb7f200bfa02f88"
+DHT_PIN = "9dc0013d806ed07dcf31f54200deb1bf725c0e9f8afc358cef1ace3040065adb"
+PEERDAS_PIN = "ae19af8c2b130bfcfcfbe4e691946984632d979d079595b502e374be335ad4f5"
+
+
+def dense_config():
+    return ScenarioConfig(
+        num_nodes=35,
+        params=PandasParams(
+            base_rows=8, base_cols=8, custody_rows=4, custody_cols=4, samples=8
+        ),
+        policy=RedundantSeeding(4),
+        seed=9,
+        slots=1,
+        num_vertices=300,
+    )
+
+
+@pytest.mark.parametrize(
+    ("scenario_class", "pin"),
+    [
+        (GossipDasScenario, GOSSIPSUB_PIN),
+        (DhtDasScenario, DHT_PIN),
+        (PeerDasScenario, PEERDAS_PIN),
+    ],
+    ids=["gossipsub", "dht", "peerdas"],
+)
+def test_baseline_replay_matches_pin(scenario_class, pin):
+    scenario = scenario_class(dense_config()).run()
+    assert scenario.metrics.fingerprint() == pin, (
+        f"{scenario_class.__name__} replay fingerprint moved — baseline "
+        "behavior changed; update the pin only if the change is intended"
+    )

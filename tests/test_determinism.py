@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import DhtDasScenario, GossipDasScenario
+from repro.baselines import DhtDasScenario, GossipDasScenario, PeerDasScenario
 from repro.core.seeding import RedundantSeeding
 from repro.experiments.scenario import Scenario, ScenarioConfig
 from repro.params import PandasParams
@@ -48,7 +48,9 @@ def fingerprint(scenario):
     )
 
 
-@pytest.mark.parametrize("scenario_class", [Scenario, GossipDasScenario, DhtDasScenario])
+@pytest.mark.parametrize(
+    "scenario_class", [Scenario, GossipDasScenario, DhtDasScenario, PeerDasScenario]
+)
 def test_identical_seeds_identical_runs(scenario_class):
     a = fingerprint(scenario_class(dense_config()).run())
     b = fingerprint(scenario_class(dense_config()).run())

@@ -65,8 +65,15 @@ def test_run_adaptive_vs_constant_keys():
 
 def test_run_baseline_comparison_keys():
     results = run_baseline_comparison(num_nodes=NODES, seed=3, params=dense_params())
-    assert set(results) == {"pandas", "gossipsub", "dht"}
+    assert set(results) == {"pandas", "gossipsub", "dht", "peerdas"}
     assert results["pandas"].sampling.fraction_within(4.0) == 1.0
+    assert results["peerdas"].sampling.fraction_within(4.0) == 1.0
+
+
+def test_run_size_sweep_is_run_scaling():
+    from repro.experiments.figures import run_size_sweep
+
+    assert run_size_sweep is run_scaling
 
 
 def test_run_scaling_rejects_unknown_system():

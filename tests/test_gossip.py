@@ -127,3 +127,124 @@ def test_reset_seen_allows_republication(sim):
     overlay.publish(0, "t", "m", None, 100, slot=1)
     sim.run(until=2.0)
     assert len(delivered["m"]) == 2 * first
+
+
+# ----------------------------------------------------------------------
+# degree cap (D_hi bound)
+# ----------------------------------------------------------------------
+def make_capped_overlay(sim, members=40, degree=4, cap=6):
+    net = make_network(sim)
+    overlay = GossipOverlay(net, random.Random(1), mesh_degree=degree, degree_cap=cap)
+    for member in range(members):
+        net.register(
+            member,
+            member,
+            (lambda m: (lambda d: overlay.on_datagram(m, d)))(member),
+            None,
+            None,
+        )
+    return net, overlay
+
+
+def test_degree_cap_bounds_realized_distribution(sim):
+    _net, overlay = make_capped_overlay(sim, members=40, degree=4, cap=6)
+    overlay.create_topic("t", list(range(40)))
+    degrees = [len(overlay.mesh_neighbors("t", m)) for m in range(40)]
+    assert max(degrees) <= 6, f"degree cap violated: {max(degrees)}"
+    assert min(degrees) >= 1  # connected
+    # without the cap the symmetric-GRAFT distribution exceeds D_hi
+    _net2, uncapped, _ = make_overlay(sim, members=40, degree=4)
+    uncapped_degrees = [len(uncapped.mesh_neighbors("t", m)) for m in range(40)]
+    assert max(uncapped_degrees) > 6
+
+
+def test_degree_cap_mesh_still_floods(sim):
+    _net, overlay = make_capped_overlay(sim, members=30, degree=4, cap=5)
+    delivered = []
+    overlay.create_topic(
+        "t", list(range(30)), handler=lambda m, msg: delivered.append(m)
+    )
+    overlay.publish(0, "t", "m1", None, 500, slot=0)
+    sim.run(until=3.0)
+    assert set(delivered) == set(range(1, 30))
+
+
+def test_degree_cap_mesh_stays_symmetric(sim):
+    _net, overlay = make_capped_overlay(sim, members=40, degree=4, cap=6)
+    overlay.create_topic("t", list(range(40)))
+    for member in range(40):
+        for neighbor in overlay.mesh_neighbors("t", member):
+            assert member in overlay.mesh_neighbors("t", neighbor)
+
+
+def test_degree_cap_below_mesh_degree_rejected(sim):
+    net = make_network(sim)
+    with pytest.raises(ValueError):
+        GossipOverlay(net, random.Random(1), mesh_degree=8, degree_cap=4)
+    overlay = GossipOverlay(net, random.Random(1), mesh_degree=8)
+    net.register(0, 0, lambda d: None, None, None)
+    net.register(1, 1, lambda d: None, None, None)
+    with pytest.raises(ValueError):
+        overlay.create_topic("t", [0, 1], degree_cap=2)
+
+
+def test_uncapped_path_unchanged_by_cap_feature(sim):
+    """The legacy graft loop must draw the same RNG sequence: replay
+    pins of every pre-existing scenario depend on it."""
+    net = make_network(sim)
+    a = GossipOverlay(net, random.Random(7), mesh_degree=4)
+    b = GossipOverlay(net, random.Random(7), mesh_degree=4, degree_cap=None)
+    for member in range(20):
+        net.register(member, member, lambda d: None, None, None)
+    a.create_topic("t", list(range(20)))
+    b.create_topic("t", list(range(20)))
+    for member in range(20):
+        assert a.mesh_neighbors("t", member) == b.mesh_neighbors("t", member)
+
+
+# ----------------------------------------------------------------------
+# bounded dedup state (sustained multi-slot runs)
+# ----------------------------------------------------------------------
+def test_expire_seen_drops_only_old_slots(sim):
+    _net, overlay, delivered = make_overlay(sim, members=10)
+    overlay.publish(0, "t", "m0", None, 100, slot=0)
+    sim.run(until=1.0)
+    overlay.publish(0, "t", "m1", None, 100, slot=1)
+    sim.run(until=2.0)
+    before = overlay.seen_entries()
+    assert before > 0
+    overlay.expire_seen(1)
+    assert 0 < overlay.seen_entries() < before
+    # slot-1 ids retained: republication is still suppressed
+    first = len(delivered["m1"])
+    overlay.publish(0, "t", "m1", None, 100, slot=1)
+    sim.run(until=3.0)
+    assert len(delivered["m1"]) == first
+    # slot-0 ids expired: the same msg_id floods again
+    count0 = len(delivered["m0"])
+    overlay.publish(0, "t", "m0", None, 100, slot=0)
+    sim.run(until=4.0)
+    assert len(delivered["m0"]) == 2 * count0
+
+
+def test_retire_member_forgets_all_state(sim):
+    _net, overlay, delivered = make_overlay(sim, members=12)
+    overlay.publish(0, "t", "m0", None, 100, slot=0)
+    sim.run(until=1.0)
+    assert 3 in overlay._seen
+    overlay.retire_member(3)
+    assert 3 not in overlay._seen
+    assert 3 not in overlay.topic_members("t")
+    assert not overlay.mesh_neighbors("t", 3)
+    for member in overlay.topic_members("t"):
+        assert 3 not in overlay.mesh_neighbors("t", member)
+
+
+def test_retired_member_receives_no_forwards(sim):
+    _net, overlay, delivered = make_overlay(sim, members=12)
+    overlay.retire_member(5)
+    overlay.publish(0, "t", "m0", None, 100, slot=0)
+    sim.run(until=2.0)
+    receivers = {m for m, _t in delivered["m0"]}
+    assert 5 not in receivers
+    assert receivers == set(range(1, 12)) - {5}

@@ -96,6 +96,54 @@ class TestSustainedPipeline:
         assert decoded["fingerprint"] == report.fingerprint
 
 
+class TestGossipSeenBound:
+    def test_seen_state_not_monotonic_across_pipeline_slots(self):
+        """The sustained pipeline never calls ``_end_slot``, so before
+        the retention wiring the block overlay's dedup sets grew for
+        the whole run and kept churned-out members forever. Pin the
+        fix: per-slot totals must shrink at least once (retirement at
+        the retention window), never exceed a small multiple of the
+        live population, and departed members must not be retained."""
+        config = make_config(
+            include_block_gossip=True, slots=6, check_invariants=False
+        )
+        pipeline = make_pipeline(config)
+        overlay = pipeline.block_overlay
+        assert overlay is not None
+        per_slot = []
+        record = pipeline._record_slot
+
+        def record_and_sample(slot):
+            record(slot)
+            per_slot.append(overlay.seen_entries())
+
+        pipeline._record_slot = record_and_sample
+        pipeline.run()
+        assert len(per_slot) == 6
+        assert any(b < a for a, b in zip(per_slot, per_slot[1:])), (
+            f"seen state grew monotonically: {per_slot}"
+        )
+        # each member holds at most one block id per retained slot, so
+        # the total is bounded by population x (retention + in-flight)
+        population = len(pipeline.nodes)
+        assert max(per_slot) <= population * (pipeline.retention_slots + 2)
+        for member in pipeline.departed:
+            assert member not in overlay._seen, (
+                f"departed member {member} still holds dedup state"
+            )
+
+    def test_churned_out_member_leaves_topic_and_mesh(self):
+        config = make_config(
+            include_block_gossip=True, slots=3, check_invariants=False
+        )
+        pipeline = make_pipeline(config)
+        pipeline.run()
+        overlay = pipeline.block_overlay
+        for member in pipeline.departed:
+            assert member not in overlay.topic_members("blocks")
+            assert not overlay.mesh_neighbors("blocks", member)
+
+
 class TestReplayDeterminism:
     def test_fingerprint_equal_across_two_runs(self):
         """Acceptance: a 3+ slot pipeline under churn + overload replays
