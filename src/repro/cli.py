@@ -12,7 +12,8 @@ original system's reproducibility material drives its simulator:
 - ``trace``      run with structured tracing and write/analyze a trace;
 - ``profile``    run with callback profiling and print hot sites;
 - ``bench``      measure full slots at several scales, write BENCH_<n>.json;
-- ``pipeline``   sustained multi-slot pipeline with churn and overload control.
+- ``pipeline``   sustained multi-slot pipeline with churn and overload control;
+- ``health``     analyze a telemetry series against run-health SLOs.
 
 Examples::
 
@@ -30,6 +31,8 @@ Examples::
     python -m repro bench --scales 100 --check BENCH_1.json
     python -m repro pipeline --nodes 60 --reduced 32 --slots 4 --churn 0.1
     python -m repro pipeline --nodes 60 --reduced 32 --check-invariants --json
+    python -m repro pipeline --nodes 60 --reduced 32 --telemetry series.jsonl
+    python -m repro health series.jsonl --min-deadline-hit 0.9 --json
 """
 
 from __future__ import annotations
@@ -85,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable output: one JSON object instead of text",
     )
     _obs_args(slot)
+    _telemetry_args(slot)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument(
@@ -190,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace-overhead", action="store_true",
         help="skip the tracing-overhead measurement",
     )
+    bench.add_argument(
+        "--no-telemetry-overhead", action="store_true",
+        help="skip the telemetry-overhead measurement",
+    )
+    bench.add_argument(
+        "--max-obs-overhead", type=float, default=1.25,
+        help="with --check: fail if the fresh telemetry overhead ratio "
+        "exceeds this bound (default 1.25; trace overhead is recorded "
+        "but not gated)",
+    )
 
     pipeline = sub.add_parser(
         "pipeline",
@@ -235,6 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable output: one JSON object instead of text",
     )
     _obs_args(pipeline)
+    _telemetry_args(pipeline)
+
+    health = sub.add_parser(
+        "health",
+        help="analyze a telemetry JSONL series against run-health SLOs",
+    )
+    health.add_argument("series", help="telemetry series written by --telemetry")
+    health.add_argument(
+        "--min-deadline-hit", type=float, default=0.9,
+        help="minimum sampling deadline-hit rate to pass (default 0.9)",
+    )
+    health.add_argument(
+        "--max-queue-p99", type=float, default=None,
+        help="fail if the sampled queue-depth p99 exceeds this",
+    )
+    health.add_argument(
+        "--max-shed", type=float, default=None,
+        help="fail if total shed work exceeds this",
+    )
+    health.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON object instead of text",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -270,6 +307,27 @@ def _obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Run-health telemetry riders (slot and pipeline commands)."""
+    parser.add_argument(
+        "--telemetry", default=None, metavar="FILE",
+        help="sample run-health telemetry and write the JSONL series here",
+    )
+    parser.add_argument(
+        "--telemetry-cadence", type=float, default=0.25, metavar="SECONDS",
+        help="sim-time sampling cadence for --telemetry (default 0.25)",
+    )
+    parser.add_argument(
+        "--prometheus", default=None, metavar="FILE",
+        help="also write the final telemetry state as Prometheus text",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=0.0, metavar="SECONDS",
+        help="print a wall-clock progress line every N seconds (0 = off; "
+        "requires --telemetry)",
+    )
+
+
 def _params(args) -> PandasParams:
     if getattr(args, "reduced", 0):
         return PandasParams.reduced(args.reduced)
@@ -296,12 +354,43 @@ def _finish_obs(tracer, profiler, args, top: int = 12) -> None:
         print(profiler.format(top=top))
 
 
+def _make_telemetry(args):
+    """A configured Telemetry from the --telemetry riders, or None."""
+    if not getattr(args, "telemetry", None):
+        return None
+    from repro.obs import Heartbeat
+    from repro.obs.telemetry import Telemetry
+
+    heartbeat = Heartbeat(args.heartbeat) if args.heartbeat > 0 else None
+    return Telemetry(cadence=args.telemetry_cadence, heartbeat=heartbeat)
+
+
+def _finish_telemetry(telemetry, args) -> dict | None:
+    """Write the telemetry series (and optional Prometheus text);
+    returns the summary dict for JSON payloads, or None."""
+    if telemetry is None:
+        return None
+    from repro.obs.export import write_prometheus, write_series_jsonl
+
+    records = write_series_jsonl(telemetry, args.telemetry)
+    info = {
+        "file": args.telemetry,
+        "records": records,
+        "samples": len(telemetry.samples),
+    }
+    if getattr(args, "prometheus", None):
+        write_prometheus(telemetry, args.prometheus)
+        info["prometheus"] = args.prometheus
+    return info
+
+
 def _cmd_slot(args) -> int:
     from repro.experiments.scenario import Scenario, ScenarioConfig
     from repro.faults.plan import FaultPlan
 
     faults = FaultPlan.parse(args.faults) if args.faults else None
     tracer, profiler = _make_obs(args)
+    telemetry = _make_telemetry(args)
     config = ScenarioConfig(
         num_nodes=args.nodes,
         params=_params(args),
@@ -315,6 +404,7 @@ def _cmd_slot(args) -> int:
         check_invariants=args.check_invariants,
         tracer=tracer,
         profiler=profiler,
+        telemetry=telemetry,
     )
     if args.json:
         scenario = Scenario(config).run()
@@ -344,6 +434,9 @@ def _cmd_slot(args) -> int:
         if tracer is not None:
             tracer.close()
             payload["trace"] = {"file": args.trace, "events": tracer.accepted}
+        telemetry_info = _finish_telemetry(telemetry, args)
+        if telemetry_info is not None:
+            payload["telemetry"] = telemetry_info
         print(json.dumps(payload, default=float))
         if profiler is not None:
             print(profiler.format(top=12), file=sys.stderr)
@@ -376,6 +469,12 @@ def _cmd_slot(args) -> int:
         print(f"  invariants     ok ({scenario.invariants.checks_run} checks)")
     if args.plot:
         print(ascii_cdf({"sampling": phases.sampling}, deadline=4.0))
+    telemetry_info = _finish_telemetry(telemetry, args)
+    if telemetry_info is not None:
+        print(
+            f"  telemetry      {telemetry_info['samples']} samples -> "
+            f"{telemetry_info['file']}"
+        )
     _finish_obs(tracer, profiler, args)
     return 0 if phases.sampling.fraction_within(4.0) > 0 else 1
 
@@ -612,6 +711,7 @@ def _cmd_pipeline(args) -> int:
         retrieval_admit_burst=args.admit_burst,
     )
     tracer, profiler = _make_obs(args)
+    telemetry = _make_telemetry(args)
     config = ScenarioConfig(
         num_nodes=args.nodes,
         params=params,
@@ -621,6 +721,7 @@ def _cmd_pipeline(args) -> int:
         check_invariants=args.check_invariants,
         tracer=tracer,
         profiler=profiler,
+        telemetry=telemetry,
         max_inbox=args.max_inbox if args.max_inbox > 0 else None,
     )
     scenario = PipelineScenario(
@@ -641,6 +742,9 @@ def _cmd_pipeline(args) -> int:
         if tracer is not None:
             tracer.close()
             payload["trace"] = {"file": args.trace, "events": tracer.accepted}
+        telemetry_info = _finish_telemetry(telemetry, args)
+        if telemetry_info is not None:
+            payload["telemetry"] = telemetry_info
         print(json.dumps(payload, default=float))
         if profiler is not None:
             print(profiler.format(top=12), file=sys.stderr)
@@ -688,8 +792,35 @@ def _cmd_pipeline(args) -> int:
     if scenario.invariants is not None:
         print(f"  invariants         ok ({scenario.invariants.checks_run} checks)")
     print(f"  fingerprint        {report.fingerprint[:16]}…")
+    telemetry_info = _finish_telemetry(telemetry, args)
+    if telemetry_info is not None:
+        print(
+            f"  telemetry          {telemetry_info['samples']} samples -> "
+            f"{telemetry_info['file']}"
+        )
     _finish_obs(tracer, profiler, args)
     return 0 if report.deadline_hit_rate > 0 else 1
+
+
+def _cmd_health(args) -> int:
+    from repro.obs.health import SloThresholds, analyze_file, format_report
+
+    thresholds = SloThresholds(
+        min_deadline_hit_rate=args.min_deadline_hit,
+        max_queue_depth_p99=args.max_queue_p99,
+        max_shed_total=args.max_shed,
+    )
+    try:
+        report = analyze_file(args.series, thresholds)
+    except (OSError, ValueError) as exc:
+        print(f"cannot analyze {args.series}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), default=float))
+    else:
+        for line in format_report(report):
+            print(line)
+    return 0 if report.passed else 1
 
 
 def _cmd_lint(args) -> int:
@@ -716,6 +847,7 @@ def _cmd_bench(args) -> int:
         seed=args.seed,
         reduced=args.reduced,
         trace_overhead=not args.no_trace_overhead,
+        telemetry_overhead=not args.no_telemetry_overhead,
     )
     for row in report["scales"]:
         speedup = row.get("speedup_vs_pre_scale_up")
@@ -730,12 +862,21 @@ def _cmd_bench(args) -> int:
             f"trace overhead @{overhead['nodes']} nodes: "
             f"{overhead['overhead_ratio']:.2f}x"
         )
+    overhead = report.get("telemetry_overhead")
+    if overhead:
+        print(
+            f"telemetry overhead @{overhead['nodes']} nodes: "
+            f"{overhead['overhead_ratio']:.2f}x"
+        )
     out = Path(args.out) if args.out else next_bench_path(Path.cwd())
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     if args.check:
         failures = check_against_baseline(
-            report, Path(args.check), max_regression=args.max_regression
+            report,
+            Path(args.check),
+            max_regression=args.max_regression,
+            max_obs_overhead=args.max_obs_overhead,
         )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -758,6 +899,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "bench": _cmd_bench,
         "pipeline": _cmd_pipeline,
+        "health": _cmd_health,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

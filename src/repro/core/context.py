@@ -14,6 +14,7 @@ from collections.abc import Callable
 from repro.core.assignment import AssignmentIndex, CellAssignment
 from repro.net.transport import Network
 from repro.obs.events import TraceRecorder
+from repro.obs.telemetry import Telemetry
 from repro.params import PandasParams
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRecorder
@@ -43,6 +44,11 @@ class ProtocolContext:
     # every emission on it. A recorder here is pure observation and
     # never changes simulation behavior.
     tracer: TraceRecorder | None = None
+    # Dimensional run-health telemetry (repro.obs.telemetry). Same
+    # contract as the tracer: pure observation, behavior-neutral, and
+    # ``None`` by default so instrumented call sites cost one attribute
+    # read when telemetry is off.
+    telemetry: Telemetry | None = None
 
     def trace(self, kind: str, *, slot: int = -1, node: int = -1, **data) -> None:
         """Emit one trace event at the current simulated time (no-op

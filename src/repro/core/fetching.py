@@ -179,6 +179,7 @@ class AdaptiveFetcher:
         "_timeouts_reported",
         "tracer",
         "trace_slot",
+        "observe_latency",
         "_open_queries",
         "boost",
         "_boost_cells",
@@ -217,6 +218,7 @@ class AdaptiveFetcher:
         deadline_at: float | None = None,
         tracer: TraceRecorder | None = None,
         slot: int = -1,
+        observe_latency: Callable[[int, float], None] | None = None,
     ) -> None:
         self.sim = sim
         self.state = state
@@ -262,6 +264,10 @@ class AdaptiveFetcher:
         # so traced and untraced runs are behaviorally identical.
         self.tracer = tracer
         self.trace_slot = slot
+        # telemetry sink for per-round reply latency (repro.obs.
+        # telemetry); like the tracer, a pure observer — no RNG, no
+        # scheduling — so attaching one never changes fetch behavior
+        self.observe_latency = observe_latency
         self._open_queries: dict[int, tuple[int, int]] = {}  # peer -> (req, round)
 
         self.boost: dict[int, set[int]] = {}
@@ -865,6 +871,8 @@ class AdaptiveFetcher:
         round_index = self.query_round.get(peer)
         if round_index is not None and round_index <= len(self.rounds):
             stats = self.rounds[round_index - 1]
+            if self.observe_latency is not None:
+                self.observe_latency(round_index, self.sim.now - stats.started_at)
             if self.sim.now <= stats.deadline:
                 stats.replies_in_round += 1
                 stats.cells_in_round += new_count

@@ -204,6 +204,9 @@ class PandasNode:
             ),
             tracer=ctx.tracer,
             slot=slot,
+            observe_latency=(
+                ctx.telemetry.on_round_latency if ctx.telemetry is not None else None
+            ),
         )
         return _SlotState(cells=cells, fetcher=fetcher, store_sink=store_sink)
 

@@ -169,6 +169,13 @@ class ReputationLedger:
             return False
         return self.quarantined_in.get(peer) == self._epoch
 
+    def quarantined_count(self) -> int:
+        """Peers quarantined for the current epoch (telemetry gauge)."""
+        if self._epoch is None:
+            return 0
+        epoch = self._epoch
+        return sum(1 for e in self.quarantined_in.values() if e == epoch)
+
     def _maybe_quarantine(self, peer: int) -> None:
         if self._epoch is None:
             return

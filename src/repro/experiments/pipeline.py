@@ -166,6 +166,32 @@ class PipelineScenario(ChurnScenario):
                 )
                 self.probes.append(client)
 
+    def _wire_telemetry(self) -> None:
+        """Extend the base wiring with pipeline-specific dimensions:
+        probe traffic is classed as the ``retrieval`` layer and the
+        aggregate fluid model's backlog/shed feed extra gauges."""
+        super()._wire_telemetry()
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.configure_layers(retrieval_floor=PROBE_BASE_ADDRESS)
+        tel.gauge(
+            "aggregate_backlog",
+            "Aggregate retrieval fluid-model backlog (requests)",
+        )
+        tel.gauge(
+            "aggregate_shed",
+            "Aggregate retrieval requests shed so far",
+        )
+
+        def collect() -> None:
+            aggregate = self.aggregate
+            if aggregate is not None:
+                tel.set_gauge("aggregate_backlog", float(aggregate.backlog))
+                tel.set_gauge("aggregate_shed", float(aggregate.shed_total))
+
+        tel.add_collector(collect)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -199,6 +225,13 @@ class PipelineScenario(ChurnScenario):
         self._retire_through(total - 1)
         if self.invariants is not None:
             self.invariants.check_final()
+        if self.telemetry is not None:
+            history = self._membership_history
+            expected = sum(
+                len(history[min(slot, len(history) - 1)])
+                for slot in self.ctx.slot_starts
+            )
+            self.telemetry.finalize(expected_samples=expected)
         return self
 
     def _retire_through(self, slot: int) -> None:

@@ -30,6 +30,7 @@ from repro.net.topology import DEFAULT_BUILDER_PROFILE, DEFAULT_NODE_PROFILE, No
 from repro.net.transport import DEFAULT_LOSS_RATE, Datagram, Network
 from repro.obs.events import TraceRecorder
 from repro.obs.profiler import CallbackProfiler
+from repro.obs.telemetry import Telemetry
 from repro.params import PandasParams
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRecorder
@@ -76,6 +77,11 @@ class ScenarioConfig:
     # opt-in wall-clock attribution of simulator callbacks
     # (module:qualname); also behavior-neutral
     profiler: CallbackProfiler | None = None
+    # dimensional run-health telemetry (repro.obs.telemetry): a
+    # sim-time cadence sampler over counters/gauges/histograms. Same
+    # neutrality contract as the tracer — fingerprints are pinned
+    # bit-identical with telemetry on or off
+    telemetry: Telemetry | None = None
     # event-queue backend ("calendar" or "heap") and transport delivery
     # scheduling ("batched" or "per-datagram"): both pairs execute
     # bit-identically — the scale-regression and transport-conformance
@@ -151,6 +157,7 @@ class BaseScenario:
         self._build_participants()
         self._wire_metrics()
         self._wire_tracing()
+        self._wire_telemetry()
         for dead in self.dead_nodes:
             self.network.kill(dead)
         self.fault_injector = self._install_faults()
@@ -410,6 +417,67 @@ class BaseScenario:
 
             self.network.on_drop.append(on_overflow)
 
+    def _wire_telemetry(self) -> None:
+        """Attach the dimensional telemetry registry, if configured.
+
+        Everything here is read-only observation: the metrics tap
+        mirrors writes that already happen, the transport observer
+        looks at datagrams already sent, and the gauge collector only
+        reads state. The sampler's cadence ticks are extra simulator
+        events, but they schedule nothing and draw no RNG, so the
+        fingerprint-equality tests hold.
+        """
+        tel = self.config.telemetry
+        self.telemetry = tel
+        if tel is None:
+            return
+        config = self.config
+        tel.configure_layers(builder_id=self.builder_id)
+        tel.set_run_info(
+            nodes=config.num_nodes,
+            slots=config.slots,
+            slot_duration=self.params.slot_duration,
+            deadline=self.params.deadline,
+            seed=config.seed,
+        )
+        tel.expected_end = config.slots * self.params.slot_duration
+        self.ctx.telemetry = tel
+        self.metrics.tap = tel
+
+        def on_send(dgram: Datagram) -> None:
+            tel.observe_send(dgram.src, dgram.dst, dgram.size, dgram.payload)
+
+        self.network.on_send.append(on_send)
+
+        network = self.network
+
+        def collect() -> None:
+            tel.set_gauge("inbox_depth_max", float(network.max_queue_depth()))
+            tel.set_gauge("inbox_overflows", float(network.datagrams_overflowed))
+            tel.set_gauge("datagrams_sent", float(network.datagrams_sent))
+            tel.set_gauge("datagrams_delivered", float(network.datagrams_delivered))
+            tel.set_gauge("datagrams_lost", float(network.datagrams_lost))
+            tel.set_gauge(
+                "live_nodes",
+                float(sum(1 for n in self.node_ids if network.is_alive(n))),
+            )
+            nodes = getattr(self, "nodes", None)
+            if nodes:
+                quarantined = 0
+                pending = 0
+                for node in nodes.values():
+                    reputation = getattr(node, "reputation", None)
+                    if reputation is not None:
+                        quarantined += reputation.quarantined_count()
+                    depth = getattr(node, "pending_depth", None)
+                    if depth is not None:
+                        pending += depth()
+                tel.set_gauge("quarantined_peers", float(quarantined))
+                tel.set_gauge("pending_requests", float(pending))
+
+        tel.add_collector(collect)
+        tel.install(self.sim)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -428,6 +496,10 @@ class BaseScenario:
             self.run_slot(slot)
         if self.invariants is not None:
             self.invariants.check_final()
+        if self.telemetry is not None:
+            self.telemetry.finalize(
+                expected_samples=len(self.ctx.slot_starts) * self.honest_live_count
+            )
         return self
 
     # ------------------------------------------------------------------

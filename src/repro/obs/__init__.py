@@ -15,17 +15,30 @@ package provides that layer:
 - :mod:`repro.obs.timeline` — per-node slot timelines and the
   slowest-node "why did sampling take X ms" causal report;
 - :mod:`repro.obs.profiler` — opt-in ``Simulator`` instrumentation
-  attributing wall-clock time and event counts to callback sites.
+  attributing wall-clock time and event counts to callback sites;
+- :mod:`repro.obs.telemetry` — the dimensional run-health registry
+  (counters, gauges, deterministic histograms) with its sim-time
+  cadence sampler;
+- :mod:`repro.obs.export` — JSONL time series and Prometheus text
+  exposition of a run's telemetry;
+- :mod:`repro.obs.health` — the post-run SLO analyzer behind
+  ``repro health``;
+- :mod:`repro.obs.progress` — the wall-clock heartbeat progress line
+  for long runs (RL002-allowlisted, like the profiler).
 
-Tracing is strictly behavior-neutral: recorders never consume protocol
-RNG streams and never schedule simulator events, so
-``MetricsRecorder.fingerprint()`` is bit-identical with tracing on or
-off (enforced by tests/test_obs_trace.py).
+Tracing and telemetry are strictly behavior-neutral: recorders never
+consume protocol RNG streams, and telemetry's sampler events are
+read-only, so ``MetricsRecorder.fingerprint()`` is bit-identical with
+observation on or off (enforced by tests/test_obs_trace.py and
+tests/test_obs_telemetry.py).
 """
 
 from repro.obs.events import KINDS, QUERY_TERMINAL_KINDS, TraceEvent, TraceRecorder
+from repro.obs.health import HealthReport, SloThresholds
 from repro.obs.profiler import CallbackProfiler
+from repro.obs.progress import Heartbeat
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink
+from repro.obs.telemetry import Histogram, Metric, Telemetry
 
 __all__ = [
     "KINDS",
@@ -36,4 +49,10 @@ __all__ = [
     "ChromeTraceSink",
     "JsonlSink",
     "MemorySink",
+    "Telemetry",
+    "Metric",
+    "Histogram",
+    "Heartbeat",
+    "HealthReport",
+    "SloThresholds",
 ]

@@ -314,6 +314,29 @@ def causal_report(
             + ", ".join(f"{k}={int(v)}" for k, v in sorted(defenses.items()))
         )
 
+    # overload causes (PR 7/8 trace kinds): a slow node under sustained
+    # load is often not "unlucky peers" but backpressure — name it
+    overflows = sum(1 for e in mine if e["kind"] == "queue_overflow")
+    sheds: dict[str, float] = {}
+    for event in mine:
+        if event["kind"] == "load_shed":
+            name = event.get("shed", "?")
+            sheds[name] = sheds.get(name, 0.0) + event.get("amount", 1.0)
+    backoff_waves = sum(1 for e in mine if e["kind"] == "retry_backoff")
+    abandoned = sum(1 for e in mine if e["kind"] == "retry_abandoned")
+    if overflows:
+        lines.append(f"overload: inbox overflow dropped {overflows} datagram(s)")
+    if sheds:
+        lines.append(
+            "overload: shed "
+            + ", ".join(f"{k}={int(v)}" for k, v in sorted(sheds.items()))
+        )
+    if backoff_waves or abandoned:
+        lines.append(
+            f"overload: {backoff_waves} retry backoff wave(s), "
+            f"{abandoned} retry(ies) abandoned at the deadline"
+        )
+
     completions = phase_completions(mine).get((slot, node), {})
     for phase in ("consolidation", "sampling"):
         at = completions.get(phase)
@@ -330,8 +353,18 @@ def causal_report(
         if sampling is not None
         else "sampling never completed"
     )
-    lines.append(
+    why = (
         f"why: {head} — {len(by_round)} round(s), {len(peers)} peer(s) queried, "
         f"{timeouts} timeout(s), {late} late repl(ies), {reconstructed} cell(s) reconstructed"
     )
+    causes: list[str] = []
+    if overflows:
+        causes.append(f"{overflows} inbox overflow(s)")
+    if sheds:
+        causes.append(f"{int(sum(sheds.values()))} shed")
+    if abandoned:
+        causes.append(f"{abandoned} abandoned retry(ies)")
+    if causes:
+        why += "; overloaded: " + ", ".join(causes)
+    lines.append(why)
     return lines

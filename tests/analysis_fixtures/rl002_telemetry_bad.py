@@ -1,0 +1,22 @@
+"""RL002 positive fixture: wall clock smuggled into a telemetry sampler.
+
+A metrics sampler runs inside the event loop, so any wall-clock read
+here leaks host timing into the recorded series — the exact drift the
+telemetry determinism contract forbids. Real-time reads belong only in
+the allowlisted heartbeat path (``repro/obs/progress.py``).
+"""
+
+import time
+from datetime import datetime
+
+
+def sample_tick(sim, samples: list) -> None:
+    samples.append({"t": time.time()})  # wall clock in the sampler: finding
+
+
+def heartbeat_inline(last_beat: float) -> bool:
+    return time.monotonic() - last_beat > 10.0  # finding
+
+
+def stamp_series_meta() -> str:
+    return datetime.now().isoformat()  # finding

@@ -1,0 +1,14 @@
+"""RL002 negative fixture: a sampler driven entirely by the sim clock.
+
+The sampler records ``sim.now``, reschedules itself through the
+simulator, and delegates wall-clock concerns to an injected heartbeat
+callable (whose implementation lives in the allowlisted
+``repro/obs/progress.py``) — so this module never touches real time.
+"""
+
+
+def sample_tick(sim, samples: list, cadence: float, heartbeat=None) -> None:
+    samples.append({"t": sim.now})
+    if heartbeat is not None:
+        heartbeat(sim.now)
+    sim.call_after(cadence, lambda: sample_tick(sim, samples, cadence, heartbeat))

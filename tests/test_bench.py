@@ -74,6 +74,35 @@ def test_check_respects_custom_max_regression(baseline_path):
     assert not check_against_baseline(report, baseline_path, max_regression=0.15)
 
 
+def test_check_gates_telemetry_overhead_absolutely(baseline_path):
+    report = _snapshot([_row()])
+    report["telemetry_overhead"] = {
+        "nodes": 100,
+        "plain_wall_s": 1.0,
+        "telemetry_wall_s": 1.4,
+        "overhead_ratio": 1.4,
+    }
+    failures = check_against_baseline(report, baseline_path)
+    assert len(failures) == 1
+    assert "observability budget" in failures[0]
+    assert check_against_baseline(report, baseline_path, max_obs_overhead=1.5) == []
+    report["telemetry_overhead"]["overhead_ratio"] = 1.1
+    assert check_against_baseline(report, baseline_path) == []
+
+
+def test_check_records_but_does_not_gate_trace_overhead(baseline_path):
+    # full per-event trace emission is a debugging mode, not an
+    # always-on tax: the ratio is tracked in the snapshot, never gated
+    report = _snapshot([_row()])
+    report["trace_overhead"] = {
+        "nodes": 100,
+        "plain_wall_s": 1.0,
+        "traced_wall_s": 2.0,
+        "overhead_ratio": 2.0,
+    }
+    assert check_against_baseline(report, baseline_path) == []
+
+
 def test_next_bench_path_skips_existing_snapshots(tmp_path):
     assert next_bench_path(tmp_path).name == "BENCH_1.json"
     (tmp_path / "BENCH_1.json").write_text("{}")
@@ -100,7 +129,7 @@ def test_run_bench_annotates_full_grid_1k_speedup(monkeypatch):
         return _row(nodes=nodes, reduced=reduced, seed=seed, eps=10_000.0)
 
     monkeypatch.setattr(bench_mod, "bench_scale", fake_bench_scale)
-    report = run_bench([100, 1000], trace_overhead=False)
+    report = run_bench([100, 1000], trace_overhead=False, telemetry_overhead=False)
     by_nodes = {row["nodes"]: row for row in report["scales"]}
     assert "speedup_vs_pre_scale_up" not in by_nodes[100]
     expected = round(PRE_SCALE_UP_BASELINE["wall_s"] / 1.0, 2)

@@ -213,3 +213,87 @@ class TestQueueBackendEquivalence:
         for ids in by_time.values():
             assert ids == sorted(ids)
         assert len(fired_ids) == len(live)
+
+
+# ----------------------------------------------------------------------
+# telemetry histograms: determinism under reordering, merge, quantiles
+# ----------------------------------------------------------------------
+@st.composite
+def histogram_values(draw):
+    """Values spanning underflow, every pow2 bucket, and overflow."""
+    return draw(
+        st.lists(
+            st.floats(
+                min_value=1e-5,
+                max_value=64.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+class TestTelemetryHistogramProperties:
+    @FAST
+    @given(histogram_values(), st.randoms(use_true_random=False))
+    def test_insertion_order_never_changes_the_histogram(self, values, rnd):
+        from repro.obs.telemetry import Histogram
+
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        a, b = Histogram(), Histogram()
+        for v in values:
+            a.observe(v)
+        for v in shuffled:
+            b.observe(v)
+        assert a.counts == b.counts
+        assert a.count == b.count
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            assert a.quantile(q) == b.quantile(q)
+
+    @FAST
+    @given(histogram_values(), histogram_values())
+    def test_merge_equals_observing_the_concatenation(self, left, right):
+        from repro.obs.telemetry import Histogram
+
+        merged, direct = Histogram(), Histogram()
+        part = Histogram()
+        for v in left:
+            merged.observe(v)
+        for v in right:
+            part.observe(v)
+        merged.merge(part)
+        for v in left + right:
+            direct.observe(v)
+        assert merged.counts == direct.counts
+        assert merged.count == direct.count
+        assert merged.sum == pytest.approx(direct.sum)
+
+    @FAST
+    @given(histogram_values(), st.lists(st.floats(0.0, 1.0), min_size=2, max_size=8))
+    def test_quantiles_monotone_in_q(self, values, qs):
+        from repro.obs.telemetry import Histogram
+
+        hist = Histogram()
+        for v in values:
+            hist.observe(v)
+        estimates = [hist.quantile(q) for q in sorted(qs)]
+        assert all(b >= a for a, b in zip(estimates, estimates[1:]))
+        # estimates live inside the representable range
+        assert all(0.0 <= e <= hist.bounds[-1] for e in estimates)
+
+    @FAST
+    @given(histogram_values())
+    def test_round_trip_through_parts_is_lossless(self, values):
+        from repro.obs.telemetry import Histogram
+
+        hist = Histogram()
+        for v in values:
+            hist.observe(v)
+        d = hist.to_dict()
+        rebuilt = Histogram.from_parts(d["bounds"], d["counts"], d["sum"])
+        assert rebuilt.counts == hist.counts
+        for q in (0.1, 0.5, 0.99):
+            assert rebuilt.quantile(q) == hist.quantile(q)

@@ -51,6 +51,7 @@ def codes(findings: list[Finding]) -> list[str]:
 POSITIVE_EXPECTATIONS = {
     "rl001_bad.py": ("RL001", 6),
     "rl002_bad.py": ("RL002", 4),
+    "rl002_telemetry_bad.py": ("RL002", 3),
     "rl003_bad.py": ("RL003", 4),
     "rl004_bad.py": ("RL004", 2),
     "rl005_bad.py": ("RL005", 3),
@@ -116,6 +117,19 @@ class TestRuleDetails:
         # same source: flagged at an arbitrary path, allowed in the profiler
         assert codes(Linter().lint_source(source, "repro/obs/other.py")) == ["RL002"]
         assert codes(Linter().lint_source(source, "repro/obs/profiler.py")) == []
+
+    def test_rl002_telemetry_sampler_stays_sim_clocked(self):
+        """Telemetry must not read the wall clock: the sampler fixture
+        pair pins that real time is flagged inside sampling logic and
+        that only the injected-heartbeat shape lints clean. The
+        allowlist admits the heartbeat module, never the registry."""
+        assert codes(lint_fixture("rl002_telemetry_good.py")) == []
+        source = "import time\nlast = time.monotonic()\n"
+        assert codes(Linter().lint_source(source, "repro/obs/progress.py")) == []
+        assert (
+            codes(Linter().lint_source(source, "repro/obs/telemetry.py"))
+            == ["RL002"]
+        )
 
     def test_rl003_requires_a_sink(self):
         source = (
