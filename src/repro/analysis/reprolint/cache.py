@@ -1,0 +1,183 @@
+"""Content-hash-keyed result cache for ``repro lint``.
+
+The interprocedural pass (RL007) made full lint runs meaningfully more
+expensive than the old per-file sweep, and the blocking CI job runs on
+every push. This cache makes the common case — a small diff against a
+large tree — cheap again:
+
+- **per-file findings** are keyed by the SHA-256 of the file's
+  *content* (not its mtime: checkouts and CI runners scramble mtimes),
+  so only changed files re-run the per-file rules;
+- **program findings** are keyed by a digest over every file's
+  ``(rel_path, content hash)`` pair — the whole-program pass re-runs
+  when *any* file changed, because a one-line edit anywhere can create
+  or destroy a cross-module flow;
+- both are guarded by a **rules signature**: a hash of the linter's
+  own source modules plus the effective configuration. Editing a rule,
+  or linting with different ``--select``/``--ignore``, invalidates
+  everything — a cache must never make the linter lie.
+
+Entries store *pre-pragma* findings; pragma application is content-
+local and cheap, and re-running it keeps suppression bookkeeping
+(justifications, RL000 for undocumented pragmas) exact on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.reprolint.engine import Finding, LintConfig, ProgramFile
+
+__all__ = ["LintCache", "content_hash", "rules_signature"]
+
+_FORMAT_VERSION = 1
+
+# the modules whose source defines what findings mean; editing any of
+# them invalidates every cached result
+_SIGNATURE_MODULES = ("engine", "settypes", "rules", "callgraph", "dataflow")
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_signature(config: LintConfig) -> str:
+    """Hash of the linter's own code plus the effective configuration."""
+    h = hashlib.sha256()
+    package = Path(__file__).parent
+    for module in _SIGNATURE_MODULES:
+        path = package / f"{module}.py"
+        h.update(module.encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes() if path.exists() else b"<missing>")
+        h.update(b"\x00")
+    config_key = {
+        "select": sorted(config.select) if config.select is not None else None,
+        "ignore": sorted(config.ignore),
+        "allowlists": {k: sorted(v) for k, v in sorted(config.allowlists.items())},
+        "extra_trace_kinds": sorted(config.extra_trace_kinds),
+        "trace_catalog_path": str(config.trace_catalog_path or ""),
+        "require_justification": config.require_justification,
+        "stream_owners_path": str(config.stream_owners_path or ""),
+        "extra_stream_owners": {
+            k: sorted(v) for k, v in sorted(config.extra_stream_owners.items())
+        },
+    }
+    h.update(json.dumps(config_key, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+def _encode(findings: list[Finding]) -> list[dict]:
+    return [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+
+
+def _decode(rows: list[dict]) -> list[Finding]:
+    return [
+        Finding(
+            rule=row["rule"],
+            path=row["path"],
+            line=row["line"],
+            col=row["col"],
+            message=row["message"],
+        )
+        for row in rows
+    ]
+
+
+class LintCache:
+    """Disk-backed cache implementing the :meth:`Linter.lint_paths` hooks.
+
+    Usage::
+
+        cache = LintCache(Path(".reprolint-cache.json"), config)
+        findings = Linter(config).lint_paths(paths, cache=cache)
+        cache.save()
+    """
+
+    def __init__(self, path: Path, config: LintConfig) -> None:
+        self.path = Path(path)
+        self.signature = rules_signature(config)
+        self.file_hits = 0
+        self.file_misses = 0
+        self.program_hit = False
+        self._files: dict[str, dict] = {}
+        self._program: dict | None = None
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != _FORMAT_VERSION
+            or raw.get("signature") != self.signature
+        ):
+            return  # stale format or changed rules/config: start cold
+        files = raw.get("files")
+        program = raw.get("program")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(program, dict):
+            self._program = program
+
+    def save(self) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "signature": self.signature,
+            "files": self._files,
+            "program": self._program,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        tmp.replace(self.path)
+
+    # -- Linter.lint_paths hooks ---------------------------------------
+    def get_file(self, pfile: ProgramFile) -> list[Finding] | None:
+        entry = self._files.get(pfile.rel_path)
+        if entry is None or entry.get("hash") != content_hash(pfile.source):
+            self.file_misses += 1
+            return None
+        self.file_hits += 1
+        return _decode(entry.get("findings", []))
+
+    def put_file(self, pfile: ProgramFile, findings: list[Finding]) -> None:
+        self._files[pfile.rel_path] = {
+            "hash": content_hash(pfile.source),
+            "findings": _encode(findings),
+        }
+
+    def _program_digest(self, files: list[ProgramFile]) -> str:
+        h = hashlib.sha256()
+        for pfile in sorted(files, key=lambda f: f.rel_path):
+            h.update(pfile.rel_path.encode())
+            h.update(b"\x00")
+            h.update(content_hash(pfile.source).encode())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def get_program(self, files: list[ProgramFile]) -> list[Finding] | None:
+        entry = self._program
+        if entry is None or entry.get("digest") != self._program_digest(files):
+            return None
+        self.program_hit = True
+        return _decode(entry.get("findings", []))
+
+    def put_program(self, files: list[ProgramFile], findings: list[Finding]) -> None:
+        self._program = {
+            "digest": self._program_digest(files),
+            "findings": _encode(findings),
+        }

@@ -1,0 +1,250 @@
+"""Project-wide symbol table and call graph for interprocedural rules.
+
+The per-file rules (RL001-RL006) see one module at a time; that is
+exactly the blind spot PR 4's retrospective identified: a set iterated
+in ``core/assignment.py`` that flows through a helper into a
+``transport.send`` in another module never puts both the source and
+the sink in front of the same rule. This module supplies the missing
+whole-program view:
+
+- a **symbol table** of every function and method across the linted
+  file set, keyed by dotted qualname (``repro.core.node.PandasNode.
+  _sample``), with per-module import maps so call targets resolve
+  through aliases exactly like the per-file rules do;
+- a **call graph** with tiered resolution: module-local names, then
+  imported dotted paths, then same-class method calls via ``self.``/
+  ``cls.``, and finally — for attribute calls whose receiver type is
+  unknown — a by-method-name over-approximation that the dataflow
+  layer uses for taint *propagation only* (an unresolvable call must
+  not silently launder a tainted value).
+
+Module names are derived from the /-relative path handed to the
+linter (``src/repro/core/node.py`` -> ``repro.core.node``), so the
+same source tree resolves identically whether linted from the repo
+root or from ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.reprolint.engine import ImportMap, ProgramFile
+
+__all__ = [
+    "CallGraph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "build_call_graph",
+    "module_name_for",
+]
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a /-relative ``.py`` path.
+
+    A leading ``src`` segment and a trailing ``__init__`` are dropped
+    so that ``src/repro/core/__init__.py`` and ``repro/core/__init__.py``
+    both name ``repro.core``.
+    """
+    parts = rel_path[:-3].split("/") if rel_path.endswith(".py") else rel_path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the linted program."""
+
+    qualname: str  # module.Class.name or module.name
+    name: str
+    module: str
+    rel_path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+    params: tuple[str, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def display(self) -> str:
+        """Short human form used in finding paths: ``Class.name`` or ``name``."""
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its resolution services."""
+
+    name: str
+    rel_path: str
+    tree: ast.Module
+    imports: ImportMap
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)  # by local qualname
+    # class name -> (method name -> FunctionInfo)
+    classes: dict[str, dict[str, FunctionInfo]] = field(default_factory=dict)
+    # class name -> base-class terminal names (for project-local MRO walks)
+    bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def _params_of(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in [*args.posonlyargs, *args.args]]
+    return tuple(names)
+
+
+def _collect_module(pfile: ProgramFile) -> ModuleInfo:
+    module = module_name_for(pfile.rel_path)
+    info = ModuleInfo(
+        name=module,
+        rel_path=pfile.rel_path,
+        tree=pfile.tree,
+        imports=ImportMap(pfile.tree),
+    )
+
+    def visit(body: list[ast.stmt], class_name: str | None, prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = f"{prefix}{stmt.name}"
+                fn = FunctionInfo(
+                    qualname=f"{module}.{local}" if module else local,
+                    name=stmt.name,
+                    module=module,
+                    rel_path=pfile.rel_path,
+                    node=stmt,
+                    class_name=class_name,
+                    params=_params_of(stmt),
+                )
+                info.functions[local] = fn
+                if class_name is not None:
+                    info.classes.setdefault(class_name, {})[stmt.name] = fn
+                # nested defs are visible for completeness but resolve
+                # only by exact qualname (no by-name fallback for them)
+                visit(stmt.body, class_name, f"{local}.")
+            elif isinstance(stmt, ast.ClassDef):
+                info.classes.setdefault(stmt.name, {})
+                base_names = []
+                for base in stmt.bases:
+                    terminal = base.attr if isinstance(base, ast.Attribute) else (
+                        base.id if isinstance(base, ast.Name) else None
+                    )
+                    if terminal:
+                        base_names.append(terminal)
+                info.bases[stmt.name] = tuple(base_names)
+                visit(stmt.body, stmt.name, f"{stmt.name}.")
+
+    visit(pfile.tree.body, None, "")
+    return info
+
+
+class CallGraph:
+    """Symbol table plus call-target resolution over one program."""
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules = modules
+        self.by_module: dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._module_level_by_name: dict[str, list[FunctionInfo]] = {}
+        for mod in modules:
+            for fn in mod.functions.values():
+                self.functions[fn.qualname] = fn
+                bucket = (
+                    self._methods_by_name if fn.is_method else self._module_level_by_name
+                )
+                bucket.setdefault(fn.name, []).append(fn)
+
+    # -- resolution -----------------------------------------------------
+    def resolve_exact(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> tuple[FunctionInfo, ...]:
+        """Callees resolvable with confidence (no by-name fallback)."""
+        mod = self.by_module.get(caller.module)
+        func = call.func
+        if mod is None:
+            return ()
+        if isinstance(func, ast.Name):
+            # local module function (incl. same-class bare call after
+            # ``meth = self.meth`` style is out of scope)
+            local = mod.functions.get(func.id)
+            if local is not None and local.class_name is None:
+                return (local,)
+            dotted = mod.imports.resolve(func)
+            if dotted and dotted != func.id:
+                hit = self.functions.get(dotted)
+                if hit is not None:
+                    return (hit,)
+            return ()
+        if isinstance(func, ast.Attribute):
+            # fully dotted: imported_module.helper(...) or package path
+            dotted = mod.imports.resolve(func)
+            if dotted:
+                hit = self.functions.get(dotted)
+                if hit is not None:
+                    return (hit,)
+            # self.meth(...) / cls.meth(...): search the class, then
+            # project-local bases (single level of the textual MRO)
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and caller.class_name is not None
+            ):
+                seen: list[FunctionInfo] = []
+                stack = [(mod, caller.class_name)]
+                visited: set[tuple[str, str]] = set()
+                while stack:
+                    owner_mod, cls = stack.pop()
+                    if (owner_mod.name, cls) in visited:
+                        continue
+                    visited.add((owner_mod.name, cls))
+                    hit = owner_mod.classes.get(cls, {}).get(func.attr)
+                    if hit is not None:
+                        seen.append(hit)
+                        continue
+                    for base in owner_mod.bases.get(cls, ()):
+                        for candidate in self.modules:
+                            if base in candidate.classes:
+                                stack.append((candidate, base))
+                return tuple(seen)
+        return ()
+
+    def resolve_by_method_name(self, call: ast.Call) -> tuple[FunctionInfo, ...]:
+        """Over-approximate candidates for ``obj.meth(...)`` calls.
+
+        Used by the dataflow layer for taint propagation only: every
+        project method named ``meth``. Deliberately excludes dunder
+        and test helpers to bound the fan-out.
+        """
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return ()
+        if func.attr.startswith("__"):
+            return ()
+        return tuple(self._methods_by_name.get(func.attr, ()))
+
+    def iter_calls(
+        self, fn: FunctionInfo
+    ) -> list[ast.Call]:
+        """Every call expression lexically inside ``fn`` (not nested defs)."""
+        calls: list[ast.Call] = []
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return calls
+
+
+def build_call_graph(files: list[ProgramFile]) -> CallGraph:
+    """Symbol table + call graph over the given parsed files."""
+    return CallGraph([_collect_module(f) for f in files])

@@ -10,7 +10,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.reprolint.engine import LintConfig, Linter, iter_python_files
+from repro.analysis.reprolint.engine import (
+    LintConfig,
+    Linter,
+    iter_python_files,
+    rule_code_span,
+)
 from repro.analysis.reprolint.report import (
     active,
     render_human,
@@ -26,7 +31,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.analysis",
         description=(
             "reprolint: determinism/protocol static analysis for this "
-            "repository (rules RL001-RL006; see tests/README.md)"
+            f"repository (rules {rule_code_span()}; see tests/README.md)"
         ),
     )
     parser.add_argument(
@@ -64,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="obs/events.py-style file to read the RL004 kind catalog from "
         "(default: the installed repro.obs.events)",
     )
+    parser.add_argument(
+        "--stream-owners", default=None, metavar="FILE",
+        help="sim/rng.py-style file to read the RL008 STREAM_OWNERS registry "
+        "from (default: the installed repro.sim.rng)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="content-hash-keyed result cache: only re-analyze files whose "
+        "content changed (created on first use)",
+    )
     return parser
 
 
@@ -83,6 +98,7 @@ def run(argv: list[str] | None = None) -> int:
         ignore=_codes(args.ignore) or (),
         require_justification=not args.allow_undocumented,
         trace_catalog_path=Path(args.catalog) if args.catalog else None,
+        stream_owners_path=Path(args.stream_owners) if args.stream_owners else None,
     )
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
@@ -95,7 +111,20 @@ def run(argv: list[str] | None = None) -> int:
     files = list(iter_python_files(paths))
     linter = Linter(config)
     root = Path(args.root) if args.root else None
-    findings = linter.lint_paths(paths, root=root)
+    cache = None
+    if args.cache:
+        from repro.analysis.reprolint.cache import LintCache
+
+        cache = LintCache(Path(args.cache), config)
+    findings = linter.lint_paths(paths, root=root, cache=cache)
+    if cache is not None:
+        cache.save()
+        print(
+            f"reprolint: cache {cache.file_hits} hit(s), "
+            f"{cache.file_misses} miss(es), program "
+            f"{'hit' if cache.program_hit else 'miss'}",
+            file=sys.stderr,
+        )
     if args.json:
         print(render_json(findings, len(files)))
     else:

@@ -1,0 +1,662 @@
+"""Interprocedural determinism dataflow: the RL007 program rule.
+
+RL003 sees ``for peer in members: transport.send(peer, ...)`` — source
+and sink in one expression. What it cannot see is the same hazard cut
+in half by a function boundary::
+
+    # core/assignment.py
+    def custody_peers(index):
+        return list(index.holders)        # holders: set[int]
+
+    # net/relay.py
+    def relay(transport, peers):
+        for peer in peers:
+            transport.send(peer, ...)     # set order became protocol order
+
+This module performs a whole-program taint analysis over the call
+graph (:mod:`callgraph`):
+
+- **sources** — materializations of nondeterministic order or values:
+  iterating / ``list()``-ing / ``.pop()``-ing a set or frozenset,
+  ``id()``, builtin ``hash()``, ``os.environ`` reads, and filesystem
+  listing order (``os.listdir``, ``Path.iterdir``, ``glob.glob`` …);
+- **sinks** — the protocol boundary: transport/gossip emission calls
+  (``send``, ``broadcast``, ``emit`` …) and RNG draws (consumption
+  order re-aligns the stream);
+- **summaries** — each function is summarized by which parameters
+  reach a sink, which parameters flow to its return value, and which
+  returns carry a source; summaries are iterated to a fixpoint so
+  chains of helpers compose;
+- **findings** — reported at the *source* (where the fix belongs),
+  with the full source→sink path printed, and only when the flow
+  crosses a function boundary: purely local flows are RL003's
+  territory and are deliberately not double-reported.
+
+Resolution is tiered (see :mod:`callgraph`): findings only arise
+through exactly-resolved calls or name-based *sink* calls; the
+by-method-name over-approximation is not used to invent flows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.reprolint.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.analysis.reprolint.engine import (
+    ImportMap,
+    Program,
+    ProgramFile,
+    ProgramRule,
+    dotted_name,
+    register_program,
+)
+from repro.analysis.reprolint.settypes import ExprKind, SetTypeInferencer
+
+__all__ = ["CrossBoundaryNondeterminism", "Source", "SinkHit", "analyze_program"]
+
+
+# sink vocabularies are shared with RL003 so the two rules cannot
+# drift apart on what "the protocol boundary" means
+from repro.analysis.reprolint.rules import _EMIT_NAMES, _RNG_METHODS  # noqa: E402
+
+_ORDER_MATERIALIZERS = {"list", "tuple", "iter", "reversed", "enumerate", "next"}
+_LAUNDERING_CALLS = {
+    "sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all",
+}
+_FS_ORDER_CALLS = {
+    "os.listdir": "os.listdir",
+    "os.scandir": "os.scandir",
+    "os.walk": "os.walk",
+    "glob.glob": "glob.glob",
+    "glob.iglob": "glob.iglob",
+}
+_FS_ORDER_METHODS = {"iterdir", "rglob"}
+_ENVIRON_CALLS = {"os.getenv", "os.environ.get"}
+_MAX_PASSES = 10
+
+
+@dataclass(frozen=True)
+class Source:
+    """Where nondeterminism entered the program."""
+
+    kind: str  # "set order" | "id()" | "hash()" | "os.environ" | "fs order"
+    detail: str
+    rel_path: str
+    line: int
+    col: int
+    function: str  # display name of the defining function
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A protocol-boundary call consuming a tainted value."""
+
+    name: str
+    rel_path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class _Param:
+    """Taint placeholder: 'whatever the caller passes as param i'."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class _Tainted:
+    """A concrete source, plus the functions it has travelled through."""
+
+    source: Source
+    via: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class _SinkFlow:
+    """Summary entry: a param reaches ``sink`` along ``path``."""
+
+    sink: SinkHit
+    path: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _Summary:
+    param_to_sink: tuple[tuple[int, tuple[_SinkFlow, ...]], ...] = ()
+    param_to_return: frozenset[int] = frozenset()
+    return_taints: tuple[_Tainted, ...] = ()
+
+    def sinks_for(self, index: int) -> tuple[_SinkFlow, ...]:
+        for i, flows in self.param_to_sink:
+            if i == index:
+                return flows
+        return ()
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One complete source→sink path (a finding candidate)."""
+
+    source: Source
+    sink: SinkHit
+    path: tuple[str, ...]
+
+
+_EMPTY = _Summary()
+
+
+class _FunctionPass:
+    """One abstract-interpretation pass over one function body."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        graph: CallGraph,
+        summaries: dict[str, _Summary],
+        types: SetTypeInferencer,
+        imports: ImportMap,
+    ) -> None:
+        self.fn = fn
+        self.graph = graph
+        self.summaries = summaries
+        self.types = types
+        self.imports = imports
+        self.env: dict[str, frozenset[_Param | _Tainted]] = {}
+        self.param_index = {name: i for i, name in enumerate(fn.params)}
+        for name, i in self.param_index.items():
+            self.env[name] = frozenset({_Param(i)})
+        self.param_to_sink: dict[int, set[_SinkFlow]] = {}
+        self.param_to_return: set[int] = set()
+        self.return_taints: set[_Tainted] = set()
+        self.flows: list[Flow] = []
+
+    # -- helpers --------------------------------------------------------
+    def _terminal(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _source(self, kind: str, detail: str, node: ast.AST) -> _Tainted:
+        return _Tainted(
+            Source(
+                kind=kind,
+                detail=detail,
+                rel_path=self.fn.rel_path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                function=self.fn.display,
+            )
+        )
+
+    def _bind(self, target: ast.AST, taints: frozenset) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taints)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, taints)
+            return
+        name = self._terminal(target)
+        if name is None:
+            return
+        if taints:
+            self.env[name] = self.env.get(name, frozenset()) | taints
+        # no kill: a later clean reassignment does not untaint — the
+        # analysis over-approximates within a function, and the
+        # fixture suite pins the consequences
+
+    # -- statements -----------------------------------------------------
+    def run(self) -> None:
+        self._block(self.fn.node.body)
+
+    def _block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are their own functions in the table
+        if isinstance(stmt, (ast.Assign,)):
+            taints = self.taints_of(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self.taints_of(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._bind(stmt.target, self.taints_of(stmt.value))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taints = self.taints_of(stmt.iter)
+            if self.types.kind(stmt.iter) is ExprKind.SET:
+                rendered = dotted_name(stmt.iter) or "a set"
+                iter_taints = iter_taints | {
+                    self._source("set order", f"iteration over set `{rendered}`", stmt.iter)
+                }
+            self._bind(stmt.target, iter_taints)
+            # two passes approximate loop-carried taint
+            self._block(stmt.body)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.taints_of(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.taints_of(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.taints_of(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                for taint in self.taints_of(stmt.value):
+                    if isinstance(taint, _Param):
+                        self.param_to_return.add(taint.index)
+                    else:
+                        self.return_taints.add(taint)
+        elif isinstance(stmt, ast.Expr):
+            self.taints_of(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.taints_of(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.taints_of(stmt.test)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        # Pass/Import/Global/Nonlocal/Break/Continue carry no dataflow
+
+    # -- expressions ----------------------------------------------------
+    def taints_of(self, node: ast.expr) -> frozenset:
+        """Taints carried by ``node`` (side effect: sink detection)."""
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            resolved = self.imports.resolve(node)
+            if resolved == "os.environ":
+                return frozenset(
+                    {self._source("os.environ", "`os.environ` read", node)}
+                )
+            name = self._terminal(node)
+            return self.env.get(name or "", frozenset())
+        if isinstance(node, ast.Subscript):
+            return self.taints_of(node.value) | self.taints_of(node.slice)
+        if isinstance(node, ast.BinOp):
+            return self.taints_of(node.left) | self.taints_of(node.right)
+        if isinstance(node, ast.BoolOp):
+            out: frozenset = frozenset()
+            for value in node.values:
+                out |= self.taints_of(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.taints_of(node.operand)
+        if isinstance(node, ast.Compare):
+            self.taints_of(node.left)
+            for comparator in node.comparators:
+                self.taints_of(comparator)
+            return frozenset()  # a bool comparison result carries no order
+        if isinstance(node, ast.IfExp):
+            self.taints_of(node.test)
+            return self.taints_of(node.body) | self.taints_of(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            out = frozenset()
+            for elt in node.elts:
+                out |= self.taints_of(elt)
+            return out
+        if isinstance(node, (ast.Set, ast.SetComp, ast.DictComp)):
+            # building an unordered container launders *value* taint;
+            # its iteration order is a fresh set-order source later
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and sub is not node:
+                    self._call(sub)
+            return frozenset()
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            out = self.taints_of(node.elt) if not isinstance(node.elt, ast.Name) else frozenset()
+            for gen in node.generators:
+                out |= self.taints_of(gen.iter)
+                if self.types.kind(gen.iter) is ExprKind.SET:
+                    rendered = dotted_name(gen.iter) or "a set"
+                    out |= {
+                        self._source(
+                            "set order",
+                            f"comprehension over set `{rendered}`",
+                            gen.iter,
+                        )
+                    }
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = frozenset()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.taints_of(value.value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.taints_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.taints_of(node.value)
+        if isinstance(node, ast.Await):
+            return self.taints_of(node.value)
+        if isinstance(node, ast.NamedExpr):
+            taints = self.taints_of(node.value)
+            self._bind(node.target, taints)
+            return taints
+        if isinstance(node, ast.Dict):
+            out = frozenset()
+            for key in node.keys:
+                if key is not None:
+                    out |= self.taints_of(key)
+            for value in node.values:
+                out |= self.taints_of(value)
+            return out
+        if isinstance(node, ast.Slice):
+            out = frozenset()
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out |= self.taints_of(part)
+            return out
+        return frozenset()
+
+    # -- calls ----------------------------------------------------------
+    def _call(self, node: ast.Call) -> frozenset:
+        func = node.func
+        name = self._terminal(func)
+        arg_taints = [self.taints_of(arg) for arg in node.args]
+        kw_taints = {
+            kw.arg: self.taints_of(kw.value) for kw in node.keywords
+        }
+        all_args: frozenset = frozenset()
+        for taints in arg_taints:
+            all_args |= taints
+        for taints in kw_taints.values():
+            all_args |= taints
+
+        # 1. sink detection — name-based, like RL003, so an unresolved
+        #    receiver cannot hide the protocol boundary
+        is_emit = name in _EMIT_NAMES
+        is_rng = isinstance(func, ast.Attribute) and name in _RNG_METHODS
+        if is_emit or is_rng:
+            sink = SinkHit(
+                name=name or "?",
+                rel_path=self.fn.rel_path,
+                line=getattr(node, "lineno", 0),
+            )
+            for taint in all_args:
+                if isinstance(taint, _Param):
+                    self.param_to_sink.setdefault(taint.index, set()).add(
+                        _SinkFlow(sink=sink, path=(self.fn.display,))
+                    )
+                else:
+                    self.flows.append(
+                        Flow(
+                            source=taint.source,
+                            sink=sink,
+                            path=(*taint.via, self.fn.display),
+                        )
+                    )
+            return frozenset()
+
+        # 2. direct sources
+        resolved = self.imports.resolve(func) if isinstance(
+            func, (ast.Name, ast.Attribute)
+        ) else None
+        if name in ("id", "hash") and isinstance(func, ast.Name) and resolved == name:
+            kind = f"{name}()"
+            return frozenset(
+                {self._source(kind, f"builtin `{name}()` value", node)}
+            )
+        if resolved in _FS_ORDER_CALLS:
+            return frozenset(
+                {self._source("fs order", f"`{resolved}()` listing order", node)}
+            )
+        if resolved in _ENVIRON_CALLS or (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and self.imports.resolve(func.value) == "os.environ"
+        ):
+            return frozenset(
+                {self._source("os.environ", f"`{resolved or 'os.environ.get'}()` read", node)}
+            )
+        if isinstance(func, ast.Attribute) and name in _FS_ORDER_METHODS:
+            return frozenset(
+                {self._source("fs order", f"`.{name}()` listing order", node)}
+            )
+        if isinstance(func, ast.Attribute) and name == "glob":
+            # Path.glob — but s.glob on arbitrary objects is rare enough
+            return frozenset(
+                {self._source("fs order", "`.glob()` listing order", node)}
+            )
+
+        # 3. order materialization over set-typed values
+        if name in _ORDER_MATERIALIZERS and isinstance(func, ast.Name) and node.args:
+            if self.types.kind(node.args[0]) is ExprKind.SET:
+                rendered = dotted_name(node.args[0]) or "a set"
+                return all_args | {
+                    self._source(
+                        "set order", f"`{name}()` over set `{rendered}`", node
+                    )
+                }
+            return all_args
+        if (
+            isinstance(func, ast.Attribute)
+            and name == "pop"
+            and self.types.kind(func.value) is ExprKind.SET
+        ):
+            rendered = dotted_name(func.value) or "a set"
+            return frozenset(
+                {self._source("set order", f"`.pop()` from set `{rendered}`", node)}
+            )
+
+        # 4. laundering builtins define an explicit order (or an
+        #    order-free scalar): taint stops here
+        if name in _LAUNDERING_CALLS and isinstance(func, ast.Name):
+            return frozenset()
+
+        # 5. project-resolved calls: apply callee summaries
+        candidates = self.graph.resolve_exact(node, self.fn)
+        if candidates:
+            out: frozenset = frozenset()
+            for callee in candidates:
+                out |= self._apply_summary(node, callee, arg_taints, kw_taints)
+            return out
+        # propagation-only tier: by-method-name candidates contribute
+        # return taint, never new sink flows
+        for callee in self.graph.resolve_by_method_name(node):
+            summary = self.summaries.get(callee.qualname, _EMPTY)
+            if summary.return_taints:
+                return self._returned(summary, callee) | all_args
+
+        # 6. unknown call: conservatively pass taint through (a helper
+        #    we cannot see does not launder order), including the
+        #    receiver of method calls (`tainted.join(...)`)
+        if isinstance(func, ast.Attribute):
+            all_args |= self.taints_of(func.value)
+        return all_args
+
+    def _returned(self, summary: _Summary, callee: FunctionInfo) -> frozenset:
+        return frozenset(
+            _Tainted(source=t.source, via=(*t.via, callee.display))
+            for t in summary.return_taints
+        )
+
+    def _apply_summary(
+        self,
+        node: ast.Call,
+        callee: FunctionInfo,
+        arg_taints: list[frozenset],
+        kw_taints: dict[str | None, frozenset],
+    ) -> frozenset:
+        summary = self.summaries.get(callee.qualname, _EMPTY)
+        offset = (
+            1
+            if callee.is_method
+            and isinstance(node.func, ast.Attribute)
+            and callee.params
+            and callee.params[0] in ("self", "cls")
+            else 0
+        )
+        bound: list[tuple[int, frozenset]] = [
+            (i + offset, taints) for i, taints in enumerate(arg_taints)
+        ]
+        callee_index = {p: i for i, p in enumerate(callee.params)}
+        for kw_name, taints in kw_taints.items():
+            if kw_name is not None and kw_name in callee_index:
+                bound.append((callee_index[kw_name], taints))
+        out: frozenset = frozenset()
+        for index, taints in bound:
+            if not taints:
+                continue
+            for flow in summary.sinks_for(index):
+                for taint in taints:
+                    if isinstance(taint, _Param):
+                        self.param_to_sink.setdefault(taint.index, set()).add(
+                            _SinkFlow(sink=flow.sink, path=(self.fn.display, *flow.path))
+                        )
+                    else:
+                        self.flows.append(
+                            Flow(
+                                source=taint.source,
+                                sink=flow.sink,
+                                path=(*taint.via, self.fn.display, *flow.path),
+                            )
+                        )
+            if index in summary.param_to_return:
+                out |= taints
+        return out | self._returned(summary, callee)
+
+    def summary(self) -> _Summary:
+        return _Summary(
+            param_to_sink=tuple(
+                (i, tuple(sorted(flows, key=lambda f: (f.sink.rel_path, f.sink.line, f.path))))
+                for i, flows in sorted(self.param_to_sink.items())
+            ),
+            param_to_return=frozenset(self.param_to_return),
+            return_taints=tuple(
+                sorted(
+                    self.return_taints,
+                    key=lambda t: (t.source.rel_path, t.source.line, t.via),
+                )
+            ),
+        )
+
+
+def analyze_program(files: list[ProgramFile]) -> tuple[CallGraph, list[Flow]]:
+    """Fixpoint the summaries, then collect cross-boundary flows."""
+    graph = build_call_graph(files)
+    types_by_path = {
+        f.rel_path: SetTypeInferencer(f.tree) for f in files
+    }
+    imports_by_path = {
+        f.rel_path: ImportMap(f.tree) for f in files
+    }
+    summaries: dict[str, _Summary] = {}
+    functions = list(graph.functions.values())
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for fn in functions:
+            analysis = _FunctionPass(
+                fn,
+                graph,
+                summaries,
+                types_by_path[fn.rel_path],
+                imports_by_path[fn.rel_path],
+            )
+            analysis.run()
+            new = analysis.summary()
+            if summaries.get(fn.qualname) != new:
+                summaries[fn.qualname] = new
+                changed = True
+        if not changed:
+            break
+    flows: list[Flow] = []
+    seen: set[tuple] = set()
+    for fn in functions:
+        analysis = _FunctionPass(
+            fn,
+            graph,
+            summaries,
+            types_by_path[fn.rel_path],
+            imports_by_path[fn.rel_path],
+        )
+        analysis.run()
+        for flow in analysis.flows:
+            # purely intra-function flows are RL003's territory
+            if len(flow.path) <= 1 and flow.source.function == fn.display:
+                continue
+            key = (
+                flow.source.rel_path,
+                flow.source.line,
+                flow.sink.rel_path,
+                flow.sink.line,
+                flow.path,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            flows.append(flow)
+    flows.sort(
+        key=lambda f: (f.source.rel_path, f.source.line, f.sink.rel_path, f.sink.line)
+    )
+    return graph, flows
+
+
+@register_program
+class CrossBoundaryNondeterminism(ProgramRule):
+    """Nondeterministic source reaching a protocol sink across functions.
+
+    The whole-program companion to RL003: a set's iteration order (or
+    an ``id()``/``hash()``/``os.environ``/directory-listing value)
+    that travels through helpers — across function and module
+    boundaries — into a transport send or an RNG draw makes an
+    implementation accident protocol behaviour. The finding is
+    anchored at the source and prints the full path so the fix (sort
+    at the boundary) has an address.
+    """
+
+    code = "RL007"
+    name = "cross-boundary-nondeterminism"
+    rationale = (
+        "nondeterministic order that crosses a function boundary into a "
+        "protocol sink breaks replay in ways no per-file rule can see"
+    )
+
+    def run(self, program: Program) -> None:
+        _graph, flows = program.service(
+            "dataflow", lambda: analyze_program(program.files)
+        )
+        for flow in flows:
+            chain = " -> ".join(flow.path)
+            program.findings.append(
+                self._finding(flow, chain)
+            )
+
+    def _finding(self, flow: Flow, chain: str):
+        from repro.analysis.reprolint.engine import Finding
+
+        return Finding(
+            rule=self.code,
+            path=flow.source.rel_path,
+            line=flow.source.line,
+            col=flow.source.col,
+            message=(
+                f"nondeterministic {flow.source.kind} from "
+                f"{flow.source.detail} reaches protocol sink "
+                f"`{flow.sink.name}(...)` at {flow.sink.rel_path}:{flow.sink.line} "
+                f"via {chain}; make the order explicit (e.g. sorted(...)) "
+                "before it crosses the function boundary"
+            ),
+        )

@@ -275,13 +275,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run reprolint, the determinism/protocol static analysis (RL001-RL006)",
+        help="run reprolint, the determinism/protocol static analysis "
+        "(rule catalog: `repro lint --list-rules`)",
     )
     lint.add_argument(
         "lint_args",
         nargs=argparse.REMAINDER,
         help="arguments forwarded to `python -m repro.analysis` "
         "(paths, --json, --list-rules, ...)",
+    )
+
+    detsan = sub.add_parser(
+        "detsan",
+        help="run the runtime determinism sanitizer (hash-seed sweep, "
+        "scheduler/delivery/telemetry perturbations)",
+    )
+    detsan.add_argument(
+        "detsan_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.analysis.detsan` "
+        "(--scenario, --hash-seeds, --json, ...)",
     )
     return parser
 
@@ -829,6 +842,12 @@ def _cmd_lint(args) -> int:
     return run(args.lint_args)
 
 
+def _cmd_detsan(args) -> int:
+    from repro.analysis.detsan import run
+
+    return run(args.detsan_args)
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -887,6 +906,19 @@ def _cmd_bench(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `lint` and `detsan` forward their whole argument list to nested
+    # tools; argparse REMAINDER refuses a leading option token (e.g.
+    # `repro detsan --hash-seeds ...`), so forward before parsing.
+    if argv and argv[0] == "lint":
+        from repro.analysis.reprolint.cli import run as lint_run
+
+        return lint_run(argv[1:])
+    if argv and argv[0] == "detsan":
+        from repro.analysis.detsan import run as detsan_run
+
+        return detsan_run(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "slot": _cmd_slot,
@@ -901,6 +933,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "health": _cmd_health,
         "lint": _cmd_lint,
+        "detsan": _cmd_detsan,
     }
     return handlers[args.command](args)
 

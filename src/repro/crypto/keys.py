@@ -46,7 +46,9 @@ class Signature:
 
 
 # Stands in for asymmetric verification: maps public key -> HMAC secret.
-_SECRET_BY_PUBLIC: dict[bytes, bytes] = {}
+# Keyed by content (exact-key lookups only, never iterated), so stale
+# entries from a prior run cannot change any later run's behaviour.
+_SECRET_BY_PUBLIC: dict[bytes, bytes] = {}  # reprolint: disable=RL009 -- content-addressed crypto stand-in; write-once per key, order never observed
 
 
 class KeyPair:

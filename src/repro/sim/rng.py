@@ -15,7 +15,40 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["RngRegistry", "derive_seed"]
+__all__ = ["RngRegistry", "STREAM_OWNERS", "derive_seed"]
+
+# Stream-ownership registry: the first label of every named stream maps
+# to the module(s) allowed to draw from it (path suffixes relative to
+# the source root). Stream independence is only as good as stream
+# *ownership* — two components quietly sharing the "samples" stream
+# would re-couple their draws and make every A/B comparison noise.
+# reprolint rule RL008 enforces this mapping statically; add the label
+# here (with its owner) before drawing from a new stream.
+STREAM_OWNERS: dict[str, tuple[str, ...]] = {
+    "faults": ("faults/adversary.py", "faults/injector.py"),
+    "dht-boot": ("baselines/dht_das.py",),
+    "samples": (
+        "core/node.py",
+        "baselines/dht_das.py",
+        "baselines/gossipsub_das.py",
+    ),
+    "fetch": ("core/node.py", "baselines/gossipsub_das.py"),
+    "gossip-mesh": ("baselines/gossipsub_das.py",),
+    "peerdas-fallback": ("baselines/peerdas_das.py",),
+    "peerdas-mesh": ("baselines/peerdas_das.py",),
+    "churn": ("experiments/churn.py",),
+    "churn-topology": ("experiments/churn.py",),
+    "loss": ("experiments/scenario.py",),
+    "topology": ("experiments/scenario.py",),
+    "dead": ("experiments/scenario.py",),
+    "view": ("experiments/scenario.py",),
+    "block-mesh": ("experiments/scenario.py",),
+    "proposer": ("experiments/scenario.py",),
+    "pipeline-probe-topology": ("experiments/pipeline.py",),
+    "pipeline-probe": ("experiments/pipeline.py",),
+    "retrieval": ("core/retrieval.py",),
+    "seeding": ("core/builder.py",),
+}
 
 
 def derive_seed(master_seed: int, *labels: object) -> int:

@@ -1,0 +1,49 @@
+"""RL007 positive fixture: nondeterministic sources crossing function
+boundaries into protocol sinks. Four flows, each spanning at least two
+functions — the per-file RL003 cannot see any of them."""
+
+import os
+
+
+# flow 1: set order materialized here ...
+def order_peers(peers: set) -> list:
+    return list(peers)
+
+
+# ... sent over the wire two hops later
+def emit_all(transport, batch):
+    for item in batch:
+        transport.send(item, b"payload")
+
+
+def run(transport, peers: set) -> None:
+    batch = order_peers(peers)
+    emit_all(transport, batch)
+
+
+# flow 2: id() is per-process memory layout
+def identity_nonce(obj) -> int:
+    return id(obj)
+
+
+def publish_nonce(bus, obj) -> None:
+    bus.publish(identity_nonce(obj))
+
+
+# flow 3: the environment differs across hosts
+def env_flag() -> str:
+    return os.environ.get("REPRO_MODE", "full")
+
+
+def announce(transport) -> None:
+    transport.broadcast(env_flag())
+
+
+# flow 4: builtin hash() is salted per process; feeding it to an RNG
+# draw re-aligns the stream differently on every run
+def hash_bucket(item) -> int:
+    return hash(item)
+
+
+def pick(rng, item) -> int:
+    return rng.randrange(hash_bucket(item))

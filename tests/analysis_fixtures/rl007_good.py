@@ -1,0 +1,29 @@
+"""RL007 negative fixture: the same call shapes as the positive
+fixture, with every order made explicit before it crosses a function
+boundary — sorted() launders set order, and stable keys replace
+id()/hash()."""
+
+
+def order_peers(peers: set) -> list:
+    return sorted(peers)  # explicit order: part of the program text
+
+
+def emit_all(transport, batch):
+    for item in batch:
+        transport.send(item, b"payload")
+
+
+def run(transport, peers: set) -> None:
+    emit_all(transport, order_peers(peers))
+
+
+def stable_nonce(counter: int) -> int:
+    return counter + 1  # a derived sequence number, not memory layout
+
+
+def publish_nonce(bus, counter: int) -> None:
+    bus.publish(stable_nonce(counter))
+
+
+def pick(rng, num_buckets: int) -> int:
+    return rng.randrange(num_buckets)

@@ -1,0 +1,11 @@
+"""RL008 positive fixture: drawing streams this module does not own.
+
+``samples`` is registered to the node/baseline modules; this fixture
+path is not among its owners. ``no-such-label`` is not registered at
+all — both are findings."""
+
+
+def setup(rngs):
+    sample_rng = rngs.stream("samples", 3)
+    ghost_rng = rngs.stream("no-such-label")
+    return sample_rng, ghost_rng

@@ -1,0 +1,18 @@
+"""RL008 negative fixture: the dependency-injection idiom.
+
+Components receive an already-derived stream from their owner instead
+of drawing by label; registry plumbing that forwards a *non-literal*
+label is not a draw site and is skipped."""
+
+
+class Sampler:
+    def __init__(self, rng):
+        self.rng = rng  # handed an owned stream; no label drawn here
+
+    def pick(self, ordered_peers):
+        return self.rng.choice(ordered_peers)
+
+
+def wire(rngs, label):
+    # pass-through plumbing: the label is the caller's responsibility
+    return rngs.stream(label)

@@ -1,0 +1,21 @@
+"""RL009 positive fixture: process-global mutable state.
+
+Two module-level containers written from functions (run A's leftovers
+leak into run B), plus the same trap in miniature — a mutable default
+argument shared by every call."""
+
+_CACHE: dict = {}
+_EVENTS = []
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def record(event):
+    _EVENTS.append(event)
+
+
+def collect(into=[]):
+    into.append(1)
+    return into

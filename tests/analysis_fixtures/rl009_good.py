@@ -1,0 +1,26 @@
+"""RL009 negative fixture: state on per-run objects.
+
+Immutable module constants are fine; a module-level mapping that is
+only ever *read* is fine; mutable containers live on instances created
+per run, and defaults use the None idiom."""
+
+PHASES = ("seed", "sample", "repair")
+LIMITS = {"max_inbox": 4096}  # read-only lookup table: never written
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def record(self, event):
+        self.events.append(event)
+
+    def max_inbox(self):
+        return LIMITS["max_inbox"]
+
+
+def collect(into=None):
+    if into is None:
+        into = []
+    into.append(1)
+    return into

@@ -1,0 +1,21 @@
+"""RL010 positive fixture: sim-time accumulated by float ``+=``.
+
+``t += step`` executed N times is not ``t0 + N*step`` in float
+arithmetic — the rounding depends on the path, so two routes to "the
+same" instant disagree in the last ulp and a heap scheduler orders
+their events differently. Both the AugAssign and the ``x = x + dt``
+spelling are findings."""
+
+
+def schedule_ticks(sim, on_tick, start, step, count):
+    t = start
+    for _ in range(count):
+        t += step
+        sim.call_at(t, on_tick)
+
+
+def drain(sim, on_tick, deadline, dt):
+    next_at = 0.0
+    while next_at < deadline:
+        next_at = next_at + dt
+        sim.call_at(next_at, on_tick)

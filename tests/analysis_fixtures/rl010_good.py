@@ -1,0 +1,24 @@
+"""RL010 negative fixture: derived timestamps and exempt aggregation.
+
+Multiplication gives every path the identical timestamp; aggregation
+counters (``total_*`` etc.) measure rather than schedule and are
+exempt; integer step accumulation is exact and exempt."""
+
+
+def schedule_ticks(sim, on_tick, start, step, count):
+    for i in range(count):
+        sim.call_at(start + (i + 1) * step, on_tick)
+
+
+def total_latency(samples):
+    total_time = 0.0
+    for sample in samples:
+        total_time += sample  # aggregate counter: measures, never schedules
+    return total_time
+
+
+def count_slots(slots):
+    slot_at = 0
+    for _ in slots:
+        slot_at += 1  # integer accumulation is exact
+    return slot_at

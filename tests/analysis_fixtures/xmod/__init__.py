@@ -1,0 +1,3 @@
+"""Cross-module RL007 fixture package: the source lives in
+``source_mod``, the sink in ``sink_mod``, and only ``driver`` connects
+them — no single file contains the whole flow."""

@@ -1,0 +1,16 @@
+"""Wires source to sink across module boundaries.
+
+``run_bad`` routes the set-ordered list into the relay (one RL007
+finding, anchored at the source in ``source_mod``); ``run_good`` sorts
+at the boundary and is silent."""
+
+from xmod.sink_mod import relay
+from xmod.source_mod import custody_order, custody_order_sorted
+
+
+def run_bad(transport, index: set) -> None:
+    relay(transport, custody_order(index))
+
+
+def run_good(transport, index: set) -> None:
+    relay(transport, custody_order_sorted(index))

@@ -1,0 +1,6 @@
+"""The protocol sink: a transport send over whatever order arrives."""
+
+
+def relay(transport, peers) -> None:
+    for peer in peers:
+        transport.send(peer, b"column")

@@ -1,0 +1,9 @@
+"""The nondeterministic source: set order materialized into a list."""
+
+
+def custody_order(index: set) -> list:
+    return list(index)
+
+
+def custody_order_sorted(index: set) -> list:
+    return sorted(index)  # the clean twin: explicit order

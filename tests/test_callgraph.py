@@ -1,0 +1,169 @@
+"""Unit tests for the whole-program symbol table and call graph
+(`repro.analysis.reprolint.callgraph`) that RL007's dataflow rides on."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.reprolint.callgraph import (
+    build_call_graph,
+    module_name_for,
+)
+from repro.analysis.reprolint.engine import ProgramFile
+
+
+def pfile(rel_path: str, source: str) -> ProgramFile:
+    return ProgramFile(Path(rel_path), rel_path, source, ast.parse(source))
+
+
+def calls_in(graph, qualname):
+    fn = graph.functions[qualname]
+    return {c.func.attr if isinstance(c.func, ast.Attribute) else c.func.id: c
+            for c in graph.iter_calls(fn)}
+
+
+class TestModuleNames:
+    def test_plain_path(self):
+        assert module_name_for("repro/core/node.py") == "repro.core.node"
+
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/core/node.py") == "repro.core.node"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+
+    def test_single_file(self):
+        assert module_name_for("tool.py") == "tool"
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_params(self):
+        graph = build_call_graph([
+            pfile(
+                "pkg/mod.py",
+                "def helper(x, y):\n    return x\n"
+                "class Node:\n"
+                "    def send_all(self, peers):\n"
+                "        return peers\n",
+            )
+        ])
+        helper = graph.functions["pkg.mod.helper"]
+        assert helper.params == ("x", "y")
+        assert not helper.is_method
+        assert helper.display == "helper"
+        method = graph.functions["pkg.mod.Node.send_all"]
+        assert method.is_method
+        assert method.class_name == "Node"
+        assert method.display == "Node.send_all"
+        assert method.params == ("self", "peers")
+
+
+class TestResolution:
+    def test_local_function(self):
+        graph = build_call_graph([
+            pfile("m.py", "def a():\n    b()\ndef b():\n    pass\n")
+        ])
+        call = next(iter(calls_in(graph, "m.a").values()))
+        hits = graph.resolve_exact(call, graph.functions["m.a"])
+        assert [h.qualname for h in hits] == ["m.b"]
+
+    def test_imported_function(self):
+        graph = build_call_graph([
+            pfile("pkg/u.py", "def helper():\n    pass\n"),
+            pfile(
+                "pkg/v.py",
+                "from pkg.u import helper\ndef go():\n    helper()\n",
+            ),
+        ])
+        call = next(iter(calls_in(graph, "pkg.v.go").values()))
+        hits = graph.resolve_exact(call, graph.functions["pkg.v.go"])
+        assert [h.qualname for h in hits] == ["pkg.u.helper"]
+
+    def test_module_attribute_call(self):
+        graph = build_call_graph([
+            pfile("pkg/u.py", "def helper():\n    pass\n"),
+            pfile(
+                "pkg/v.py",
+                "from pkg import u\ndef go():\n    u.helper()\n",
+            ),
+        ])
+        call = next(iter(calls_in(graph, "pkg.v.go").values()))
+        hits = graph.resolve_exact(call, graph.functions["pkg.v.go"])
+        assert [h.qualname for h in hits] == ["pkg.u.helper"]
+
+    def test_self_method_and_inherited(self):
+        graph = build_call_graph([
+            pfile(
+                "base.py",
+                "class Base:\n"
+                "    def shared(self):\n"
+                "        pass\n",
+            ),
+            pfile(
+                "child.py",
+                "from base import Base\n"
+                "class Child(Base):\n"
+                "    def own(self):\n"
+                "        pass\n"
+                "    def go(self):\n"
+                "        self.own()\n"
+                "        self.shared()\n",
+            ),
+        ])
+        caller = graph.functions["child.Child.go"]
+        by_name = calls_in(graph, "child.Child.go")
+        own_hits = graph.resolve_exact(by_name["own"], caller)
+        assert [h.qualname for h in own_hits] == ["child.Child.own"]
+        shared_hits = graph.resolve_exact(by_name["shared"], caller)
+        assert [h.qualname for h in shared_hits] == ["base.Base.shared"]
+
+    def test_unknown_receiver_is_not_exact(self):
+        graph = build_call_graph([
+            pfile(
+                "m.py",
+                "class A:\n"
+                "    def run(self):\n"
+                "        pass\n"
+                "def go(obj):\n"
+                "    obj.run()\n",
+            )
+        ])
+        caller = graph.functions["m.go"]
+        call = next(iter(calls_in(graph, "m.go").values()))
+        assert graph.resolve_exact(call, caller) == ()
+        # ... but the by-name tier offers it for taint propagation
+        fallback = graph.resolve_by_method_name(call)
+        assert [h.qualname for h in fallback] == ["m.A.run"]
+
+    def test_by_name_skips_dunders(self):
+        graph = build_call_graph([
+            pfile(
+                "m.py",
+                "class A:\n"
+                "    def __call__(self):\n"
+                "        pass\n"
+                "def go(obj):\n"
+                "    obj.__call__()\n",
+            )
+        ])
+        call = next(iter(calls_in(graph, "m.go").values()))
+        assert graph.resolve_by_method_name(call) == ()
+
+
+class TestIterCalls:
+    def test_nested_defs_excluded(self):
+        graph = build_call_graph([
+            pfile(
+                "m.py",
+                "def outer():\n"
+                "    a()\n"
+                "    def inner():\n"
+                "        b()\n"
+                "    return inner\n",
+            )
+        ])
+        names = set(calls_in(graph, "m.outer"))
+        assert names == {"a"}
+        inner_names = set(calls_in(graph, "m.outer.inner"))
+        assert inner_names == {"b"}
